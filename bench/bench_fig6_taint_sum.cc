@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 6: taint sum over cycles while executing each classic PoC on
+ * BOOM, under diffIFT, diffIFT-FN (identical control signals: the
+ * worst-case false-negative study) and CellIFT.
+ *
+ * Paper shape: CellIFT explodes (every register tainted after the
+ * transient window); diffIFT stays low; diffIFT-FN tracks diffIFT's
+ * data taints but stops growing once encoding needs control taints.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "bench/poc_suite.hh"
+#include "harness/dualsim.hh"
+#include "uarch/config.hh"
+
+using namespace dejavuzz;
+
+namespace {
+
+struct Series
+{
+    std::vector<uint64_t> sums; ///< indexed by cycle
+    uint64_t window_open = 0;
+};
+
+Series
+measure(const uarch::CoreConfig &cfg, const bench::Poc &poc,
+        ift::IftMode mode)
+{
+    harness::DualSim sim(cfg);
+    harness::SimOptions options;
+    options.mode = mode;
+    options.taint_log = true;
+    auto result = sim.runDual(poc.schedule, poc.data, options);
+    Series series;
+    for (const auto &cycle : result.dut0.taint_log.cycles) {
+        if (series.sums.size() <= cycle.cycle)
+            series.sums.resize(cycle.cycle + 1, 0);
+        series.sums[cycle.cycle] = cycle.taintSum();
+    }
+    const auto *window = result.dut0.trace.principalWindow();
+    if (window != nullptr)
+        series.window_open = window->open_cycle;
+    return series;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 6: taint sum vs cycle (BOOM)");
+    auto cfg = uarch::smallBoomConfig();
+
+    for (const auto &poc : bench::pocSuite()) {
+        Series diff = measure(cfg, poc, ift::IftMode::DiffIFT);
+        Series fn = measure(cfg, poc, ift::IftMode::DiffIFTFN);
+        Series cell = measure(cfg, poc, ift::IftMode::CellIFT);
+
+        auto peak = [](const Series &series) {
+            uint64_t best = 0;
+            for (uint64_t sum : series.sums)
+                best = std::max(best, sum);
+            return best;
+        };
+        auto final_sum = [](const Series &series) {
+            return series.sums.empty() ? 0 : series.sums.back();
+        };
+
+        std::printf("\n%s (window opens at cycle %lu):\n",
+                    poc.name.c_str(),
+                    static_cast<unsigned long>(diff.window_open));
+        std::printf("  %-12s %12s %12s\n", "mode", "peak-taint",
+                    "final-taint");
+        std::printf("  %-12s %12lu %12lu\n", "diffIFT",
+                    static_cast<unsigned long>(peak(diff)),
+                    static_cast<unsigned long>(final_sum(diff)));
+        std::printf("  %-12s %12lu %12lu\n", "diffIFT-FN",
+                    static_cast<unsigned long>(peak(fn)),
+                    static_cast<unsigned long>(final_sum(fn)));
+        std::printf("  %-12s %12lu %12lu\n", "CellIFT",
+                    static_cast<unsigned long>(peak(cell)),
+                    static_cast<unsigned long>(final_sum(cell)));
+
+        // CSV series for plotting (every 8th cycle).
+        std::printf("  cycle,diffIFT,diffIFT_FN,CellIFT\n");
+        size_t cycles = std::max({diff.sums.size(), fn.sums.size(),
+                                  cell.sums.size()});
+        for (size_t c = 0; c < cycles; c += 8) {
+            auto at = [c](const Series &series) {
+                return c < series.sums.size() ? series.sums[c] : 0;
+            };
+            std::printf("  %zu,%lu,%lu,%lu\n", c,
+                        static_cast<unsigned long>(at(diff)),
+                        static_cast<unsigned long>(at(fn)),
+                        static_cast<unsigned long>(at(cell)));
+        }
+    }
+
+    std::printf("\npaper shape: CellIFT explodes to the full design"
+                " size after the window; diffIFT stays low; the FN"
+                " variant plateaus at the residual data taints.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Liveness evaluation (paper §6.3): SpecDoctor's phase-3 candidates
+ * (stimuli whose timing-component state hashes differ across secret
+ * variants) are analyzed with DejaVuzz's encode-sanitization +
+ * taint-liveness machinery.
+ *
+ * Paper shape: of 75 candidates only 17 were real leaks; the rest
+ * were secrets resting unexploitably in the d-cache/LFB. Without
+ * liveness annotations 54 of 75 were misclassified.
+ */
+
+#include <cstdio>
+
+#include "baseline/specdoctor.hh"
+#include "bench/bench_util.hh"
+#include "core/phases.hh"
+#include "harness/dualsim.hh"
+#include "uarch/config.hh"
+
+using namespace dejavuzz;
+
+int
+main()
+{
+    uint64_t iters = bench::envKnob("DEJAVUZZ_LIVENESS_ITERS", 600);
+    auto cfg = uarch::smallBoomConfig();
+
+    bench::banner("Liveness evaluation (SpecDoctor phase-3 candidates)");
+
+    baseline::SpecDoctor::Options sd_options;
+    sd_options.master_seed = 0x11fe;
+    baseline::SpecDoctor specdoctor(cfg, sd_options);
+    specdoctor.run(iters);
+    const auto &candidates = specdoctor.candidates();
+    std::printf("SpecDoctor: %lu iterations, %zu hash-differ"
+                " candidates, %lu phase-4 confirmations\n",
+                static_cast<unsigned long>(iters), candidates.size(),
+                static_cast<unsigned long>(
+                    specdoctor.stats().confirmed));
+
+    harness::DualSim sim(cfg);
+    harness::SimOptions options;
+    options.mode = ift::IftMode::DiffIFT;
+    options.sinks = true;
+
+    size_t real_with_liveness = 0;
+    size_t real_without_liveness = 0;
+    isa::Instr nop;
+    nop.op = isa::Op::ADDI;
+
+    for (const auto &candidate : candidates) {
+        // Encode sanitization: nop the injected payload and diff.
+        swapmem::SwapSchedule sanitized = candidate.schedule;
+        auto &instrs = sanitized.packets[0].instrs;
+        for (size_t i = candidate.payload_begin;
+             i < candidate.payload_end && i < instrs.size(); ++i)
+            instrs[i] = nop;
+
+        auto orig = sim.runDual(candidate.schedule, candidate.data,
+                                options);
+        auto base = sim.runDual(sanitized, candidate.data, options);
+
+        std::set<std::string> live;
+        size_t encoded = 0;
+        size_t live_encoded = 0;
+        core::diffSinks(orig.dut0.sinks, base.dut0.sinks, true, live,
+                        encoded, live_encoded);
+        bool real = live_encoded > 0 ||
+                    !core::constantTimeViolations(orig).empty();
+        real_with_liveness += real;
+
+        live.clear();
+        encoded = 0;
+        live_encoded = 0;
+        core::diffSinks(orig.dut0.sinks, base.dut0.sinks, false, live,
+                        encoded, live_encoded);
+        bool flagged = live_encoded > 0 ||
+                       !core::constantTimeViolations(orig).empty();
+        real_without_liveness += flagged;
+    }
+
+    size_t total = candidates.size();
+    std::printf("\nwith taint-liveness annotations: %zu/%zu real"
+                " leaks, %zu false positives filtered\n",
+                real_with_liveness, total,
+                total - real_with_liveness);
+    std::printf("without liveness (reachability only): %zu/%zu"
+                " flagged => %zu misclassified\n",
+                real_without_liveness, total,
+                real_without_liveness - real_with_liveness);
+    std::printf("\npaper: 17/75 real with liveness; 54/75"
+                " misclassified without.\n");
+    return 0;
+}

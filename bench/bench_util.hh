@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: env-var scaling knobs
+ * and wall-clock timing.
+ */
+
+#ifndef DEJAVUZZ_BENCH_BENCH_UTIL_HH
+#define DEJAVUZZ_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dejavuzz::bench {
+
+/** Integer knob from the environment with a default. */
+inline uint64_t
+envKnob(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtoull(value, nullptr, 0);
+}
+
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(clock::now()) {}
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+    void reset() { start_ = clock::now(); }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+inline void
+banner(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace dejavuzz::bench
+
+#endif // DEJAVUZZ_BENCH_BENCH_UTIL_HH

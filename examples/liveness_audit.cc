@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Domain scenario: the taint-liveness annotation workflow. A stale
+ * Line Fill Buffer entry keeps the secret's bits after its MSHR
+ * retires - reachable taint, but dead. The annotated sink (the
+ * paper's `(* liveness_mask = "mshr_valid_vec" *)` example) lets the
+ * analysis filter it, while the live d-cache encode is kept.
+ *
+ *   ./examples/liveness_audit
+ */
+
+#include <cstdio>
+
+#include "harness/dualsim.hh"
+#include "ift/liveness.hh"
+#include "isa/builder.hh"
+#include "swapmem/layout.hh"
+#include "uarch/config.hh"
+
+using namespace dejavuzz;
+using namespace dejavuzz::isa::reg;
+using isa::Op;
+
+int
+main()
+{
+    // Architecturally load the secret (it is open here): the refill
+    // parks the secret in the LFB; once the line is installed the
+    // MSHR retires and the LFB data is dead but still tainted.
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prog.la(s1, swapmem::kSecretAddr);
+    prog.ld(s0, s1, 0);     // secret -> LFB -> d-cache
+    prog.andi(t1, s0, 1);
+    prog.slli(t1, t1, 6);
+    prog.la(t2, swapmem::kLeakArrayAddr + 0x100);
+    prog.add(t2, t2, t1);
+    prog.ld(t3, t2, 0);     // secret-indexed line (live encode)
+    prog.swapnext();
+
+    swapmem::SwapSchedule schedule;
+    swapmem::SwapPacket packet;
+    packet.label = "audit";
+    packet.kind = swapmem::PacketKind::Transient;
+    packet.instrs = prog.finish();
+    schedule.packets.push_back(packet);
+
+    Rng rng(7);
+    auto data = harness::StimulusData::random(rng);
+
+    harness::DualSim sim(uarch::smallBoomConfig());
+    harness::SimOptions options;
+    options.mode = ift::IftMode::DiffIFT;
+    options.sinks = true;
+    auto result = sim.runDual(schedule, data, options);
+
+    std::printf("%-10s %-10s %-9s %-6s %-6s %s\n", "module", "sink",
+                "annotated", "taint", "live", "verdict");
+    for (const auto &sink : result.dut0.sinks) {
+        size_t tainted = sink.taintedEntries();
+        if (tainted == 0)
+            continue;
+        size_t live = sink.liveTaintedEntries();
+        const char *verdict =
+            live > 0 ? "EXPLOITABLE" : "dead (filtered)";
+        std::printf("%-10s %-10s %-9s %-6zu %-6zu %s\n",
+                    sink.module.c_str(), sink.name.c_str(),
+                    sink.annotated ? "yes" : "no", tainted, live,
+                    verdict);
+    }
+
+    auto verdict = ift::analyzeSinks(result.dut0.sinks, true);
+    std::printf("\nwith liveness: exploitable=%s (%zu live sinks,"
+                " %zu dead filtered)\n",
+                verdict.exploitable ? "yes" : "no",
+                verdict.live_sinks.size(), verdict.dead_sinks.size());
+    auto no_liveness = ift::analyzeSinks(result.dut0.sinks, false);
+    std::printf("without liveness: %zu sinks flagged (the paper's"
+                " false-positive mode)\n",
+                no_liveness.live_sinks.size());
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Re-implementation of SpecDoctor (Hur et al., CCS'22), the paper's
+ * state-of-the-art baseline, on the shared simulation substrate.
+ *
+ * Faithful algorithmic properties (paper §2.3, §6):
+ *  - single linear address space: training and transient code share
+ *    one randomly-generated program (no swapMem);
+ *  - multi-phase generation: random stimulus until a RoB rollback
+ *    (transient-trigger), squashed-region payload replacement
+ *    (secret-transmit), state-hash differential testing over the
+ *    timing components (detection), then random decode generation
+ *    (secret-receive);
+ *  - generator constraints: memory accesses confined to mapped,
+ *    aligned scratch addresses and no illegal opcodes (random crashes
+ *    would break training), so access-fault / misalign / illegal
+ *    windows are out of reach; windows containing backward jumps are
+ *    discarded, so return windows are too;
+ *  - payload replacement can invalidate complex windows (the W1/W2
+ *    conflicts of paper Fig. 3);
+ *  - no taint tracking: mutation is blind, and the oracle (hash
+ *    difference) admits unexploitable leftovers as candidates.
+ */
+
+#ifndef DEJAVUZZ_BASELINE_SPECDOCTOR_HH
+#define DEJAVUZZ_BASELINE_SPECDOCTOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/seed.hh"
+#include "harness/dualsim.hh"
+#include "uarch/config.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz::baseline {
+
+/** A phase-3 candidate: a stimulus whose timing-state hashes differ. */
+struct SpecDoctorCandidate
+{
+    swapmem::SwapSchedule schedule;
+    harness::StimulusData data;
+    /** Payload instruction range inside the program (for later
+     *  sanitization studies). */
+    size_t payload_begin = 0;
+    size_t payload_end = 0;
+    core::TriggerKind window = core::TriggerKind::BranchMispredict;
+};
+
+struct SpecDoctorStats
+{
+    uint64_t iterations = 0;
+    uint64_t rollbacks = 0;
+    uint64_t discarded_backward = 0;
+    uint64_t payload_conflicts = 0;
+    uint64_t candidates = 0;
+    uint64_t confirmed = 0;
+    uint64_t simulations = 0;
+    std::array<uint64_t, core::kTriggerKinds> window_count{};
+    std::array<uint64_t, core::kTriggerKinds> window_to{};
+    uint64_t first_confirm_iteration = 0;
+};
+
+class SpecDoctor
+{
+  public:
+    struct Options
+    {
+        uint64_t master_seed = 1;
+        unsigned program_min = 150; ///< phase-1 stimulus size
+        unsigned program_max = 200;
+        unsigned decode_attempts = 2; ///< phase-4 tries per candidate
+        harness::SimOptions sim;
+    };
+
+    SpecDoctor(const uarch::CoreConfig &config, const Options &options);
+
+    /** Run @p count iterations. */
+    void run(uint64_t count);
+
+    const SpecDoctorStats &stats() const { return stats_; }
+    const std::vector<SpecDoctorCandidate> &candidates() const
+    {
+        return candidates_;
+    }
+
+    /**
+     * Optional scoring hook, invoked for every differential (phase-3)
+     * evaluation: the Fig. 7 bench replays these under diffIFT to
+     * measure taint coverage on equal footing.
+     */
+    std::function<void(const swapmem::SwapSchedule &,
+                       const harness::StimulusData &)>
+        replay_hook;
+
+  private:
+    void iterate();
+    swapmem::SwapSchedule generateProgram(harness::StimulusData &data,
+                                          size_t &program_len);
+    /** Inject the secret payload over the squashed region. */
+    bool injectPayload(swapmem::SwapSchedule &schedule,
+                       uint64_t window_pc, size_t &begin, size_t &end);
+
+    uarch::CoreConfig cfg_;
+    Options options_;
+    harness::DualSim sim_;
+    Rng rng_;
+    SpecDoctorStats stats_;
+    std::vector<SpecDoctorCandidate> candidates_;
+};
+
+} // namespace dejavuzz::baseline
+
+#endif // DEJAVUZZ_BASELINE_SPECDOCTOR_HH

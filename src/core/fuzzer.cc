@@ -1,0 +1,178 @@
+#include "core/fuzzer.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace dejavuzz::core {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Fuzzer::Fuzzer(const uarch::CoreConfig &config,
+               const FuzzerOptions &options)
+    : cfg_(config), options_(options), gen_(config), sim_(config),
+      rng_(options.master_seed)
+{
+    module_ids_ = uarch::Core::registerModules(coverage_, cfg_);
+    start_time_ = nowSeconds();
+}
+
+double
+Fuzzer::elapsedSeconds() const
+{
+    return nowSeconds() - start_time_;
+}
+
+bool
+Fuzzer::triggerOnce(TriggerKind kind, uint64_t entropy, size_t &to,
+                    size_t &eto)
+{
+    Rng rng(entropy);
+    StimGen gen(cfg_);
+    Seed seed = gen.newSeed(rng, 0, kind);
+
+    Phase1 phase1(sim_, options_.sim);
+    for (unsigned attempt = 0; attempt <= options_.phase1_retries;
+         ++attempt) {
+        TestCase tc =
+            gen.generatePhase1(seed, options_.derived_training);
+        bool triggered = false;
+        stats_.simulations +=
+            phase1.run(tc, triggered, options_.training_reduction);
+        if (triggered) {
+            to = tc.schedule.trainingOverhead();
+            eto = tc.schedule.effectiveTrainingOverhead();
+            return true;
+        }
+        seed.entropy = rng.next();
+        seed.window.encode_entropy = rng.next();
+    }
+    return false;
+}
+
+void
+Fuzzer::iterate()
+{
+    ++stats_.iterations;
+
+    Phase1 phase1(sim_, options_.sim);
+    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
+    Phase3 phase3(sim_, options_.sim, gen_);
+
+    if (!active_) {
+        // --- Phase 1: new seed, trigger generation + reduction ------
+        ++stats_.phase1_attempts;
+        Seed seed = gen_.newSeed(rng_, next_seed_id_++);
+        current_ = gen_.generatePhase1(seed, options_.derived_training);
+        bool triggered = false;
+        stats_.simulations += phase1.run(current_, triggered,
+                                         options_.training_reduction);
+        if (!triggered) {
+            stats_.coverage_curve.push_back(coverage_.points());
+            return;
+        }
+        ++stats_.windows_triggered;
+        auto &tstats =
+            trigger_stats_[static_cast<unsigned>(seed.trigger)];
+        ++tstats.windows;
+        tstats.training_overhead +=
+            current_.schedule.trainingOverhead();
+        tstats.effective_overhead +=
+            current_.schedule.effectiveTrainingOverhead();
+        stats_.training_overhead +=
+            current_.schedule.trainingOverhead();
+        stats_.effective_training +=
+            current_.schedule.effectiveTrainingOverhead();
+
+        gen_.completeWindow(current_);
+        active_ = true;
+        mutations_left_ = options_.max_mutations;
+        stats_.coverage_curve.push_back(coverage_.points());
+        return;
+    }
+
+    // --- Phase 2: differential exploration --------------------------
+    ++stats_.phase2_runs;
+    stats_.simulations += 4; // value + diff passes, both instances
+    Phase2Result explored = phase2.run(current_);
+
+    bool retire = false;
+    if (!explored.window_ok) {
+        retire = true;
+    } else if (explored.taint_propagated) {
+        // --- Phase 3: leakage analysis -------------------------------
+        ++stats_.phase3_runs;
+        stats_.simulations += 2; // sanitized differential run
+        Phase3Result verdict =
+            phase3.run(current_, explored, options_.use_liveness);
+        if (verdict.leak && verdict.report.has_value()) {
+            BugReport report = *verdict.report;
+            report.iteration = stats_.iterations;
+            if (stats_.bugs.empty()) {
+                stats_.first_bug_iteration = stats_.iterations;
+                stats_.first_bug_seconds = elapsedSeconds();
+            }
+            stats_.bugs.push_back(std::move(report));
+        }
+    }
+
+    // Coverage-guided mutation (paper step 2.2 feedback): windows
+    // whose coverage gain beats the running average earn extra
+    // mutation budget; unproductive seeds retire quickly. The
+    // DejaVuzz- ablation mutates blindly on a fixed budget.
+    if (!retire) {
+        bool low_gain = true;
+        if (options_.coverage_feedback) {
+            double gain = static_cast<double>(explored.new_coverage);
+            low_gain = gain < average_gain_;
+            average_gain_ = 0.9 * average_gain_ + 0.1 * gain;
+            if (!explored.taint_propagated)
+                low_gain = true;
+        }
+        if (mutations_left_ == 0) {
+            retire = true;
+        } else {
+            --mutations_left_;
+            if (options_.coverage_feedback && !low_gain) {
+                mutations_left_ = std::min(
+                    mutations_left_ + 2, options_.max_mutations);
+            }
+            gen_.mutateWindow(current_, rng_.next());
+        }
+    }
+    if (retire)
+        active_ = false;
+
+    stats_.coverage_points = coverage_.points();
+    stats_.coverage_curve.push_back(coverage_.points());
+}
+
+void
+Fuzzer::run(uint64_t count)
+{
+    for (uint64_t i = 0; i < count; ++i)
+        iterate();
+    stats_.coverage_points = coverage_.points();
+}
+
+void
+Fuzzer::runUntilFirstBug(uint64_t max_iters)
+{
+    for (uint64_t i = 0; i < max_iters && stats_.bugs.empty(); ++i)
+        iterate();
+    stats_.coverage_points = coverage_.points();
+}
+
+} // namespace dejavuzz::core

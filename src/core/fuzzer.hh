@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The DejaVuzz fuzzer: seed scheduling, the phase state machine and
+ * campaign statistics (paper Fig. 5).
+ *
+ * One iteration is one simulated evaluation step: either a Phase-1
+ * trigger attempt (including its training-reduction re-simulations)
+ * or one Phase-2 differential evaluation of a completed window
+ * (followed, when the window propagated taint, by Phase-3 analysis).
+ *
+ * Ablation switches reproduce the paper's variants:
+ *  - derived_training=false  => DejaVuzz* (random training packets)
+ *  - coverage_feedback=false => DejaVuzz−  (blind window mutation)
+ *  - use_liveness=false      => no-liveness misclassification study
+ *  - training_reduction=false => reduction-off ablation
+ */
+
+#ifndef DEJAVUZZ_CORE_FUZZER_HH
+#define DEJAVUZZ_CORE_FUZZER_HH
+
+#include <memory>
+
+#include "core/phases.hh"
+#include "core/report.hh"
+#include "core/stimgen.hh"
+#include "harness/dualsim.hh"
+#include "ift/coverage.hh"
+#include "uarch/config.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz::core {
+
+struct FuzzerOptions
+{
+    uint64_t master_seed = 1;
+    bool derived_training = true;   ///< false: DejaVuzz*
+    bool coverage_feedback = true;  ///< false: DejaVuzz−
+    bool use_liveness = true;
+    bool training_reduction = true;
+    ift::IftMode ift_mode = ift::IftMode::DiffIFT;
+    unsigned max_mutations = 6;     ///< window mutations per seed
+    unsigned phase1_retries = 3;    ///< regeneration attempts per seed
+    harness::SimOptions sim;
+};
+
+class Fuzzer
+{
+  public:
+    Fuzzer(const uarch::CoreConfig &config,
+           const FuzzerOptions &options);
+
+    /** Run @p count iterations (appends to the running campaign). */
+    void run(uint64_t count);
+
+    /** Run until at least one bug is found or @p max_iters elapse. */
+    void runUntilFirstBug(uint64_t max_iters);
+
+    const FuzzerStats &stats() const { return stats_; }
+    const ift::TaintCoverage &coverage() const { return coverage_; }
+    const uarch::CoreConfig &config() const { return cfg_; }
+
+    /** Per-window-type Table-3 accounting. */
+    struct TriggerStats
+    {
+        uint64_t windows = 0;
+        uint64_t training_overhead = 0;
+        uint64_t effective_overhead = 0;
+        uint64_t attempts = 0;
+    };
+    const std::array<TriggerStats, kTriggerKinds> &
+    triggerStats() const
+    {
+        return trigger_stats_;
+    }
+
+    /** Generate + evaluate one window of the given kind (Table 3). */
+    bool triggerOnce(TriggerKind kind, uint64_t entropy,
+                     size_t &to, size_t &eto);
+
+  private:
+    void iterate();
+    double elapsedSeconds() const;
+
+    uarch::CoreConfig cfg_;
+    FuzzerOptions options_;
+    StimGen gen_;
+    harness::DualSim sim_;
+    ift::TaintCoverage coverage_;
+    std::array<uint16_t, uarch::kModCount> module_ids_{};
+    Rng rng_;
+    FuzzerStats stats_;
+    std::array<TriggerStats, kTriggerKinds> trigger_stats_{};
+
+    // Active test-case state machine.
+    bool active_ = false;
+    TestCase current_;
+    unsigned mutations_left_ = 0;
+    double average_gain_ = 1.0;
+    uint64_t next_seed_id_ = 0;
+    double start_time_ = 0.0;
+};
+
+} // namespace dejavuzz::core
+
+#endif // DEJAVUZZ_CORE_FUZZER_HH

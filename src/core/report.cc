@@ -1,0 +1,110 @@
+#include "core/report.hh"
+
+namespace dejavuzz::core {
+
+const char *
+triggerKindName(TriggerKind kind)
+{
+    switch (kind) {
+      case TriggerKind::LoadAccessFault: return "ld/st-access-fault";
+      case TriggerKind::LoadPageFault: return "ld/st-page-fault";
+      case TriggerKind::LoadMisalign: return "ld/st-misalign";
+      case TriggerKind::IllegalInstr: return "illegal-instr";
+      case TriggerKind::MemDisambiguation: return "mem-disamb";
+      case TriggerKind::BranchMispredict: return "branch-mispred";
+      case TriggerKind::IndirectMispredict: return "indjump-mispred";
+      case TriggerKind::ReturnMispredict: return "return-mispred";
+      case TriggerKind::kCount: break;
+    }
+    return "?";
+}
+
+bool
+isExceptionTrigger(TriggerKind kind)
+{
+    switch (kind) {
+      case TriggerKind::LoadAccessFault:
+      case TriggerKind::LoadPageFault:
+      case TriggerKind::LoadMisalign:
+      case TriggerKind::IllegalInstr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+uarch::SquashCause
+expectedCause(TriggerKind kind)
+{
+    switch (kind) {
+      case TriggerKind::LoadAccessFault:
+      case TriggerKind::LoadPageFault:
+      case TriggerKind::LoadMisalign:
+      case TriggerKind::IllegalInstr:
+        return uarch::SquashCause::Exception;
+      case TriggerKind::MemDisambiguation:
+        return uarch::SquashCause::MemDisambiguation;
+      case TriggerKind::BranchMispredict:
+        return uarch::SquashCause::BranchMispredict;
+      case TriggerKind::IndirectMispredict:
+        return uarch::SquashCause::JumpMispredict;
+      case TriggerKind::ReturnMispredict:
+        return uarch::SquashCause::ReturnMispredict;
+      case TriggerKind::kCount:
+        break;
+    }
+    return uarch::SquashCause::None;
+}
+
+const char *
+attackTypeName(AttackType type)
+{
+    return type == AttackType::Meltdown ? "Meltdown" : "Spectre";
+}
+
+std::string
+BugReport::key() const
+{
+    std::string k = attackTypeName(attack);
+    if (masked_address)
+        k += "-sampling";
+    k += '|';
+    k += triggerKindName(window);
+    k += '|';
+    for (const auto &component : components) {
+        k += component;
+        k += ',';
+    }
+    return k;
+}
+
+std::string
+BugReport::describe() const
+{
+    std::string text = attackTypeName(attack);
+    if (masked_address)
+        text += "-Sampling(masked-addr)";
+    text += " via ";
+    text += triggerKindName(window);
+    text += channel == LeakChannel::TimingDifference
+                ? " [timing]: " : " [encoded]: ";
+    bool first = true;
+    for (const auto &component : components) {
+        if (!first)
+            text += ", ";
+        text += component;
+        first = false;
+    }
+    return text;
+}
+
+size_t
+FuzzerStats::distinctBugs() const
+{
+    std::set<std::string> keys;
+    for (const auto &bug : bugs)
+        keys.insert(bug.key());
+    return keys.size();
+}
+
+} // namespace dejavuzz::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bug reports and classification (Table 5 axes: attack type,
+ * transient window type, encoded timing component).
+ */
+
+#ifndef DEJAVUZZ_CORE_REPORT_HH
+#define DEJAVUZZ_CORE_REPORT_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/seed.hh"
+
+namespace dejavuzz::core {
+
+/** Attack family per the paper's taxonomy. */
+enum class AttackType : uint8_t {
+    Meltdown, ///< transient access across a permission boundary
+    Spectre,  ///< mis-steered speculation on permitted data
+};
+
+const char *attackTypeName(AttackType type);
+
+/** How the leak manifests. */
+enum class LeakChannel : uint8_t {
+    TimingDifference,  ///< window constant-time violation (step 3.1)
+    EncodedState,      ///< live tainted sink (step 3.2)
+};
+
+/** One reported vulnerability. */
+struct BugReport
+{
+    AttackType attack = AttackType::Spectre;
+    TriggerKind window = TriggerKind::BranchMispredict;
+    LeakChannel channel = LeakChannel::EncodedState;
+    /** Timing components holding the encoded secret ("dcache", ...). */
+    std::set<std::string> components;
+    /** Secret accessed through a masked illegal address (the B1
+     *  Meltdown-Sampling signature). */
+    bool masked_address = false;
+    uint64_t seed_id = 0;
+    uint64_t iteration = 0;
+
+    /** Dedup key: (attack, window, component set). */
+    std::string key() const;
+    /** Human-readable one-liner. */
+    std::string describe() const;
+};
+
+/** Campaign-level statistics. */
+struct FuzzerStats
+{
+    uint64_t iterations = 0;
+    uint64_t phase1_attempts = 0;
+    uint64_t windows_triggered = 0;
+    uint64_t phase2_runs = 0;
+    uint64_t phase3_runs = 0;
+    uint64_t simulations = 0;        ///< total RTL simulations
+    uint64_t training_overhead = 0;  ///< Σ TO of triggered windows
+    uint64_t effective_training = 0; ///< Σ ETO of triggered windows
+    uint64_t coverage_points = 0;
+    std::vector<uint64_t> coverage_curve; ///< per-iteration points
+    std::vector<BugReport> bugs;
+    uint64_t first_bug_iteration = 0;
+    double first_bug_seconds = 0.0;
+
+    /** Count of distinct bug keys. */
+    size_t distinctBugs() const;
+};
+
+} // namespace dejavuzz::core
+
+#endif // DEJAVUZZ_CORE_REPORT_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Seeds and test cases for the DejaVuzz pipeline (paper §4, Fig. 5).
+ *
+ * A seed carries the trigger-type choice, the window configuration
+ * and the entropy for the random instruction generator; everything a
+ * test case contains is reproducible from its seed.
+ */
+
+#ifndef DEJAVUZZ_CORE_SEED_HH
+#define DEJAVUZZ_CORE_SEED_HH
+
+#include <cstdint>
+
+#include "harness/stimulus.hh"
+#include "swapmem/memory.hh"
+#include "swapmem/packet.hh"
+#include "uarch/tracelog.hh"
+
+namespace dejavuzz::core {
+
+/** Transient-window trigger classes (Table 3 columns). */
+enum class TriggerKind : uint8_t {
+    LoadAccessFault,    ///< PMP-denied access
+    LoadPageFault,      ///< PTE-denied / unmapped access
+    LoadMisalign,       ///< misaligned access
+    IllegalInstr,       ///< undecodable instruction
+    MemDisambiguation,  ///< store->load ordering violation
+    BranchMispredict,
+    IndirectMispredict,
+    ReturnMispredict,
+    kCount,
+};
+
+constexpr unsigned kTriggerKinds =
+    static_cast<unsigned>(TriggerKind::kCount);
+
+const char *triggerKindName(TriggerKind kind);
+
+/** Whether a trigger kind is an architectural-exception window. */
+bool isExceptionTrigger(TriggerKind kind);
+
+/** Expected squash cause for each trigger kind. */
+uarch::SquashCause expectedCause(TriggerKind kind);
+
+/** Window payload configuration (Phase 2). */
+struct WindowConfig
+{
+    bool meltdown = false;   ///< secret protected in transient packet
+    swapmem::SecretProt prot = swapmem::SecretProt::Open;
+    bool mask_high_bits = false; ///< MDS-style address mask (B1 bait)
+    unsigned encode_ops = 4;     ///< size of the secret encoding block
+    uint64_t encode_entropy = 0; ///< generator entropy for the encode
+};
+
+/** A fuzzing seed. */
+struct Seed
+{
+    uint64_t id = 0;
+    TriggerKind trigger = TriggerKind::BranchMispredict;
+    uint64_t entropy = 0;
+    WindowConfig window;
+};
+
+/** A fully-generated test case. */
+struct TestCase
+{
+    Seed seed;
+    swapmem::SwapSchedule schedule;
+    harness::StimulusData data;
+
+    uint64_t trigger_addr = 0; ///< address of the trigger instruction
+    uint64_t window_addr = 0;  ///< first address of the window body
+
+    /** Transient-packet instruction index range of the window body. */
+    size_t window_begin = 0;
+    size_t window_end = 0;
+    /** Index sub-range holding the secret encoding block. */
+    size_t encode_begin = 0;
+    size_t encode_end = 0;
+
+    bool has_window_payload = false; ///< Phase 2 completed the window
+};
+
+} // namespace dejavuzz::core
+
+#endif // DEJAVUZZ_CORE_SEED_HH

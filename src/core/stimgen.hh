@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Stimulus generation (paper §4.1 step 1.1 and §4.2 step 2.1).
+ *
+ * Layout of every transient packet (addresses relative to the
+ * swappable region base):
+ *
+ *   +0x000  setup: register/probe/FP initialisation, slow operand
+ *           loads from the dedicated region, arch RAS priming
+ *   trigger_addr in [+0x100, +0x180): the trigger instruction
+ *   window_addr: trigger+4 (fall-through windows) or trigger+0x40
+ *           (taken-side windows) - nops in Phase 1, payload in Phase 2
+ *   +0x240  jump pad (targets for transient indirect encodes)
+ *   +0x280  exit: SWAPNEXT (the architectural continuation)
+ *
+ * Trigger training packets place their (control-flow-matched)
+ * training instruction at exactly trigger_addr via nop alignment -
+ * the training derivation strategy. The DejaVuzz* ablation replaces
+ * derived training with random instruction packets.
+ */
+
+#ifndef DEJAVUZZ_CORE_STIMGEN_HH
+#define DEJAVUZZ_CORE_STIMGEN_HH
+
+#include "core/seed.hh"
+#include "isa/builder.hh"
+#include "uarch/config.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz::core {
+
+/** Packet layout constants (offsets from swapmem::kSwapBase). */
+constexpr uint64_t kTriggerMinOff = 0x100;
+constexpr uint64_t kTriggerMaxOff = 0x180;
+constexpr uint64_t kTakenWindowGap = 0x40;
+constexpr uint64_t kJumpPadOff = 0x2c0;
+constexpr uint64_t kExitOff = 0x300;
+
+class StimGen
+{
+  public:
+    explicit StimGen(const uarch::CoreConfig &config) : cfg_(config) {}
+
+    /**
+     * Draw a fresh random seed. When @p force is a valid kind, the
+     * trigger (and the window protection derived from it) is pinned.
+     */
+    Seed newSeed(Rng &rng, uint64_t id,
+                 TriggerKind force = TriggerKind::kCount) const;
+
+    /**
+     * Step 1.1: trigger generation + dummy window + derived training.
+     * @p derived_training false gives the DejaVuzz* ablation (random
+     * training packets, no alignment/control-flow matching).
+     */
+    TestCase generatePhase1(const Seed &seed,
+                            bool derived_training = true) const;
+
+    /**
+     * Step 2.1: replace the dummy window with the secret access block
+     * and the secret encoding block, and prepend window training.
+     */
+    void completeWindow(TestCase &tc) const;
+
+    /** Phase-2 mutation: regenerate the window with fresh entropy. */
+    void mutateWindow(TestCase &tc, uint64_t new_entropy) const;
+
+    /** Step 3.1: schedule with the encoding block replaced by nops. */
+    swapmem::SwapSchedule sanitizedSchedule(const TestCase &tc) const;
+
+  private:
+    struct Layout
+    {
+        uint64_t trigger_addr;
+        uint64_t window_addr;
+        bool window_on_fallthrough;
+        isa::Op branch_op;          ///< for branch triggers
+        bool arch_taken;            ///< branch architectural outcome
+        bool store_variant;         ///< faulting store instead of load
+        uint64_t fault_addr;        ///< exception triggers
+        unsigned training_packets;  ///< derived packets to generate
+    };
+
+    Layout drawLayout(const Seed &seed) const;
+    void emitSetup(isa::ProgBuilder &prog, const Seed &seed,
+                   const Layout &layout) const;
+    void emitTrigger(isa::ProgBuilder &prog, const Seed &seed,
+                     const Layout &layout) const;
+    /** Window body; returns [begin,end) indices of the encode block. */
+    std::pair<size_t, size_t>
+    emitWindowBody(isa::ProgBuilder &prog, const Seed &seed,
+                   const Layout &layout, bool payload) const;
+    swapmem::SwapPacket buildTransient(const Seed &seed,
+                                       const Layout &layout, bool payload,
+                                       TestCase &tc) const;
+    swapmem::SwapPacket derivedTraining(const Seed &seed,
+                                        const Layout &layout,
+                                        unsigned index, Rng &rng) const;
+    swapmem::SwapPacket randomTraining(Rng &rng, unsigned index) const;
+    void fillOperands(TestCase &tc, const Layout &layout) const;
+
+    uarch::CoreConfig cfg_;
+};
+
+} // namespace dejavuzz::core
+
+#endif // DEJAVUZZ_CORE_STIMGEN_HH

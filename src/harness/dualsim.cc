@@ -1,0 +1,141 @@
+#include "harness/dualsim.hh"
+
+#include "util/logging.hh"
+
+namespace dejavuzz::harness {
+
+using swapmem::Memory;
+using swapmem::SwapRuntime;
+using swapmem::SwapSchedule;
+using uarch::Core;
+using uarch::TickEvents;
+
+DualSim::DualSim(const uarch::CoreConfig &config) : cfg_(config) {}
+
+void
+DualSim::buildMemory(Memory &mem, const StimulusData &data,
+                     bool flipped_secret) const
+{
+    auto secret = flipped_secret ? data.flippedSecret() : data.secret;
+    mem.installSecret(secret.data(), secret.size());
+    for (size_t i = 0; i < data.operands.size(); ++i)
+        mem.setOperand(static_cast<unsigned>(i), data.operands[i]);
+}
+
+DutResult
+DualSim::runOne(const SwapSchedule &schedule, const StimulusData &data,
+                const SimOptions &options, bool flipped_secret,
+                ift::IftMode mode, TraceStore *record,
+                const TraceStore *sibling)
+{
+    DutResult result;
+    Core core(cfg_);
+    Memory mem;
+    buildMemory(mem, data, flipped_secret);
+
+    SwapRuntime runtime(schedule);
+    uint64_t entry = runtime.start(mem);
+    if (runtime.done()) {
+        result.completed = true;
+        return result;
+    }
+    core.startSequence(entry);
+    result.packet_start.push_back(0);
+
+    ift::TaintCtx ctx;
+    uint64_t packet_cycles = 0;
+
+    while (core.cycle() < options.total_cycle_budget) {
+        uint64_t cycle = core.cycle();
+        ift::ControlTrace *mine = nullptr;
+        const ift::ControlTrace *other = nullptr;
+        if (record != nullptr) {
+            if (record->per_cycle.size() <= cycle)
+                record->per_cycle.resize(cycle + 256);
+            mine = &record->per_cycle[cycle];
+            mine->clear();
+        }
+        if (sibling != nullptr && cycle < sibling->per_cycle.size())
+            other = &sibling->per_cycle[cycle];
+        ctx.begin(mode, mine, other);
+
+        TickEvents ev = core.tick(mem, ctx, &result.trace);
+        ++packet_cycles;
+
+        if (options.taint_log)
+            core.appendTaintLog(result.taint_log);
+
+        bool force_advance = packet_cycles >= options.packet_cycle_budget;
+        if (force_advance)
+            result.budget_exceeded = true;
+
+        if (ev.swap_next || ev.trapped || force_advance) {
+            uint64_t next_entry = runtime.advance(mem);
+            if (runtime.done()) {
+                result.completed = true;
+                break;
+            }
+            core.flushICache();
+            core.startSequence(next_entry);
+            result.packet_start.push_back(core.cycle());
+            packet_cycles = 0;
+        }
+    }
+
+    result.cycles = core.cycle();
+    result.contention = core.contention;
+    result.timing_hash = core.timingStateHash();
+    result.state_hash =
+        fnv1a(result.timing_hash, core.cachedDataHash(mem));
+    if (options.sinks)
+        core.enumSinks(result.sinks);
+    return result;
+}
+
+DutResult
+DualSim::runSingle(const SwapSchedule &schedule, const StimulusData &data,
+                   const SimOptions &options)
+{
+    return runOne(schedule, data, options, false, ift::IftMode::Off,
+                  nullptr, nullptr);
+}
+
+DualResult
+DualSim::runDual(const SwapSchedule &schedule, const StimulusData &data,
+                 const SimOptions &options)
+{
+    DualResult result;
+    switch (options.mode) {
+      case ift::IftMode::Off:
+      case ift::IftMode::CellIFT:
+      case ift::IftMode::DiffIFTFN:
+        // No cross-instance information needed: single pass each.
+        result.dut0 = runOne(schedule, data, options, false,
+                             options.mode, nullptr, nullptr);
+        result.dut1 = runOne(schedule, data, options, true,
+                             options.mode, nullptr, nullptr);
+        return result;
+      case ift::IftMode::DiffIFT: {
+        // Value pass: record control traces (taints gated off by the
+        // missing sibling, results of the taint shadow discarded).
+        SimOptions value_options = options;
+        value_options.taint_log = false;
+        value_options.sinks = false;
+        store_a_.reset(0);
+        store_b_.reset(0);
+        (void)runOne(schedule, data, value_options, false,
+                     ift::IftMode::DiffIFT, &store_a_, nullptr);
+        (void)runOne(schedule, data, value_options, true,
+                     ift::IftMode::DiffIFT, &store_b_, nullptr);
+        // Diff pass: every control gate consults the sibling's trace.
+        result.dut0 = runOne(schedule, data, options, false,
+                             ift::IftMode::DiffIFT, nullptr, &store_b_);
+        result.dut1 = runOne(schedule, data, options, true,
+                             ift::IftMode::DiffIFT, nullptr, &store_a_);
+        return result;
+      }
+    }
+    return result;
+}
+
+} // namespace dejavuzz::harness

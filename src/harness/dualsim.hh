@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The differential testbench (paper §3.3, §5).
+ *
+ * Two identical DUT instances execute the same swap schedule with
+ * different secrets. diffIFT needs each instance's control-signal
+ * values compared against the sibling's; because taint never feeds
+ * back into values, the harness runs a value pass first (recording
+ * every control-signal evaluation per cycle) and then a diff pass in
+ * which each instance's taint gates consult the sibling's recorded
+ * trace for the same cycle. CellIFT / FN / Off modes need no sibling
+ * information and run in a single pass.
+ */
+
+#ifndef DEJAVUZZ_HARNESS_DUALSIM_HH
+#define DEJAVUZZ_HARNESS_DUALSIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/stimulus.hh"
+#include "ift/liveness.hh"
+#include "ift/policy.hh"
+#include "ift/taintlog.hh"
+#include "swapmem/memory.hh"
+#include "swapmem/packet.hh"
+#include "uarch/config.hh"
+#include "uarch/core.hh"
+#include "uarch/tracelog.hh"
+
+namespace dejavuzz::harness {
+
+/** Per-run limits and switches. */
+struct SimOptions
+{
+    ift::IftMode mode = ift::IftMode::Off;
+    bool taint_log = false;
+    bool sinks = false;
+    uint64_t packet_cycle_budget = 1500;
+    uint64_t total_cycle_budget = 20000;
+};
+
+/** Result of one DUT instance's run. */
+struct DutResult
+{
+    uarch::TraceLog trace;
+    ift::TaintLog taint_log;
+    bool completed = false;      ///< schedule ran to the end
+    bool budget_exceeded = false;
+    uint64_t cycles = 0;
+    uarch::ContentionCounters contention;
+    std::vector<ift::SinkSnapshot> sinks;
+    uint64_t timing_hash = 0;
+    /** timing_hash folded with cached data (SpecDoctor's oracle). */
+    uint64_t state_hash = 0;
+    /** Cycle at which each packet started executing. */
+    std::vector<uint64_t> packet_start;
+};
+
+/** Result of a dual (differential) run. */
+struct DualResult
+{
+    DutResult dut0; ///< original secret
+    DutResult dut1; ///< flipped secret
+};
+
+class DualSim
+{
+  public:
+    explicit DualSim(const uarch::CoreConfig &config);
+
+    /**
+     * Single-instance run with IFT off: the cheap mode Phase 1 uses
+     * for window-trigger evaluation and training reduction.
+     */
+    DutResult runSingle(const swapmem::SwapSchedule &schedule,
+                        const StimulusData &data,
+                        const SimOptions &options = {});
+
+    /** Full differential run (both instances). */
+    DualResult runDual(const swapmem::SwapSchedule &schedule,
+                       const StimulusData &data,
+                       const SimOptions &options);
+
+  private:
+    /** Recorded control traces of one instance, one slot per cycle. */
+    struct TraceStore
+    {
+        std::vector<ift::ControlTrace> per_cycle;
+        void
+        reset(size_t cycles)
+        {
+            if (per_cycle.size() < cycles)
+                per_cycle.resize(cycles);
+            for (auto &trace : per_cycle)
+                trace.clear();
+        }
+    };
+
+    DutResult runOne(const swapmem::SwapSchedule &schedule,
+                     const StimulusData &data, const SimOptions &options,
+                     bool flipped_secret, ift::IftMode mode,
+                     TraceStore *record, const TraceStore *sibling);
+
+    void buildMemory(swapmem::Memory &mem, const StimulusData &data,
+                     bool flipped_secret) const;
+
+    uarch::CoreConfig cfg_;
+    TraceStore store_a_;
+    TraceStore store_b_;
+};
+
+} // namespace dejavuzz::harness
+
+#endif // DEJAVUZZ_HARNESS_DUALSIM_HH

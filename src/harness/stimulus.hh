@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stimulus data: the per-DUT dedicated-region contents (secret +
+ * mutable operands) that accompany a swap schedule.
+ */
+
+#ifndef DEJAVUZZ_HARNESS_STIMULUS_HH
+#define DEJAVUZZ_HARNESS_STIMULUS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "swapmem/layout.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz::harness {
+
+/** Secret block plus operand slots for one test case. */
+struct StimulusData
+{
+    std::array<uint8_t, swapmem::kSecretBytes> secret{};
+    std::vector<uint64_t> operands;
+
+    /**
+     * The variant DUT's secret: every bit flipped (the paper's
+     * false-negative mitigation - no bit can be accidentally equal).
+     */
+    std::array<uint8_t, swapmem::kSecretBytes>
+    flippedSecret() const
+    {
+        auto flipped = secret;
+        for (auto &byte : flipped)
+            byte = static_cast<uint8_t>(~byte);
+        return flipped;
+    }
+
+    static StimulusData
+    random(Rng &rng, unsigned operand_slots = 8)
+    {
+        StimulusData data;
+        for (auto &byte : data.secret)
+            byte = static_cast<uint8_t>(rng.next());
+        data.operands.resize(operand_slots);
+        for (auto &operand : data.operands)
+            operand = rng.next();
+        return data;
+    }
+};
+
+} // namespace dejavuzz::harness
+
+#endif // DEJAVUZZ_HARNESS_STIMULUS_HH

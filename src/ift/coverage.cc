@@ -1,0 +1,68 @@
+#include "ift/coverage.hh"
+
+#include "util/logging.hh"
+
+namespace dejavuzz::ift {
+
+uint16_t
+TaintCoverage::registerModule(const std::string &name, uint32_t max_regs)
+{
+    dv_assert(modules_.size() < 0xffff);
+    ModuleSlot slot;
+    slot.name = name;
+    slot.bitmap.assign(static_cast<size_t>(max_regs) + 1, 0);
+    modules_.push_back(std::move(slot));
+    return static_cast<uint16_t>(modules_.size() - 1);
+}
+
+const std::string &
+TaintCoverage::moduleName(uint16_t module_id) const
+{
+    dv_assert(module_id < modules_.size());
+    return modules_[module_id].name;
+}
+
+bool
+TaintCoverage::sample(uint16_t module_id, uint32_t tainted_regs)
+{
+    if (tainted_regs == 0)
+        return false;
+    dv_assert(module_id < modules_.size());
+    auto &bitmap = modules_[module_id].bitmap;
+    uint32_t index = tainted_regs;
+    if (index >= bitmap.size())
+        index = static_cast<uint32_t>(bitmap.size()) - 1;
+    if (bitmap[index])
+        return false;
+    bitmap[index] = 1;
+    ++points_;
+    return true;
+}
+
+std::vector<CoveragePoint>
+TaintCoverage::tuples() const
+{
+    std::vector<CoveragePoint> out;
+    for (size_t m = 0; m < modules_.size(); ++m) {
+        const auto &bitmap = modules_[m].bitmap;
+        for (size_t i = 0; i < bitmap.size(); ++i) {
+            if (bitmap[i]) {
+                out.push_back(CoveragePoint{
+                    static_cast<uint16_t>(m),
+                    static_cast<uint32_t>(i)});
+            }
+        }
+    }
+    return out;
+}
+
+void
+TaintCoverage::resetSamples()
+{
+    for (auto &module : modules_)
+        std::fill(module.bitmap.begin(), module.bitmap.end(), 0);
+    points_ = 0;
+    last_points_ = 0;
+}
+
+} // namespace dejavuzz::ift

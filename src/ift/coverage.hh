@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The taint coverage matrix (paper §4.2.2).
+ *
+ * Every RTL module gets a bitmap indexed by "number of tainted state
+ * registers in that module this cycle". Setting a previously-unset
+ * slot discovers a new (module, count) coverage tuple. The metric is
+ * local (per module) and position-insensitive (encoding a secret into
+ * different slots of the same array yields the same tuple), the two
+ * key properties the paper calls out.
+ */
+
+#ifndef DEJAVUZZ_IFT_COVERAGE_HH
+#define DEJAVUZZ_IFT_COVERAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dejavuzz::ift {
+
+/** Identity of one coverage tuple. */
+struct CoveragePoint
+{
+    uint16_t module_id;
+    uint32_t index;
+};
+
+/**
+ * Per-campaign coverage accumulator. Modules are registered once (per
+ * DUT structure); samples are fed every cycle of every simulation.
+ */
+class TaintCoverage
+{
+  public:
+    /** Register a module; @p max_regs bounds the bitmap size. */
+    uint16_t registerModule(const std::string &name, uint32_t max_regs);
+
+    size_t moduleCount() const { return modules_.size(); }
+    const std::string &moduleName(uint16_t module_id) const;
+
+    /**
+     * Record that @p module_id had @p tainted_regs tainted state
+     * registers this cycle. Returns true when this sample set a
+     * previously-unset slot (new coverage).
+     */
+    bool sample(uint16_t module_id, uint32_t tainted_regs);
+
+    /** Total number of distinct (module, index) tuples seen. */
+    uint64_t points() const { return points_; }
+
+    /** Points newly discovered since the previous call. */
+    uint64_t
+    takeNewPoints()
+    {
+        uint64_t fresh = points_ - last_points_;
+        last_points_ = points_;
+        return fresh;
+    }
+
+    /** All discovered tuples (for reporting). */
+    std::vector<CoveragePoint> tuples() const;
+
+    /** Forget all samples but keep module registrations. */
+    void resetSamples();
+
+  private:
+    struct ModuleSlot
+    {
+        std::string name;
+        std::vector<uint8_t> bitmap;
+    };
+
+    std::vector<ModuleSlot> modules_;
+    uint64_t points_ = 0;
+    uint64_t last_points_ = 0;
+};
+
+} // namespace dejavuzz::ift
+
+#endif // DEJAVUZZ_IFT_COVERAGE_HH

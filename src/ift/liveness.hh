@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Taint liveness annotations (paper §4.3.2).
+ *
+ * A sink is a register array that could hold encoded secrets (by
+ * default every array in the design). A liveness annotation - the
+ * paper's `(* liveness_mask = "..." *)` attribute - binds each entry
+ * of the array to the state register that says whether the entry's
+ * contents are architecturally reachable. A tainted sink entry whose
+ * liveness bit is low (e.g. stale data in a Line Fill Buffer after the
+ * MSHR invalidated it) is NOT exploitable and must not be reported.
+ */
+
+#ifndef DEJAVUZZ_IFT_LIVENESS_HH
+#define DEJAVUZZ_IFT_LIVENESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dejavuzz::ift {
+
+/** End-of-simulation snapshot of one sink array. */
+struct SinkSnapshot
+{
+    std::string module;          ///< owning RTL module
+    std::string name;            ///< array name
+    bool annotated = false;      ///< has a liveness_mask annotation
+    std::vector<uint64_t> taint; ///< per-entry taint mask
+    std::vector<uint8_t> live;   ///< per-entry liveness bit
+
+    /** Entries whose taint is non-zero. */
+    size_t
+    taintedEntries() const
+    {
+        size_t n = 0;
+        for (uint64_t mask : taint)
+            n += mask != 0;
+        return n;
+    }
+
+    /** Entries that are tainted AND live (exploitable). */
+    size_t
+    liveTaintedEntries() const
+    {
+        size_t n = 0;
+        for (size_t i = 0; i < taint.size(); ++i) {
+            bool live_bit = annotated ? live[i] != 0 : true;
+            n += (taint[i] != 0 && live_bit);
+        }
+        return n;
+    }
+};
+
+/** Verdict of the tainted-sink liveness analysis. */
+struct LivenessVerdict
+{
+    bool exploitable = false;
+    /** Sinks with live tainted entries. */
+    std::vector<std::string> live_sinks;
+    /** Sinks whose taints were filtered out as dead. */
+    std::vector<std::string> dead_sinks;
+};
+
+/**
+ * Classify a set of sink snapshots. With @p use_annotations false the
+ * analysis degrades to reachability only (the paper's no-liveness
+ * ablation: 54 of 75 cases misclassified).
+ */
+inline LivenessVerdict
+analyzeSinks(const std::vector<SinkSnapshot> &sinks, bool use_annotations)
+{
+    LivenessVerdict verdict;
+    for (const auto &sink : sinks) {
+        size_t tainted = sink.taintedEntries();
+        if (tainted == 0)
+            continue;
+        size_t live = use_annotations ? sink.liveTaintedEntries()
+                                      : tainted;
+        std::string label = sink.module + "." + sink.name;
+        if (live > 0) {
+            verdict.exploitable = true;
+            verdict.live_sinks.push_back(std::move(label));
+        } else {
+            verdict.dead_sinks.push_back(std::move(label));
+        }
+    }
+    return verdict;
+}
+
+} // namespace dejavuzz::ift
+
+#endif // DEJAVUZZ_IFT_LIVENESS_HH

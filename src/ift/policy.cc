@@ -1,0 +1,21 @@
+#include "ift/policy.hh"
+
+namespace dejavuzz::ift {
+
+const char *
+iftModeName(IftMode mode)
+{
+    switch (mode) {
+      case IftMode::Off:
+        return "base";
+      case IftMode::CellIFT:
+        return "cellift";
+      case IftMode::DiffIFT:
+        return "diffift";
+      case IftMode::DiffIFTFN:
+        return "diffift-fn";
+    }
+    return "?";
+}
+
+} // namespace dejavuzz::ift

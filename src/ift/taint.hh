@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tainted-value primitives and the data-flow taint propagation
+ * policies shared by CellIFT and diffIFT.
+ *
+ * A TV couples a 64-bit value with a 64-bit per-bit taint mask, the
+ * word-level analogue of the shadow registers a hardware dynamic IFT
+ * pass inserts next to every original register (see paper §2.2).
+ * Data-cell policies below are the word-level forms of CellIFT's cell
+ * library; control-cell policies (which differ between CellIFT and
+ * diffIFT) live in policy.hh because they need the cross-instance
+ * diff context.
+ */
+
+#ifndef DEJAVUZZ_IFT_TAINT_HH
+#define DEJAVUZZ_IFT_TAINT_HH
+
+#include <cstdint>
+
+#include "util/bits.hh"
+
+namespace dejavuzz::ift {
+
+/** A value with a per-bit taint shadow. */
+struct TV
+{
+    uint64_t v = 0;  ///< architectural value
+    uint64_t t = 0;  ///< taint mask (bit i set => value bit i tainted)
+
+    constexpr bool tainted() const { return t != 0; }
+
+    constexpr bool operator==(const TV &other) const
+    {
+        return v == other.v && t == other.t;
+    }
+};
+
+/** Untainted constant. */
+constexpr TV
+clean(uint64_t value)
+{
+    return TV{value, 0};
+}
+
+/** Fully tainted value. */
+constexpr TV
+dirty(uint64_t value)
+{
+    return TV{value, ~0ULL};
+}
+
+// --- data-flow cells (identical under CellIFT and diffIFT) ------------
+
+/** Policy 1 (paper Eq. 1): AND cell. */
+constexpr TV
+andCell(TV a, TV b)
+{
+    return TV{a.v & b.v, (a.v & b.t) | (b.v & a.t) | (a.t & b.t)};
+}
+
+/** Dual of Policy 1 for the OR cell. */
+constexpr TV
+orCell(TV a, TV b)
+{
+    return TV{a.v | b.v, (~a.v & b.t) | (~b.v & a.t) | (a.t & b.t)};
+}
+
+/** XOR: every tainted input bit taints the output bit. */
+constexpr TV
+xorCell(TV a, TV b)
+{
+    return TV{a.v ^ b.v, a.t | b.t};
+}
+
+constexpr TV
+notCell(TV a)
+{
+    return TV{~a.v, a.t};
+}
+
+/** Adder: carries smear taint towards the MSB. */
+constexpr TV
+addCell(TV a, TV b)
+{
+    return TV{a.v + b.v, smearLeft(a.t | b.t)};
+}
+
+constexpr TV
+subCell(TV a, TV b)
+{
+    return TV{a.v - b.v, smearLeft(a.t | b.t)};
+}
+
+/** Multiplier/divider: any tainted input bit taints the whole result. */
+constexpr TV
+mulLikeCell(uint64_t result, TV a, TV b)
+{
+    return TV{result, (a.t | b.t) != 0 ? ~0ULL : 0ULL};
+}
+
+/** Shift by an untainted constant amount. */
+constexpr TV
+shlConst(TV a, unsigned amount)
+{
+    return TV{a.v << amount, a.t << amount};
+}
+
+constexpr TV
+shrConst(TV a, unsigned amount)
+{
+    return TV{a.v >> amount, a.t >> amount};
+}
+
+/**
+ * Shift by a possibly-tainted amount: a tainted amount repositions the
+ * operand unpredictably, so the whole result is tainted.
+ */
+constexpr TV
+shiftCell(uint64_t result, TV operand, TV amount)
+{
+    uint64_t taint;
+    if (amount.tainted()) {
+        taint = ~0ULL;
+    } else {
+        unsigned sh = amount.v & 63;
+        // Direction is unknown here; be conservative both ways.
+        taint = (operand.t << sh) | (operand.t >> sh);
+    }
+    return TV{result, taint};
+}
+
+/** Truncate to the low @p width bits (wire narrowing). */
+constexpr TV
+truncCell(TV a, unsigned width)
+{
+    uint64_t mask = maskLow(width);
+    return TV{a.v & mask, a.t & mask};
+}
+
+/** Sign/zero extension keeps taint in the low bits and replicates the
+ *  (possibly tainted) sign bit. */
+constexpr TV
+sextCell(TV a, unsigned width)
+{
+    uint64_t value = static_cast<uint64_t>(signExtend(a.v, width));
+    uint64_t taint = a.t & maskLow(width);
+    if (width < 64 && (a.t >> (width - 1)) & 1)
+        taint |= ~maskLow(width);
+    return TV{value, taint};
+}
+
+} // namespace dejavuzz::ift
+
+#endif // DEJAVUZZ_IFT_TAINT_HH

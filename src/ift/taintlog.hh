@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-cycle taint observation log emitted by the differential
+ * testbench, consumed by coverage measurement (Phase 2), the Fig. 6
+ * taint-sum series, and encode sanitization (Phase 3 step 3.1).
+ */
+
+#ifndef DEJAVUZZ_IFT_TAINTLOG_HH
+#define DEJAVUZZ_IFT_TAINTLOG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dejavuzz::ift {
+
+/** Snapshot of one module's taint state in one cycle. */
+struct ModuleTaintSample
+{
+    uint16_t module_id;
+    uint32_t tainted_regs;  ///< state registers with any tainted bit
+    uint64_t taint_bits;    ///< total tainted bits in the module
+};
+
+/** One cycle worth of module samples. */
+struct TaintLogCycle
+{
+    uint64_t cycle;
+    std::vector<ModuleTaintSample> modules;
+
+    uint64_t
+    taintSum() const
+    {
+        uint64_t sum = 0;
+        for (const auto &sample : modules)
+            sum += sample.taint_bits;
+        return sum;
+    }
+
+    uint32_t
+    taintedRegs() const
+    {
+        uint32_t sum = 0;
+        for (const auto &sample : modules)
+            sum += sample.tainted_regs;
+        return sum;
+    }
+};
+
+/** Whole-simulation taint log. */
+struct TaintLog
+{
+    std::vector<TaintLogCycle> cycles;
+
+    void clear() { cycles.clear(); }
+
+    /** Total tainted bits at the final logged cycle. */
+    uint64_t
+    finalTaintSum() const
+    {
+        return cycles.empty() ? 0 : cycles.back().taintSum();
+    }
+
+    /**
+     * Maximum per-cycle taint sum inside the half-open cycle range
+     * [begin, end); used to check whether sensitive data propagated
+     * during the transient window.
+     */
+    uint64_t
+    maxTaintSumIn(uint64_t begin, uint64_t end) const
+    {
+        uint64_t best = 0;
+        for (const auto &cyc : cycles) {
+            if (cyc.cycle >= begin && cyc.cycle < end)
+                best = std::max(best, cyc.taintSum());
+        }
+        return best;
+    }
+};
+
+} // namespace dejavuzz::ift
+
+#endif // DEJAVUZZ_IFT_TAINTLOG_HH

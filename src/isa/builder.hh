@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Small assembler: builds instruction sequences at a fixed base
+ * address with forward-label fixups and the pseudo-instructions the
+ * stimulus generator needs (li/la/call/ret/nop).
+ */
+
+#ifndef DEJAVUZZ_ISA_BUILDER_HH
+#define DEJAVUZZ_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/encoding.hh"
+#include "isa/instr.hh"
+
+namespace dejavuzz::isa {
+
+/** Forward-reference label handle. */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * Sequence builder. Instructions are appended at consecutive word
+ * addresses starting from the base; branches/jumps may reference
+ * labels bound later. finish() resolves all fixups.
+ */
+class ProgBuilder
+{
+  public:
+    explicit ProgBuilder(uint64_t base_addr) : base_(base_addr) {}
+
+    /** Address the next instruction will occupy. */
+    uint64_t here() const { return base_ + 4 * instrs_.size(); }
+    uint64_t base() const { return base_; }
+    size_t size() const { return instrs_.size(); }
+
+    Label newLabel();
+    /** Bind @p label to the current address. */
+    void bind(Label label);
+    /** Address of a bound label. */
+    uint64_t labelAddr(Label label) const;
+
+    /** Append a raw instruction. */
+    void emit(const Instr &instr);
+    void emit(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int64_t imm);
+
+    // --- common forms -------------------------------------------------
+    void nop() { emit(Op::ADDI, 0, 0, 0, 0); }
+    void addi(uint8_t rd, uint8_t rs1, int64_t imm)
+    {
+        emit(Op::ADDI, rd, rs1, 0, imm);
+    }
+    void add(uint8_t rd, uint8_t rs1, uint8_t rs2)
+    {
+        emit(Op::ADD, rd, rs1, rs2, 0);
+    }
+    void sub(uint8_t rd, uint8_t rs1, uint8_t rs2)
+    {
+        emit(Op::SUB, rd, rs1, rs2, 0);
+    }
+    void andi(uint8_t rd, uint8_t rs1, int64_t imm)
+    {
+        emit(Op::ANDI, rd, rs1, 0, imm);
+    }
+    void slli(uint8_t rd, uint8_t rs1, unsigned shamt)
+    {
+        emit(Op::SLLI, rd, rs1, 0, shamt);
+    }
+    void ld(uint8_t rd, uint8_t rs1, int64_t off)
+    {
+        emit(Op::LD, rd, rs1, 0, off);
+    }
+    void lb(uint8_t rd, uint8_t rs1, int64_t off)
+    {
+        emit(Op::LB, rd, rs1, 0, off);
+    }
+    void sd(uint8_t rs2, uint8_t rs1, int64_t off)
+    {
+        emit(Op::SD, 0, rs1, rs2, off);
+    }
+
+    /** Load an arbitrary 64-bit constant (expands to 1-8 instrs). */
+    void li(uint8_t rd, uint64_t value);
+    /** Load an address (alias of li; addresses are < 2^32 here). */
+    void la(uint8_t rd, uint64_t addr) { li(rd, addr); }
+
+    // --- control flow -------------------------------------------------
+    void branch(Op op, uint8_t rs1, uint8_t rs2, Label target);
+    void branchTo(Op op, uint8_t rs1, uint8_t rs2, uint64_t target);
+    void jal(uint8_t rd, Label target);
+    void jalTo(uint8_t rd, uint64_t target);
+    /** jalr rd, imm(rs1) */
+    void jalr(uint8_t rd, uint8_t rs1, int64_t imm)
+    {
+        emit(Op::JALR, rd, rs1, 0, imm);
+    }
+    /** Direct jump (jal x0). */
+    void j(Label target) { jal(0, target); }
+    void jTo(uint64_t target) { jalTo(0, target); }
+    /** call: jal ra, target */
+    void callTo(uint64_t target) { jalTo(1, target); }
+    /** ret: jalr x0, 0(ra) */
+    void ret() { emit(Op::JALR, 0, 1, 0, 0); }
+
+    void ecall() { emit(Op::ECALL, 0, 0, 0, 0); }
+    void mret() { emit(Op::MRET, 0, 0, 0, 0); }
+    void fencei() { emit(Op::FENCE_I, 0, 0, 0, 0); }
+    void swapnext(int64_t selector = 0)
+    {
+        emit(Op::SWAPNEXT, 0, 0, 0, selector);
+    }
+    /** Append an undecodable word. */
+    void illegal()
+    {
+        Instr instr;
+        instr.op = Op::ILLEGAL;
+        instr.raw = kIllegalWord;
+        emit(instr);
+    }
+
+    /** Pad with nops until the next instruction lands at @p addr. */
+    void padTo(uint64_t addr);
+
+    /** Resolve fixups; returns the instruction list. */
+    const std::vector<Instr> &finish();
+
+    /** Encoded words (calls finish()). */
+    std::vector<uint32_t> words();
+
+  private:
+    struct Fixup
+    {
+        size_t index;   ///< instruction to patch
+        int label;      ///< target label id
+    };
+
+    uint64_t base_;
+    std::vector<Instr> instrs_;
+    std::vector<uint64_t> label_addrs_;  ///< ~0ULL when unbound
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace dejavuzz::isa
+
+#endif // DEJAVUZZ_ISA_BUILDER_HH

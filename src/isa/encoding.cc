@@ -1,0 +1,497 @@
+#include "isa/encoding.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace dejavuzz::isa {
+
+namespace {
+
+// Base opcodes (bits [6:0]).
+constexpr uint32_t kOpLoad = 0x03;
+constexpr uint32_t kOpLoadFp = 0x07;
+constexpr uint32_t kOpCustom0 = 0x0b;
+constexpr uint32_t kOpMiscMem = 0x0f;
+constexpr uint32_t kOpImm = 0x13;
+constexpr uint32_t kOpAuipc = 0x17;
+constexpr uint32_t kOpImm32 = 0x1b;
+constexpr uint32_t kOpStore = 0x23;
+constexpr uint32_t kOpStoreFp = 0x27;
+constexpr uint32_t kOpReg = 0x33;
+constexpr uint32_t kOpLui = 0x37;
+constexpr uint32_t kOpReg32 = 0x3b;
+constexpr uint32_t kOpFp = 0x53;
+constexpr uint32_t kOpBranch = 0x63;
+constexpr uint32_t kOpJalr = 0x67;
+constexpr uint32_t kOpJal = 0x6f;
+constexpr uint32_t kOpSystem = 0x73;
+
+uint32_t
+encR(uint32_t funct7, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+     uint32_t rd, uint32_t opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+encI(uint32_t imm12, uint32_t rs1, uint32_t funct3, uint32_t rd,
+     uint32_t opcode)
+{
+    return ((imm12 & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+encS(uint32_t imm12, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+     uint32_t opcode)
+{
+    uint32_t hi = (imm12 >> 5) & 0x7f;
+    uint32_t lo = imm12 & 0x1f;
+    return (hi << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (lo << 7) | opcode;
+}
+
+uint32_t
+encB(uint32_t imm13, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+     uint32_t opcode)
+{
+    uint32_t b12 = (imm13 >> 12) & 1;
+    uint32_t b11 = (imm13 >> 11) & 1;
+    uint32_t b10_5 = (imm13 >> 5) & 0x3f;
+    uint32_t b4_1 = (imm13 >> 1) & 0xf;
+    return (b12 << 31) | (b10_5 << 25) | (rs2 << 20) | (rs1 << 15) |
+           (funct3 << 12) | (b4_1 << 8) | (b11 << 7) | opcode;
+}
+
+uint32_t
+encU(uint32_t imm20, uint32_t rd, uint32_t opcode)
+{
+    return ((imm20 & 0xfffff) << 12) | (rd << 7) | opcode;
+}
+
+uint32_t
+encJ(uint32_t imm21, uint32_t rd, uint32_t opcode)
+{
+    uint32_t b20 = (imm21 >> 20) & 1;
+    uint32_t b19_12 = (imm21 >> 12) & 0xff;
+    uint32_t b11 = (imm21 >> 11) & 1;
+    uint32_t b10_1 = (imm21 >> 1) & 0x3ff;
+    return (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) |
+           (rd << 7) | opcode;
+}
+
+} // namespace
+
+uint32_t
+encode(const Instr &instr)
+{
+    const uint32_t rd = instr.rd & 31;
+    const uint32_t rs1 = instr.rs1 & 31;
+    const uint32_t rs2 = instr.rs2 & 31;
+    const auto imm = static_cast<uint32_t>(instr.imm);
+
+    switch (instr.op) {
+      case Op::LUI:   return encU(imm, rd, kOpLui);
+      case Op::AUIPC: return encU(imm, rd, kOpAuipc);
+      case Op::JAL:   return encJ(imm, rd, kOpJal);
+      case Op::JALR:  return encI(imm, rs1, 0, rd, kOpJalr);
+      case Op::BEQ:   return encB(imm, rs2, rs1, 0, kOpBranch);
+      case Op::BNE:   return encB(imm, rs2, rs1, 1, kOpBranch);
+      case Op::BLT:   return encB(imm, rs2, rs1, 4, kOpBranch);
+      case Op::BGE:   return encB(imm, rs2, rs1, 5, kOpBranch);
+      case Op::BLTU:  return encB(imm, rs2, rs1, 6, kOpBranch);
+      case Op::BGEU:  return encB(imm, rs2, rs1, 7, kOpBranch);
+      case Op::LB:    return encI(imm, rs1, 0, rd, kOpLoad);
+      case Op::LH:    return encI(imm, rs1, 1, rd, kOpLoad);
+      case Op::LW:    return encI(imm, rs1, 2, rd, kOpLoad);
+      case Op::LD:    return encI(imm, rs1, 3, rd, kOpLoad);
+      case Op::LBU:   return encI(imm, rs1, 4, rd, kOpLoad);
+      case Op::LHU:   return encI(imm, rs1, 5, rd, kOpLoad);
+      case Op::LWU:   return encI(imm, rs1, 6, rd, kOpLoad);
+      case Op::SB:    return encS(imm, rs2, rs1, 0, kOpStore);
+      case Op::SH:    return encS(imm, rs2, rs1, 1, kOpStore);
+      case Op::SW:    return encS(imm, rs2, rs1, 2, kOpStore);
+      case Op::SD:    return encS(imm, rs2, rs1, 3, kOpStore);
+      case Op::ADDI:  return encI(imm, rs1, 0, rd, kOpImm);
+      case Op::SLTI:  return encI(imm, rs1, 2, rd, kOpImm);
+      case Op::SLTIU: return encI(imm, rs1, 3, rd, kOpImm);
+      case Op::XORI:  return encI(imm, rs1, 4, rd, kOpImm);
+      case Op::ORI:   return encI(imm, rs1, 6, rd, kOpImm);
+      case Op::ANDI:  return encI(imm, rs1, 7, rd, kOpImm);
+      case Op::SLLI:  return encI(imm & 0x3f, rs1, 1, rd, kOpImm);
+      case Op::SRLI:  return encI(imm & 0x3f, rs1, 5, rd, kOpImm);
+      case Op::SRAI:
+        return encI((imm & 0x3f) | 0x400, rs1, 5, rd, kOpImm);
+      case Op::ADD:   return encR(0x00, rs2, rs1, 0, rd, kOpReg);
+      case Op::SUB:   return encR(0x20, rs2, rs1, 0, rd, kOpReg);
+      case Op::SLL:   return encR(0x00, rs2, rs1, 1, rd, kOpReg);
+      case Op::SLT:   return encR(0x00, rs2, rs1, 2, rd, kOpReg);
+      case Op::SLTU:  return encR(0x00, rs2, rs1, 3, rd, kOpReg);
+      case Op::XOR:   return encR(0x00, rs2, rs1, 4, rd, kOpReg);
+      case Op::SRL:   return encR(0x00, rs2, rs1, 5, rd, kOpReg);
+      case Op::SRA:   return encR(0x20, rs2, rs1, 5, rd, kOpReg);
+      case Op::OR:    return encR(0x00, rs2, rs1, 6, rd, kOpReg);
+      case Op::AND:   return encR(0x00, rs2, rs1, 7, rd, kOpReg);
+      case Op::ADDIW: return encI(imm, rs1, 0, rd, kOpImm32);
+      case Op::SLLIW: return encI(imm & 0x1f, rs1, 1, rd, kOpImm32);
+      case Op::SRLIW: return encI(imm & 0x1f, rs1, 5, rd, kOpImm32);
+      case Op::SRAIW:
+        return encI((imm & 0x1f) | 0x400, rs1, 5, rd, kOpImm32);
+      case Op::ADDW:  return encR(0x00, rs2, rs1, 0, rd, kOpReg32);
+      case Op::SUBW:  return encR(0x20, rs2, rs1, 0, rd, kOpReg32);
+      case Op::SLLW:  return encR(0x00, rs2, rs1, 1, rd, kOpReg32);
+      case Op::SRLW:  return encR(0x00, rs2, rs1, 5, rd, kOpReg32);
+      case Op::SRAW:  return encR(0x20, rs2, rs1, 5, rd, kOpReg32);
+      case Op::MUL:   return encR(0x01, rs2, rs1, 0, rd, kOpReg);
+      case Op::MULH:  return encR(0x01, rs2, rs1, 1, rd, kOpReg);
+      case Op::MULHU: return encR(0x01, rs2, rs1, 3, rd, kOpReg);
+      case Op::DIV:   return encR(0x01, rs2, rs1, 4, rd, kOpReg);
+      case Op::DIVU:  return encR(0x01, rs2, rs1, 5, rd, kOpReg);
+      case Op::REM:   return encR(0x01, rs2, rs1, 6, rd, kOpReg);
+      case Op::REMU:  return encR(0x01, rs2, rs1, 7, rd, kOpReg);
+      case Op::MULW:  return encR(0x01, rs2, rs1, 0, rd, kOpReg32);
+      case Op::DIVW:  return encR(0x01, rs2, rs1, 4, rd, kOpReg32);
+      case Op::REMW:  return encR(0x01, rs2, rs1, 6, rd, kOpReg32);
+      case Op::FENCE:   return encI(0, 0, 0, 0, kOpMiscMem);
+      case Op::FENCE_I: return encI(0, 0, 1, 0, kOpMiscMem);
+      case Op::ECALL:   return encI(0x000, 0, 0, 0, kOpSystem);
+      case Op::EBREAK:  return encI(0x001, 0, 0, 0, kOpSystem);
+      case Op::MRET:    return 0x30200073u;
+      case Op::SRET:    return 0x10200073u;
+      case Op::CSRRW:   return encI(imm, rs1, 1, rd, kOpSystem);
+      case Op::CSRRS:   return encI(imm, rs1, 2, rd, kOpSystem);
+      case Op::CSRRC:   return encI(imm, rs1, 3, rd, kOpSystem);
+      case Op::FLD:     return encI(imm, rs1, 3, rd, kOpLoadFp);
+      case Op::FSD:     return encS(imm, rs2, rs1, 3, kOpStoreFp);
+      case Op::FADD_D:  return encR(0x01, rs2, rs1, 0, rd, kOpFp);
+      case Op::FSUB_D:  return encR(0x05, rs2, rs1, 0, rd, kOpFp);
+      case Op::FMUL_D:  return encR(0x09, rs2, rs1, 0, rd, kOpFp);
+      case Op::FDIV_D:  return encR(0x0d, rs2, rs1, 0, rd, kOpFp);
+      case Op::FMV_X_D: return encR(0x71, 0, rs1, 0, rd, kOpFp);
+      case Op::FMV_D_X: return encR(0x79, 0, rs1, 0, rd, kOpFp);
+      case Op::SWAPNEXT:
+        return encI(imm, rs1, 0, rd, kOpCustom0);
+      case Op::ILLEGAL:
+        return instr.raw != 0 ? instr.raw : kIllegalWord;
+      default:
+        dv_panic("encode: unsupported op %d",
+                 static_cast<int>(instr.op));
+    }
+}
+
+namespace {
+
+Instr
+illegal(uint32_t word)
+{
+    Instr instr;
+    instr.op = Op::ILLEGAL;
+    instr.raw = word;
+    return instr;
+}
+
+} // namespace
+
+namespace {
+
+/** Zero the register fields an op does not use (decode hygiene). */
+Instr
+normalize(Instr instr)
+{
+    bool uses_rs2 = readsIntRs2(instr.op) || fpRs2(instr.op);
+    if (!uses_rs2)
+        instr.rs2 = 0;
+    bool uses_rs1 = readsIntRs1(instr.op) || fpRs1(instr.op);
+    if (!uses_rs1)
+        instr.rs1 = 0;
+    bool uses_rd = writesIntRd(instr.op) || fpRd(instr.op);
+    if (!uses_rd)
+        instr.rd = 0;
+    return instr;
+}
+
+Instr decodeRaw(uint32_t word);
+
+} // namespace
+
+Instr
+decode(uint32_t word)
+{
+    return normalize(decodeRaw(word));
+}
+
+namespace {
+
+Instr
+decodeRaw(uint32_t word)
+{
+    Instr instr;
+    instr.raw = word;
+    const uint32_t opcode = word & 0x7f;
+    const auto rd = static_cast<uint8_t>((word >> 7) & 31);
+    const uint32_t funct3 = (word >> 12) & 7;
+    const auto rs1 = static_cast<uint8_t>((word >> 15) & 31);
+    const auto rs2 = static_cast<uint8_t>((word >> 20) & 31);
+    const uint32_t funct7 = (word >> 25) & 0x7f;
+
+    instr.rd = rd;
+    instr.rs1 = rs1;
+    instr.rs2 = rs2;
+
+    const int64_t imm_i = signExtend(word >> 20, 12);
+    const int64_t imm_s =
+        signExtend((bitsOf(word, 31, 25) << 5) | bitsOf(word, 11, 7), 12);
+    const int64_t imm_b = signExtend(
+        (bitsOf(word, 31, 31) << 12) | (bitsOf(word, 7, 7) << 11) |
+            (bitsOf(word, 30, 25) << 5) | (bitsOf(word, 11, 8) << 1),
+        13);
+    const int64_t imm_u = static_cast<int64_t>(bitsOf(word, 31, 12));
+    const int64_t imm_j = signExtend(
+        (bitsOf(word, 31, 31) << 20) | (bitsOf(word, 19, 12) << 12) |
+            (bitsOf(word, 20, 20) << 11) | (bitsOf(word, 30, 21) << 1),
+        21);
+
+    switch (opcode) {
+      case kOpLui:
+        instr.op = Op::LUI;
+        instr.imm = imm_u;
+        return instr;
+      case kOpAuipc:
+        instr.op = Op::AUIPC;
+        instr.imm = imm_u;
+        return instr;
+      case kOpJal:
+        instr.op = Op::JAL;
+        instr.imm = imm_j;
+        return instr;
+      case kOpJalr:
+        if (funct3 != 0)
+            return illegal(word);
+        instr.op = Op::JALR;
+        instr.imm = imm_i;
+        return instr;
+      case kOpBranch: {
+        static constexpr Op map[8] = {Op::BEQ, Op::BNE, Op::ILLEGAL,
+                                      Op::ILLEGAL, Op::BLT, Op::BGE,
+                                      Op::BLTU, Op::BGEU};
+        if (map[funct3] == Op::ILLEGAL)
+            return illegal(word);
+        instr.op = map[funct3];
+        instr.imm = imm_b;
+        return instr;
+      }
+      case kOpLoad: {
+        static constexpr Op map[8] = {Op::LB, Op::LH, Op::LW, Op::LD,
+                                      Op::LBU, Op::LHU, Op::LWU,
+                                      Op::ILLEGAL};
+        if (map[funct3] == Op::ILLEGAL)
+            return illegal(word);
+        instr.op = map[funct3];
+        instr.imm = imm_i;
+        return instr;
+      }
+      case kOpStore: {
+        static constexpr Op map[8] = {Op::SB, Op::SH, Op::SW, Op::SD,
+                                      Op::ILLEGAL, Op::ILLEGAL,
+                                      Op::ILLEGAL, Op::ILLEGAL};
+        if (map[funct3] == Op::ILLEGAL)
+            return illegal(word);
+        instr.op = map[funct3];
+        instr.imm = imm_s;
+        return instr;
+      }
+      case kOpImm: {
+        instr.imm = imm_i;
+        switch (funct3) {
+          case 0: instr.op = Op::ADDI; return instr;
+          case 2: instr.op = Op::SLTI; return instr;
+          case 3: instr.op = Op::SLTIU; return instr;
+          case 4: instr.op = Op::XORI; return instr;
+          case 6: instr.op = Op::ORI; return instr;
+          case 7: instr.op = Op::ANDI; return instr;
+          case 1:
+            if ((funct7 >> 1) != 0)
+                return illegal(word);
+            instr.op = Op::SLLI;
+            instr.imm = bitsOf(word, 25, 20);
+            return instr;
+          case 5:
+            if ((funct7 >> 1) == 0x00) {
+                instr.op = Op::SRLI;
+            } else if ((funct7 >> 1) == 0x10) {
+                instr.op = Op::SRAI;
+            } else {
+                return illegal(word);
+            }
+            instr.imm = bitsOf(word, 25, 20);
+            return instr;
+          default:
+            return illegal(word);
+        }
+      }
+      case kOpImm32: {
+        instr.imm = imm_i;
+        switch (funct3) {
+          case 0: instr.op = Op::ADDIW; return instr;
+          case 1:
+            if (funct7 != 0)
+                return illegal(word);
+            instr.op = Op::SLLIW;
+            instr.imm = bitsOf(word, 24, 20);
+            return instr;
+          case 5:
+            if (funct7 == 0x00) {
+                instr.op = Op::SRLIW;
+            } else if (funct7 == 0x20) {
+                instr.op = Op::SRAIW;
+            } else {
+                return illegal(word);
+            }
+            instr.imm = bitsOf(word, 24, 20);
+            return instr;
+          default:
+            return illegal(word);
+        }
+      }
+      case kOpReg: {
+        if (funct7 == 0x01) {
+            static constexpr Op map[8] = {Op::MUL, Op::MULH,
+                                          Op::ILLEGAL, Op::MULHU,
+                                          Op::DIV, Op::DIVU, Op::REM,
+                                          Op::REMU};
+            if (map[funct3] == Op::ILLEGAL)
+                return illegal(word);
+            instr.op = map[funct3];
+            return instr;
+        }
+        if (funct7 == 0x00) {
+            static constexpr Op map[8] = {Op::ADD, Op::SLL, Op::SLT,
+                                          Op::SLTU, Op::XOR, Op::SRL,
+                                          Op::OR, Op::AND};
+            instr.op = map[funct3];
+            return instr;
+        }
+        if (funct7 == 0x20) {
+            if (funct3 == 0) {
+                instr.op = Op::SUB;
+                return instr;
+            }
+            if (funct3 == 5) {
+                instr.op = Op::SRA;
+                return instr;
+            }
+            return illegal(word);
+        }
+        return illegal(word);
+      }
+      case kOpReg32: {
+        if (funct7 == 0x01) {
+            switch (funct3) {
+              case 0: instr.op = Op::MULW; return instr;
+              case 4: instr.op = Op::DIVW; return instr;
+              case 6: instr.op = Op::REMW; return instr;
+              default: return illegal(word);
+            }
+        }
+        if (funct7 == 0x00) {
+            switch (funct3) {
+              case 0: instr.op = Op::ADDW; return instr;
+              case 1: instr.op = Op::SLLW; return instr;
+              case 5: instr.op = Op::SRLW; return instr;
+              default: return illegal(word);
+            }
+        }
+        if (funct7 == 0x20) {
+            if (funct3 == 0) {
+                instr.op = Op::SUBW;
+                return instr;
+            }
+            if (funct3 == 5) {
+                instr.op = Op::SRAW;
+                return instr;
+            }
+            return illegal(word);
+        }
+        return illegal(word);
+      }
+      case kOpMiscMem:
+        if (funct3 == 0) {
+            instr.op = Op::FENCE;
+            return instr;
+        }
+        if (funct3 == 1) {
+            instr.op = Op::FENCE_I;
+            return instr;
+        }
+        return illegal(word);
+      case kOpSystem: {
+        if (funct3 == 1 || funct3 == 2 || funct3 == 3) {
+            instr.op = funct3 == 1 ? Op::CSRRW
+                       : funct3 == 2 ? Op::CSRRS : Op::CSRRC;
+            instr.imm = static_cast<int64_t>(word >> 20);
+            return instr;
+        }
+        if (word == 0x00000073u) {
+            instr.op = Op::ECALL;
+            return instr;
+        }
+        if (word == 0x00100073u) {
+            instr.op = Op::EBREAK;
+            return instr;
+        }
+        if (word == 0x30200073u) {
+            instr.op = Op::MRET;
+            return instr;
+        }
+        if (word == 0x10200073u) {
+            instr.op = Op::SRET;
+            return instr;
+        }
+        return illegal(word);
+      }
+      case kOpLoadFp:
+        if (funct3 != 3)
+            return illegal(word);
+        instr.op = Op::FLD;
+        instr.imm = imm_i;
+        return instr;
+      case kOpStoreFp:
+        if (funct3 != 3)
+            return illegal(word);
+        instr.op = Op::FSD;
+        instr.imm = imm_s;
+        return instr;
+      case kOpFp:
+        switch (funct7) {
+          case 0x01: instr.op = Op::FADD_D; return instr;
+          case 0x05: instr.op = Op::FSUB_D; return instr;
+          case 0x09: instr.op = Op::FMUL_D; return instr;
+          case 0x0d: instr.op = Op::FDIV_D; return instr;
+          case 0x71:
+            if (rs2 != 0 || funct3 != 0)
+                return illegal(word);
+            instr.op = Op::FMV_X_D;
+            return instr;
+          case 0x79:
+            if (rs2 != 0 || funct3 != 0)
+                return illegal(word);
+            instr.op = Op::FMV_D_X;
+            return instr;
+          default:
+            return illegal(word);
+        }
+      case kOpCustom0:
+        if (funct3 != 0)
+            return illegal(word);
+        instr.op = Op::SWAPNEXT;
+        instr.imm = imm_i;
+        return instr;
+      default:
+        return illegal(word);
+    }
+}
+
+} // namespace
+
+} // namespace dejavuzz::isa

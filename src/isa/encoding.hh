@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Binary encoding/decoding for the RV64 subset.
+ *
+ * Real RISC-V encodings are used so that stimuli stored in simulated
+ * memory are genuine machine code: the DUT decodes them independently,
+ * and any word we cannot decode raises an illegal-instruction
+ * exception, exactly the trigger class Table 3 calls "Illegal
+ * Instruction".
+ */
+
+#ifndef DEJAVUZZ_ISA_ENCODING_HH
+#define DEJAVUZZ_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/instr.hh"
+
+namespace dejavuzz::isa {
+
+/** Encode @p instr into its 32-bit RISC-V representation. */
+uint32_t encode(const Instr &instr);
+
+/**
+ * Decode a 32-bit word. Undecodable words yield Op::ILLEGAL with the
+ * raw bits preserved (never fails).
+ */
+Instr decode(uint32_t word);
+
+/** A guaranteed-undecodable word used to synthesise illegal stimuli. */
+constexpr uint32_t kIllegalWord = 0x0000707fu;
+
+/** Canonical NOP (addi x0, x0, 0). */
+constexpr uint32_t kNopWord = 0x00000013u;
+
+} // namespace dejavuzz::isa
+
+#endif // DEJAVUZZ_ISA_ENCODING_HH

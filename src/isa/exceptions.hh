@@ -1,0 +1,59 @@
+/**
+ * @file
+ * RISC-V exception causes and privilege levels (the subset the cores
+ * and the golden model raise).
+ */
+
+#ifndef DEJAVUZZ_ISA_EXCEPTIONS_HH
+#define DEJAVUZZ_ISA_EXCEPTIONS_HH
+
+#include <cstdint>
+
+namespace dejavuzz::isa {
+
+/** mcause values for the exceptions we model. */
+enum class ExcCause : uint8_t {
+    None = 0xff,
+    InstrAddrMisaligned = 0,
+    InstrAccessFault = 1,
+    IllegalInstr = 2,
+    Breakpoint = 3,
+    LoadAddrMisaligned = 4,
+    LoadAccessFault = 5,
+    StoreAddrMisaligned = 6,
+    StoreAccessFault = 7,
+    EcallU = 8,
+    EcallM = 11,
+    InstrPageFault = 12,
+    LoadPageFault = 13,
+    StorePageFault = 15,
+};
+
+inline const char *
+excName(ExcCause cause)
+{
+    switch (cause) {
+      case ExcCause::None: return "none";
+      case ExcCause::InstrAddrMisaligned: return "instr-misalign";
+      case ExcCause::InstrAccessFault: return "instr-access-fault";
+      case ExcCause::IllegalInstr: return "illegal-instr";
+      case ExcCause::Breakpoint: return "breakpoint";
+      case ExcCause::LoadAddrMisaligned: return "load-misalign";
+      case ExcCause::LoadAccessFault: return "load-access-fault";
+      case ExcCause::StoreAddrMisaligned: return "store-misalign";
+      case ExcCause::StoreAccessFault: return "store-access-fault";
+      case ExcCause::EcallU: return "ecall-u";
+      case ExcCause::EcallM: return "ecall-m";
+      case ExcCause::InstrPageFault: return "instr-page-fault";
+      case ExcCause::LoadPageFault: return "load-page-fault";
+      case ExcCause::StorePageFault: return "store-page-fault";
+    }
+    return "?";
+}
+
+/** Privilege levels (no hypervisor). */
+enum class Priv : uint8_t { U = 0, S = 1, M = 3 };
+
+} // namespace dejavuzz::isa
+
+#endif // DEJAVUZZ_ISA_EXCEPTIONS_HH

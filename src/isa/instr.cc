@@ -1,0 +1,321 @@
+#include "isa/instr.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace dejavuzz::isa {
+
+namespace {
+
+struct OpInfo
+{
+    const char *name;
+    OpClass cls;
+};
+
+constexpr size_t kNumOps = static_cast<size_t>(Op::NumOps);
+
+constexpr std::array<OpInfo, kNumOps> kOpInfo = {{
+    {"lui", OpClass::IntAlu},    {"auipc", OpClass::IntAlu},
+    {"jal", OpClass::Jal},       {"jalr", OpClass::Jalr},
+    {"beq", OpClass::Branch},    {"bne", OpClass::Branch},
+    {"blt", OpClass::Branch},    {"bge", OpClass::Branch},
+    {"bltu", OpClass::Branch},   {"bgeu", OpClass::Branch},
+    {"lb", OpClass::Load},       {"lh", OpClass::Load},
+    {"lw", OpClass::Load},       {"ld", OpClass::Load},
+    {"lbu", OpClass::Load},      {"lhu", OpClass::Load},
+    {"lwu", OpClass::Load},
+    {"sb", OpClass::Store},      {"sh", OpClass::Store},
+    {"sw", OpClass::Store},      {"sd", OpClass::Store},
+    {"addi", OpClass::IntAlu},   {"slti", OpClass::IntAlu},
+    {"sltiu", OpClass::IntAlu},  {"xori", OpClass::IntAlu},
+    {"ori", OpClass::IntAlu},    {"andi", OpClass::IntAlu},
+    {"slli", OpClass::IntAlu},   {"srli", OpClass::IntAlu},
+    {"srai", OpClass::IntAlu},
+    {"add", OpClass::IntAlu},    {"sub", OpClass::IntAlu},
+    {"sll", OpClass::IntAlu},    {"slt", OpClass::IntAlu},
+    {"sltu", OpClass::IntAlu},   {"xor", OpClass::IntAlu},
+    {"srl", OpClass::IntAlu},    {"sra", OpClass::IntAlu},
+    {"or", OpClass::IntAlu},     {"and", OpClass::IntAlu},
+    {"addiw", OpClass::IntAlu},  {"slliw", OpClass::IntAlu},
+    {"srliw", OpClass::IntAlu},  {"sraiw", OpClass::IntAlu},
+    {"addw", OpClass::IntAlu},   {"subw", OpClass::IntAlu},
+    {"sllw", OpClass::IntAlu},   {"srlw", OpClass::IntAlu},
+    {"sraw", OpClass::IntAlu},
+    {"mul", OpClass::MulDiv},    {"mulh", OpClass::MulDiv},
+    {"mulhu", OpClass::MulDiv},  {"div", OpClass::MulDiv},
+    {"divu", OpClass::MulDiv},   {"rem", OpClass::MulDiv},
+    {"remu", OpClass::MulDiv},   {"mulw", OpClass::MulDiv},
+    {"divw", OpClass::MulDiv},   {"remw", OpClass::MulDiv},
+    {"fence", OpClass::Fence},   {"fence.i", OpClass::Fence},
+    {"ecall", OpClass::System},  {"ebreak", OpClass::System},
+    {"mret", OpClass::System},   {"sret", OpClass::System},
+    {"csrrw", OpClass::System},  {"csrrs", OpClass::System},
+    {"csrrc", OpClass::System},
+    {"fld", OpClass::FpLoad},    {"fsd", OpClass::FpStore},
+    {"fadd.d", OpClass::FpAlu},  {"fsub.d", OpClass::FpAlu},
+    {"fmul.d", OpClass::FpAlu},  {"fdiv.d", OpClass::FpDiv},
+    {"fmv.x.d", OpClass::FpMove},{"fmv.d.x", OpClass::FpMove},
+    {"swapnext", OpClass::Custom},
+    {"illegal", OpClass::IllegalOp},
+}};
+
+constexpr std::array<const char *, 32> kRegNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+constexpr std::array<const char *, 32> kFregNames = {
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+};
+
+} // namespace
+
+OpClass
+opClass(Op op)
+{
+    return kOpInfo[static_cast<size_t>(op)].cls;
+}
+
+const char *
+mnemonic(Op op)
+{
+    return kOpInfo[static_cast<size_t>(op)].name;
+}
+
+bool
+isBranch(Op op)
+{
+    return opClass(op) == OpClass::Branch;
+}
+
+bool
+isLoad(Op op)
+{
+    OpClass c = opClass(op);
+    return c == OpClass::Load || c == OpClass::FpLoad;
+}
+
+bool
+isStore(Op op)
+{
+    OpClass c = opClass(op);
+    return c == OpClass::Store || c == OpClass::FpStore;
+}
+
+unsigned
+accessBytes(Op op)
+{
+    switch (op) {
+      case Op::LB: case Op::LBU: case Op::SB:
+        return 1;
+      case Op::LH: case Op::LHU: case Op::SH:
+        return 2;
+      case Op::LW: case Op::LWU: case Op::SW:
+        return 4;
+      case Op::LD: case Op::SD: case Op::FLD: case Op::FSD:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+bool
+loadSigned(Op op)
+{
+    switch (op) {
+      case Op::LB: case Op::LH: case Op::LW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesIntRd(Op op)
+{
+    switch (opClass(op)) {
+      case OpClass::IntAlu:
+      case OpClass::MulDiv:
+      case OpClass::Load:
+      case OpClass::Jal:
+      case OpClass::Jalr:
+        return true;
+      case OpClass::System:
+        return op == Op::CSRRW || op == Op::CSRRS || op == Op::CSRRC;
+      case OpClass::FpMove:
+        return op == Op::FMV_X_D;
+      default:
+        return false;
+    }
+}
+
+bool
+readsIntRs1(Op op)
+{
+    switch (op) {
+      case Op::LUI: case Op::AUIPC: case Op::JAL:
+      case Op::ECALL: case Op::EBREAK: case Op::MRET: case Op::SRET:
+      case Op::FENCE: case Op::FENCE_I: case Op::SWAPNEXT:
+      case Op::ILLEGAL:
+      case Op::FADD_D: case Op::FSUB_D: case Op::FMUL_D:
+      case Op::FDIV_D: case Op::FMV_X_D:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsIntRs2(Op op)
+{
+    switch (opClass(op)) {
+      case OpClass::Branch:
+      case OpClass::Store:
+        return true;
+      case OpClass::IntAlu:
+        // Register-register ALU forms only.
+        switch (op) {
+          case Op::ADD: case Op::SUB: case Op::SLL: case Op::SLT:
+          case Op::SLTU: case Op::XOR: case Op::SRL: case Op::SRA:
+          case Op::OR: case Op::AND: case Op::ADDW: case Op::SUBW:
+          case Op::SLLW: case Op::SRLW: case Op::SRAW:
+            return true;
+          default:
+            return false;
+        }
+      case OpClass::MulDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+fpRd(Op op)
+{
+    switch (op) {
+      case Op::FLD: case Op::FADD_D: case Op::FSUB_D:
+      case Op::FMUL_D: case Op::FDIV_D: case Op::FMV_D_X:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+fpRs1(Op op)
+{
+    switch (op) {
+      case Op::FADD_D: case Op::FSUB_D: case Op::FMUL_D:
+      case Op::FDIV_D: case Op::FMV_X_D:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+fpRs2(Op op)
+{
+    switch (op) {
+      case Op::FADD_D: case Op::FSUB_D: case Op::FMUL_D:
+      case Op::FDIV_D: case Op::FSD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+regName(unsigned index)
+{
+    return kRegNames[index & 31];
+}
+
+const char *
+fregName(unsigned index)
+{
+    return kFregNames[index & 31];
+}
+
+std::string
+disasm(const Instr &instr)
+{
+    char buf[96];
+    const char *m = mnemonic(instr.op);
+    const char *rd = fpRd(instr.op) ? fregName(instr.rd)
+                                    : regName(instr.rd);
+    const char *rs1 = fpRs1(instr.op) ? fregName(instr.rs1)
+                                      : regName(instr.rs1);
+    const char *rs2 = fpRs2(instr.op) ? fregName(instr.rs2)
+                                      : regName(instr.rs2);
+    long long imm = static_cast<long long>(instr.imm);
+
+    switch (opClass(instr.op)) {
+      case OpClass::Branch:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %lld", m, rs1, rs2,
+                      imm);
+        break;
+      case OpClass::Load:
+      case OpClass::FpLoad:
+        std::snprintf(buf, sizeof(buf), "%s %s, %lld(%s)", m, rd, imm,
+                      rs1);
+        break;
+      case OpClass::Store:
+      case OpClass::FpStore:
+        std::snprintf(buf, sizeof(buf), "%s %s, %lld(%s)", m, rs2, imm,
+                      rs1);
+        break;
+      case OpClass::Jal:
+        std::snprintf(buf, sizeof(buf), "%s %s, %lld", m, rd, imm);
+        break;
+      case OpClass::Jalr:
+        std::snprintf(buf, sizeof(buf), "%s %s, %lld(%s)", m, rd, imm,
+                      rs1);
+        break;
+      case OpClass::System:
+        if (instr.op == Op::CSRRW || instr.op == Op::CSRRS ||
+            instr.op == Op::CSRRC) {
+            std::snprintf(buf, sizeof(buf), "%s %s, 0x%llx, %s", m, rd,
+                          imm, rs1);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s", m);
+        }
+        break;
+      case OpClass::Fence:
+      case OpClass::Custom:
+      case OpClass::IllegalOp:
+        std::snprintf(buf, sizeof(buf), "%s", m);
+        break;
+      default:
+        switch (instr.op) {
+          case Op::LUI:
+          case Op::AUIPC:
+            std::snprintf(buf, sizeof(buf), "%s %s, 0x%llx", m, rd,
+                          static_cast<unsigned long long>(instr.imm) &
+                              0xfffff);
+            break;
+          case Op::ADDI: case Op::SLTI: case Op::SLTIU: case Op::XORI:
+          case Op::ORI: case Op::ANDI: case Op::SLLI: case Op::SRLI:
+          case Op::SRAI: case Op::ADDIW: case Op::SLLIW:
+          case Op::SRLIW: case Op::SRAIW:
+            std::snprintf(buf, sizeof(buf), "%s %s, %s, %lld", m, rd,
+                          rs1, imm);
+            break;
+          default:
+            std::snprintf(buf, sizeof(buf), "%s %s, %s, %s", m, rd, rs1,
+                          rs2);
+            break;
+        }
+        break;
+    }
+    return buf;
+}
+
+} // namespace dejavuzz::isa

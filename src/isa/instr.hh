@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Instruction representation for the RV64 subset used as the fuzzing
+ * stimulus language.
+ *
+ * The subset covers RV64I, the M extension, a slice of D (enough for
+ * FPU-port-contention experiments), Zicsr/Zifencei slices, privileged
+ * returns, and one custom-0 instruction (SWAPNEXT) that the swapMem
+ * runtime uses as the sequence-complete hook (the paper triggers an
+ * exception and lets the DPI-C trap handler swap; our harness hook is
+ * the equivalent, see src/swapmem/).
+ */
+
+#ifndef DEJAVUZZ_ISA_INSTR_HH
+#define DEJAVUZZ_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dejavuzz::isa {
+
+/** Operation identifiers for the supported subset. */
+enum class Op : uint8_t {
+    // RV64I upper/immediate and control transfer
+    LUI, AUIPC, JAL, JALR,
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Loads/stores
+    LB, LH, LW, LD, LBU, LHU, LWU,
+    SB, SH, SW, SD,
+    // Integer immediate
+    ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+    // Integer register
+    ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+    // RV64-only word forms
+    ADDIW, SLLIW, SRLIW, SRAIW, ADDW, SUBW, SLLW, SRLW, SRAW,
+    // M extension
+    MUL, MULH, MULHU, DIV, DIVU, REM, REMU, MULW, DIVW, REMW,
+    // Fences and system
+    FENCE, FENCE_I, ECALL, EBREAK, MRET, SRET,
+    CSRRW, CSRRS, CSRRC,
+    // D-extension slice (for FPU port contention stimuli)
+    FLD, FSD, FADD_D, FSUB_D, FMUL_D, FDIV_D, FMV_X_D, FMV_D_X,
+    // Custom-0: sequence-complete hook for the swapMem runtime
+    SWAPNEXT,
+    // Decode failure marker; raises an illegal-instruction exception
+    ILLEGAL,
+    NumOps,
+};
+
+/** Coarse functional class; drives both the golden model and the DUT. */
+enum class OpClass : uint8_t {
+    IntAlu,     ///< single-cycle integer op
+    MulDiv,     ///< multi-cycle integer multiply/divide
+    Load,
+    Store,
+    Branch,     ///< conditional branch
+    Jal,        ///< direct jump (call when rd=ra)
+    Jalr,       ///< indirect jump / call / return
+    FpAlu,      ///< pipelined FP op
+    FpDiv,      ///< long-latency unpipelined FP divide
+    FpLoad,
+    FpStore,
+    FpMove,
+    Fence,
+    System,     ///< ecall/ebreak/mret/sret/csr
+    Custom,     ///< SWAPNEXT
+    IllegalOp,
+};
+
+/** Decoded (or generator-produced) instruction. */
+struct Instr
+{
+    Op op = Op::ILLEGAL;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;     ///< sign-extended immediate / CSR number
+    uint32_t raw = 0;    ///< original encoding when decoded from memory
+
+    bool operator==(const Instr &other) const
+    {
+        return op == other.op && rd == other.rd && rs1 == other.rs1 &&
+               rs2 == other.rs2 && imm == other.imm;
+    }
+};
+
+/** Functional class of an operation. */
+OpClass opClass(Op op);
+
+/** Mnemonic string ("addi", "fdiv.d", ...). */
+const char *mnemonic(Op op);
+
+/** True for conditional branches. */
+bool isBranch(Op op);
+/** True for any load (integer or FP). */
+bool isLoad(Op op);
+/** True for any store (integer or FP). */
+bool isStore(Op op);
+/** Byte width of a memory access op (0 for non-memory ops). */
+unsigned accessBytes(Op op);
+/** True when the load sign-extends its result. */
+bool loadSigned(Op op);
+/** True for ops that write an integer destination register. */
+bool writesIntRd(Op op);
+/** True for ops that read rs1 as an integer source. */
+bool readsIntRs1(Op op);
+/** True for ops that read rs2 as an integer source. */
+bool readsIntRs2(Op op);
+/** True for ops whose rd/rs are FP registers (per-operand view). */
+bool fpRd(Op op);
+bool fpRs1(Op op);
+bool fpRs2(Op op);
+
+/** Call/return idioms per the RISC-V ABI (drives the RAS). */
+inline bool
+isCall(const Instr &instr)
+{
+    return (instr.op == Op::JAL || instr.op == Op::JALR) &&
+           (instr.rd == 1 || instr.rd == 5);
+}
+
+inline bool
+isRet(const Instr &instr)
+{
+    return instr.op == Op::JALR && instr.rd == 0 &&
+           (instr.rs1 == 1 || instr.rs1 == 5) && instr.imm == 0;
+}
+
+/** ABI register name ("zero", "ra", "a0", ...). */
+const char *regName(unsigned index);
+/** FP register name ("ft0", "fa0", ...). */
+const char *fregName(unsigned index);
+
+/** Render an instruction as assembly text. */
+std::string disasm(const Instr &instr);
+
+/** Common ABI register indices used throughout the generator. */
+namespace reg {
+constexpr uint8_t zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+constexpr uint8_t t0 = 5, t1 = 6, t2 = 7;
+constexpr uint8_t s0 = 8, s1 = 9;
+constexpr uint8_t a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15;
+constexpr uint8_t a6 = 16, a7 = 17;
+constexpr uint8_t s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23;
+constexpr uint8_t s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+constexpr uint8_t t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+} // namespace reg
+
+} // namespace dejavuzz::isa
+
+#endif // DEJAVUZZ_ISA_INSTR_HH

@@ -1,0 +1,26 @@
+#include "rtl/fig2_rob.hh"
+
+namespace dejavuzz::rtl {
+
+Fig2Rob
+buildFig2Rob(unsigned entries)
+{
+    Fig2Rob rob;
+    Netlist &n = rob.netlist;
+
+    rob.enq_uopc = n.input("enq_uopc", 7);
+    rob.enq_valid = n.input("enq_valid", 1);
+    rob.rob_tail_idx = n.input("rob_tail_idx", 8);
+
+    for (unsigned i = 0; i < entries; ++i) {
+        NodeId index = n.constant(i, 8);
+        NodeId match = n.eq(rob.rob_tail_idx, index);
+        NodeId update = n.andGate(rob.enq_valid, match);
+        NodeId reg = n.regEn("rob_" + std::to_string(i) + "_uopc",
+                             update, rob.enq_uopc, 7);
+        rob.uopc_regs.push_back(reg);
+    }
+    return rob;
+}
+
+} // namespace dejavuzz::rtl

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The paper's Figure 2 example circuit: the BOOM RoB entry-update
+ * logic that causes CellIFT's taint explosion during rollback.
+ *
+ * Each of N entries holds a uopc field register updated when a valid
+ * micro-op is enqueued and the tail pointer matches the entry index:
+ *
+ *   match_i      = (rob_tail_idx == i)
+ *   update_i     = enq_valid & match_i
+ *   rob_i_uopc'  = update_i ? enq_uopc : rob_i_uopc
+ *
+ * When rollback movement taints rob_tail_idx (and the frontend's use
+ * of the RoB index taints enq_valid), CellIFT taints every entry's
+ * uopc register at once; diffIFT only does so for entries whose
+ * update enable actually differs across the two secret variants.
+ */
+
+#ifndef DEJAVUZZ_RTL_FIG2_ROB_HH
+#define DEJAVUZZ_RTL_FIG2_ROB_HH
+
+#include <vector>
+
+#include "rtl/netlist.hh"
+
+namespace dejavuzz::rtl {
+
+/** Handles into the constructed Fig. 2 circuit. */
+struct Fig2Rob
+{
+    Netlist netlist;
+    NodeId enq_uopc;
+    NodeId enq_valid;
+    NodeId rob_tail_idx;
+    std::vector<NodeId> uopc_regs;
+};
+
+/** Build the circuit with @p entries RoB entries. */
+Fig2Rob buildFig2Rob(unsigned entries);
+
+} // namespace dejavuzz::rtl
+
+#endif // DEJAVUZZ_RTL_FIG2_ROB_HH

@@ -1,0 +1,487 @@
+#include "rtl/netlist.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace dejavuzz::rtl {
+
+using ift::TV;
+
+NodeId
+Netlist::push(Cell cell)
+{
+    cells_.push_back(std::move(cell));
+    return NodeId{static_cast<int>(cells_.size()) - 1};
+}
+
+NodeId
+Netlist::constant(uint64_t value, uint8_t width)
+{
+    Cell cell;
+    cell.kind = CellKind::Const;
+    cell.width = width;
+    cell.param = value & maskLow(width);
+    return push(cell);
+}
+
+NodeId
+Netlist::input(const std::string &name, uint8_t width)
+{
+    Cell cell;
+    cell.kind = CellKind::Input;
+    cell.width = width;
+    cell.name = name;
+    return push(cell);
+}
+
+namespace {
+Cell
+binary(CellKind kind, NodeId a, NodeId b, uint8_t width)
+{
+    dv_assert(a.valid() && b.valid());
+    Cell cell;
+    cell.kind = kind;
+    cell.width = width;
+    cell.a = a.index;
+    cell.b = b.index;
+    return cell;
+}
+} // namespace
+
+NodeId
+Netlist::andGate(NodeId a, NodeId b)
+{
+    uint8_t w = std::max(cells_[a.index].width, cells_[b.index].width);
+    return push(binary(CellKind::And, a, b, w));
+}
+
+NodeId
+Netlist::orGate(NodeId a, NodeId b)
+{
+    uint8_t w = std::max(cells_[a.index].width, cells_[b.index].width);
+    return push(binary(CellKind::Or, a, b, w));
+}
+
+NodeId
+Netlist::xorGate(NodeId a, NodeId b)
+{
+    uint8_t w = std::max(cells_[a.index].width, cells_[b.index].width);
+    return push(binary(CellKind::Xor, a, b, w));
+}
+
+NodeId
+Netlist::notGate(NodeId a)
+{
+    dv_assert(a.valid());
+    Cell cell;
+    cell.kind = CellKind::Not;
+    cell.width = cells_[a.index].width;
+    cell.a = a.index;
+    return push(cell);
+}
+
+NodeId
+Netlist::add(NodeId a, NodeId b)
+{
+    uint8_t w = std::max(cells_[a.index].width, cells_[b.index].width);
+    return push(binary(CellKind::Add, a, b, w));
+}
+
+NodeId
+Netlist::sub(NodeId a, NodeId b)
+{
+    uint8_t w = std::max(cells_[a.index].width, cells_[b.index].width);
+    return push(binary(CellKind::Sub, a, b, w));
+}
+
+NodeId
+Netlist::eq(NodeId a, NodeId b)
+{
+    return push(binary(CellKind::Eq, a, b, 1));
+}
+
+NodeId
+Netlist::lt(NodeId a, NodeId b)
+{
+    return push(binary(CellKind::Lt, a, b, 1));
+}
+
+NodeId
+Netlist::mux(NodeId sel, NodeId a, NodeId b)
+{
+    dv_assert(sel.valid() && a.valid() && b.valid());
+    Cell cell;
+    cell.kind = CellKind::Mux;
+    cell.width = std::max(cells_[a.index].width, cells_[b.index].width);
+    cell.a = a.index;
+    cell.b = sel.index;
+    cell.c = b.index;
+    return push(cell);
+}
+
+NodeId
+Netlist::reg(const std::string &name, uint8_t width, uint64_t reset)
+{
+    Cell cell;
+    cell.kind = CellKind::Reg;
+    cell.width = width;
+    cell.name = name;
+    cell.param = reset;
+    return push(cell);
+}
+
+NodeId
+Netlist::regEn(const std::string &name, NodeId en, NodeId d,
+               uint8_t width, uint64_t reset)
+{
+    dv_assert(en.valid() && d.valid());
+    Cell cell;
+    cell.kind = CellKind::RegEn;
+    cell.width = width;
+    cell.name = name;
+    cell.a = d.index;
+    cell.b = en.index;
+    cell.param = reset;
+    return push(cell);
+}
+
+void
+Netlist::connectReg(NodeId reg_node, NodeId next)
+{
+    dv_assert(reg_node.valid() && next.valid());
+    Cell &cell = cells_[reg_node.index];
+    dv_assert(cell.kind == CellKind::Reg);
+    cell.a = next.index;
+}
+
+int
+Netlist::memory(const std::string &name, uint32_t entries, uint8_t width)
+{
+    MemDecl decl;
+    decl.name = name;
+    decl.entries = entries;
+    decl.width = width;
+    mems_.push_back(std::move(decl));
+    return static_cast<int>(mems_.size()) - 1;
+}
+
+void
+Netlist::memWritePort(int mem, NodeId wen, NodeId waddr, NodeId wdata)
+{
+    dv_assert(mem >= 0 && mem < static_cast<int>(mems_.size()));
+    mems_[mem].wen = wen.index;
+    mems_[mem].waddr = waddr.index;
+    mems_[mem].wdata = wdata.index;
+}
+
+NodeId
+Netlist::memRead(int mem, NodeId addr)
+{
+    dv_assert(mem >= 0 && mem < static_cast<int>(mems_.size()));
+    Cell cell;
+    cell.kind = CellKind::MemRead;
+    cell.width = mems_[mem].width;
+    cell.a = addr.index;
+    cell.mem = mem;
+    return push(cell);
+}
+
+void
+Netlist::annotateLiveness(int mem, NodeId liveness_vector)
+{
+    dv_assert(mem >= 0 && mem < static_cast<int>(mems_.size()));
+    mems_[mem].liveness = liveness_vector.index;
+    mems_[mem].annotated = true;
+}
+
+size_t
+Netlist::registerCount() const
+{
+    size_t n = 0;
+    for (const Cell &cell : cells_)
+        n += (cell.kind == CellKind::Reg || cell.kind == CellKind::RegEn);
+    return n;
+}
+
+uint64_t
+Netlist::stateBits() const
+{
+    uint64_t bits = 0;
+    for (const Cell &cell : cells_) {
+        if (cell.kind == CellKind::Reg || cell.kind == CellKind::RegEn)
+            bits += cell.width;
+    }
+    for (const MemDecl &mem : mems_)
+        bits += static_cast<uint64_t>(mem.entries) * mem.width;
+    return bits;
+}
+
+InstrumentReport
+instrument(const Netlist &netlist, ift::IftMode mode,
+           uint64_t cell_budget)
+{
+    InstrumentReport report;
+    if (mode == ift::IftMode::Off)
+        return report;
+
+    // Word-level shadow logic: every cell gains a taint-policy twin,
+    // every register a taint register.
+    for (const Cell &cell : netlist.cells()) {
+        switch (cell.kind) {
+          case CellKind::Const:
+          case CellKind::Input:
+            break;
+          case CellKind::Reg:
+          case CellKind::RegEn:
+            report.shadow_regs += 1;
+            report.shadow_cells += 1;
+            break;
+          case CellKind::Mux:
+          case CellKind::Eq:
+          case CellKind::Lt:
+            // Control cells: CellIFT inserts the Policy-2 taint
+            // network; diffIFT additionally wires the cross-instance
+            // diff comparator (one extra cell).
+            report.shadow_cells +=
+                (mode == ift::IftMode::CellIFT) ? 3 : 4;
+            break;
+          default:
+            report.shadow_cells += 2;
+            break;
+        }
+        if (report.shadow_cells > cell_budget) {
+            report.timed_out = true;
+            return report;
+        }
+    }
+
+    for (const auto &mem : netlist.memories()) {
+        uint64_t bits = static_cast<uint64_t>(mem.entries) * mem.width;
+        if (mode == ift::IftMode::CellIFT) {
+            // CellIFT instruments at the cell level and cannot see
+            // word-level memories: each bit becomes a flattened
+            // register plus its read/write mux tree (paper §6.3).
+            report.flattened_bits += bits;
+            report.shadow_regs += bits;
+            report.shadow_cells += bits * 4;
+        } else {
+            // diffIFT stays at the RTL IR level: one shadow memory and
+            // the Table-1 read/write policy cells per port.
+            report.shadow_cells += 8;
+            report.shadow_regs += mem.entries;
+        }
+        if (report.shadow_cells > cell_budget) {
+            report.timed_out = true;
+            return report;
+        }
+    }
+    return report;
+}
+
+Evaluator::Evaluator(const Netlist &netlist) : netlist_(netlist)
+{
+    node_values_.assign(netlist.cells().size(), TV{});
+    reg_state_.assign(netlist.cells().size(), TV{});
+    inputs_.assign(netlist.cells().size(), TV{});
+    for (size_t i = 0; i < netlist.cells().size(); ++i) {
+        const Cell &cell = netlist.cells()[i];
+        if (cell.kind == CellKind::Reg || cell.kind == CellKind::RegEn)
+            reg_state_[i] = TV{cell.param, 0};
+    }
+    mem_state_.resize(netlist.memories().size());
+    for (size_t m = 0; m < netlist.memories().size(); ++m)
+        mem_state_[m].assign(netlist.memories()[m].entries, TV{});
+}
+
+void
+Evaluator::setInput(NodeId node, TV value)
+{
+    dv_assert(node.valid());
+    dv_assert(netlist_.cells()[node.index].kind == CellKind::Input);
+    inputs_[node.index] = value;
+}
+
+void
+Evaluator::step(ift::TaintCtx &ctx)
+{
+    const auto &cells = netlist_.cells();
+
+    // Combinational evaluation in construction (topological) order.
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        const uint64_t mask = maskLow(cell.width);
+        auto in = [&](int idx) { return node_values_[idx]; };
+        TV out;
+        switch (cell.kind) {
+          case CellKind::Const:
+            out = TV{cell.param, 0};
+            break;
+          case CellKind::Input:
+            out = inputs_[i];
+            break;
+          case CellKind::And:
+            out = ift::andCell(in(cell.a), in(cell.b));
+            break;
+          case CellKind::Or:
+            out = ift::orCell(in(cell.a), in(cell.b));
+            break;
+          case CellKind::Xor:
+            out = ift::xorCell(in(cell.a), in(cell.b));
+            break;
+          case CellKind::Not:
+            out = ift::notCell(in(cell.a));
+            break;
+          case CellKind::Add:
+            out = ift::addCell(in(cell.a), in(cell.b));
+            break;
+          case CellKind::Sub:
+            out = ift::subCell(in(cell.a), in(cell.b));
+            break;
+          case CellKind::Eq:
+            out = ctx.eq(ift::sigId(0x7f00, static_cast<uint16_t>(i)),
+                         in(cell.a), in(cell.b));
+            break;
+          case CellKind::Lt:
+            out = ctx.cmp(ift::sigId(0x7f00, static_cast<uint16_t>(i)),
+                          (in(cell.a).v & mask) < (in(cell.b).v & mask)
+                              ? 1 : 0,
+                          in(cell.a), in(cell.b));
+            break;
+          case CellKind::Mux:
+            out = ctx.mux(ift::sigId(0x7f00, static_cast<uint16_t>(i)),
+                          in(cell.b), in(cell.a), in(cell.c));
+            break;
+          case CellKind::Reg:
+          case CellKind::RegEn:
+            out = reg_state_[i];
+            break;
+          case CellKind::MemRead: {
+            TV addr = in(cell.a);
+            const auto &mem = mem_state_[cell.mem];
+            uint32_t index =
+                static_cast<uint32_t>(addr.v) % mem.size();
+            out = mem[index];
+            if (ctx.memReadGate(
+                    ift::sigId(0x7f01, static_cast<uint16_t>(i)), addr))
+                out.t = ~0ULL;
+            break;
+          }
+        }
+        out.v &= mask;
+        out.t &= mask;
+        if (ctx.off())
+            out.t = 0;
+        node_values_[i] = out;
+    }
+
+    // Clock edge: registers.
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        if (cell.kind == CellKind::Reg) {
+            if (cell.a >= 0)
+                reg_state_[i] = node_values_[cell.a];
+        } else if (cell.kind == CellKind::RegEn) {
+            TV en = node_values_[cell.b];
+            TV d = node_values_[cell.a];
+            ctx.regEn(ift::sigId(0x7f02, static_cast<uint16_t>(i)), en,
+                      d, reg_state_[i]);
+            reg_state_[i].v &= maskLow(cell.width);
+            reg_state_[i].t &= maskLow(cell.width);
+        }
+        if (ctx.off())
+            reg_state_[i].t = 0;
+    }
+
+    // Clock edge: memory write ports (Table 1 write policy).
+    for (size_t m = 0; m < netlist_.memories().size(); ++m) {
+        const MemDecl &decl = netlist_.memories()[m];
+        if (decl.wen < 0)
+            continue;
+        TV wen = node_values_[decl.wen];
+        TV waddr = node_values_[decl.waddr];
+        TV wdata = node_values_[decl.wdata];
+        auto &mem = mem_state_[m];
+        if (wen.v & 1) {
+            uint32_t index = static_cast<uint32_t>(waddr.v) % mem.size();
+            mem[index] = TV{wdata.v & maskLow(decl.width),
+                            wdata.t & maskLow(decl.width)};
+        }
+        if (ctx.memWriteGate(
+                ift::sigId(0x7f03, static_cast<uint16_t>(m)),
+                ift::sigId(0x7f04, static_cast<uint16_t>(m)), wen,
+                waddr)) {
+            for (auto &entry : mem)
+                entry.t = maskLow(decl.width);
+        }
+        if (ctx.off()) {
+            for (auto &entry : mem)
+                entry.t = 0;
+        }
+    }
+}
+
+TV
+Evaluator::value(NodeId node) const
+{
+    dv_assert(node.valid());
+    return node_values_[node.index];
+}
+
+TV
+Evaluator::regState(NodeId node) const
+{
+    dv_assert(node.valid());
+    return reg_state_[node.index];
+}
+
+TV
+Evaluator::memEntry(int mem, uint32_t index) const
+{
+    return mem_state_[mem][index];
+}
+
+uint64_t
+Evaluator::taintSum() const
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < netlist_.cells().size(); ++i) {
+        const Cell &cell = netlist_.cells()[i];
+        if (cell.kind == CellKind::Reg || cell.kind == CellKind::RegEn)
+            sum += popcount64(reg_state_[i].t);
+    }
+    for (const auto &mem : mem_state_) {
+        for (const TV &entry : mem)
+            sum += popcount64(entry.t);
+    }
+    return sum;
+}
+
+uint32_t
+Evaluator::taintedRegCount() const
+{
+    uint32_t count = 0;
+    for (size_t i = 0; i < netlist_.cells().size(); ++i) {
+        const Cell &cell = netlist_.cells()[i];
+        if (cell.kind == CellKind::Reg || cell.kind == CellKind::RegEn)
+            count += reg_state_[i].t != 0;
+    }
+    return count;
+}
+
+uint32_t
+Evaluator::liveTaintedEntries(int mem) const
+{
+    const MemDecl &decl = netlist_.memories()[mem];
+    uint64_t live_vector = ~0ULL;
+    if (decl.annotated && decl.liveness >= 0)
+        live_vector = node_values_[decl.liveness].v;
+    uint32_t count = 0;
+    for (size_t i = 0; i < mem_state_[mem].size(); ++i) {
+        bool live = ((live_vector >> (i & 63)) & 1) != 0;
+        if (mem_state_[mem][i].t != 0 && live)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace dejavuzz::rtl

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * A small word-level RTL intermediate representation.
+ *
+ * This is the analogue of the RTL IR the paper instruments with a
+ * Yosys pass: designs are DAGs of word-level cells plus registers and
+ * non-flattened memories. The evaluator executes a netlist cycle by
+ * cycle under any IftMode, applying the CellIFT/diffIFT propagation
+ * policies per cell. The instrumentation pass reports shadow-logic
+ * statistics and models CellIFT's requirement to flatten memories
+ * (the reason XiangShan's CellIFT build times out in Table 4).
+ *
+ * The full out-of-order cores in src/uarch/ are written directly in
+ * C++ against the same policy kernels for speed; this IR exists to
+ * validate those kernels against real circuits (tests build the
+ * paper's Fig. 2 RoB-entry example here) and to cost instrumentation.
+ */
+
+#ifndef DEJAVUZZ_RTL_NETLIST_HH
+#define DEJAVUZZ_RTL_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ift/policy.hh"
+#include "ift/taint.hh"
+
+namespace dejavuzz::rtl {
+
+/** Node handle inside a netlist. */
+struct NodeId
+{
+    int index = -1;
+    bool valid() const { return index >= 0; }
+};
+
+/** Word-level cell kinds. */
+enum class CellKind : uint8_t {
+    Const,   ///< literal (param = value)
+    Input,   ///< external input, set per cycle
+    And, Or, Xor, Not,
+    Add, Sub,
+    Eq,      ///< 1-bit equality (a comparison/control cell)
+    Lt,      ///< 1-bit unsigned less-than (comparison cell)
+    Mux,     ///< out = sel ? b : a (control cell)
+    Reg,     ///< plain register; next value connected via connectReg
+    RegEn,   ///< register with enable (control cell)
+    MemRead, ///< combinational memory read port
+};
+
+/** One cell. Operand meaning depends on the kind. */
+struct Cell
+{
+    CellKind kind;
+    uint8_t width;       ///< result width in bits (<= 64)
+    int a = -1;          ///< operand node (or mux 'a' / regEn 'd')
+    int b = -1;          ///< operand node (or mux 'sel' / regEn 'en')
+    int c = -1;          ///< mux 'b' input
+    int mem = -1;        ///< memory index for MemRead
+    uint64_t param = 0;  ///< Const value
+    std::string name;    ///< diagnostic name (registers/inputs)
+};
+
+/** A non-flattened memory with one synchronous write port. */
+struct MemDecl
+{
+    std::string name;
+    uint32_t entries;
+    uint8_t width;
+    // Write port wiring (node ids); -1 when absent.
+    int wen = -1;
+    int waddr = -1;
+    int wdata = -1;
+    // Optional liveness_mask annotation: node whose bit i gives the
+    // liveness of entry i (paper §4.3.2 generic liveness vector).
+    int liveness = -1;
+    bool annotated = false;
+};
+
+/** Builder-style netlist container. */
+class Netlist
+{
+  public:
+    NodeId constant(uint64_t value, uint8_t width = 64);
+    NodeId input(const std::string &name, uint8_t width = 64);
+    NodeId andGate(NodeId a, NodeId b);
+    NodeId orGate(NodeId a, NodeId b);
+    NodeId xorGate(NodeId a, NodeId b);
+    NodeId notGate(NodeId a);
+    NodeId add(NodeId a, NodeId b);
+    NodeId sub(NodeId a, NodeId b);
+    NodeId eq(NodeId a, NodeId b);
+    NodeId lt(NodeId a, NodeId b);
+    NodeId mux(NodeId sel, NodeId a, NodeId b);
+    NodeId reg(const std::string &name, uint8_t width = 64,
+               uint64_t reset = 0);
+    NodeId regEn(const std::string &name, NodeId en, NodeId d,
+                 uint8_t width = 64, uint64_t reset = 0);
+    /** Connect a plain register's next-value input. */
+    void connectReg(NodeId reg_node, NodeId next);
+
+    /** Declare a memory; returns its index. */
+    int memory(const std::string &name, uint32_t entries, uint8_t width);
+    /** Attach the single synchronous write port. */
+    void memWritePort(int mem, NodeId wen, NodeId waddr, NodeId wdata);
+    /** Combinational read port. */
+    NodeId memRead(int mem, NodeId addr);
+    /** Annotate a memory with a liveness vector node. */
+    void annotateLiveness(int mem, NodeId liveness_vector);
+
+    const std::vector<Cell> &cells() const { return cells_; }
+    const std::vector<MemDecl> &memories() const { return mems_; }
+    size_t cellCount() const { return cells_.size(); }
+
+    /** Count of state registers (Reg + RegEn). */
+    size_t registerCount() const;
+    /** Total state bits including memories. */
+    uint64_t stateBits() const;
+
+  private:
+    NodeId push(Cell cell);
+
+    std::vector<Cell> cells_;
+    std::vector<MemDecl> mems_;
+    std::vector<uint64_t> reg_resets_;
+};
+
+/** Result of running the instrumentation pass over a netlist. */
+struct InstrumentReport
+{
+    bool timed_out = false;   ///< cell budget exhausted (CellIFT+big mems)
+    uint64_t shadow_cells = 0;///< taint-logic cells inserted
+    uint64_t shadow_regs = 0; ///< taint registers inserted
+    uint64_t flattened_bits = 0; ///< memory bits flattened (CellIFT only)
+};
+
+/**
+ * Model the shadow-circuit construction for the given mode.
+ *
+ * diffIFT instruments at the word level and keeps memories
+ * non-flattened; CellIFT must flatten every memory into per-bit
+ * registers and mux trees, which explodes on large designs. A cell
+ * budget caps the construction; exceeding it reports a timeout, the
+ * Table 4 "XiangShan + CellIFT" outcome.
+ */
+InstrumentReport instrument(const Netlist &netlist, ift::IftMode mode,
+                            uint64_t cell_budget = ~0ULL);
+
+/**
+ * Cycle-accurate evaluator with taint shadow state.
+ *
+ * Combinational cells are evaluated in construction order (builders
+ * guarantee operands precede users); registers and memory writes
+ * commit at the clock edge inside step().
+ */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const Netlist &netlist);
+
+    /** Set an input's value (and taint) for the coming cycle. */
+    void setInput(NodeId node, ift::TV value);
+
+    /** Evaluate one cycle under @p ctx (records control signals). */
+    void step(ift::TaintCtx &ctx);
+
+    /** Value of any node after the latest step. */
+    ift::TV value(NodeId node) const;
+    /** Current contents of a register (post-edge). */
+    ift::TV regState(NodeId node) const;
+    /** Memory entry (post-edge). */
+    ift::TV memEntry(int mem, uint32_t index) const;
+
+    /** Total tainted bits across registers and memories. */
+    uint64_t taintSum() const;
+    /** Number of registers with any tainted bit. */
+    uint32_t taintedRegCount() const;
+
+    /** Liveness-filtered tainted entries of an annotated memory. */
+    uint32_t liveTaintedEntries(int mem) const;
+
+  private:
+    const Netlist &netlist_;
+    std::vector<ift::TV> node_values_;
+    std::vector<ift::TV> reg_state_;      // indexed by node id
+    std::vector<std::vector<ift::TV>> mem_state_;
+    std::vector<ift::TV> inputs_;         // indexed by node id
+};
+
+} // namespace dejavuzz::rtl
+
+#endif // DEJAVUZZ_RTL_NETLIST_HH

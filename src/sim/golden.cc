@@ -1,0 +1,363 @@
+#include "sim/golden.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace dejavuzz::sim {
+
+using isa::ExcCause;
+using isa::Instr;
+using isa::Op;
+using swapmem::AccessKind;
+
+void
+Golden::reset()
+{
+    pc = swapmem::kSwapBase;
+    xregs.fill(0);
+    fregs.fill(0);
+    priv = isa::Priv::U;
+    xregs[2] = swapmem::kScratchAddr + swapmem::kScratchBytes - 64;
+}
+
+namespace {
+
+double
+asDouble(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+uint64_t
+asBits(double value)
+{
+    return std::bit_cast<uint64_t>(value);
+}
+
+uint64_t
+mulhSigned(int64_t a, int64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__int128>(a) * static_cast<__int128>(b)) >> 64);
+}
+
+uint64_t
+mulhUnsigned(uint64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) *
+         static_cast<unsigned __int128>(b)) >> 64);
+}
+
+} // namespace
+
+GoldenStep
+Golden::step(const swapmem::Memory &mem, swapmem::Memory *writable_mem)
+{
+    GoldenStep rec;
+    rec.pc = pc;
+    rec.next_pc = pc + 4;
+
+    // Fetch permission check.
+    ExcCause fetch_exc = mem.check(pc, 4, AccessKind::Fetch, priv);
+    if (fetch_exc != ExcCause::None) {
+        rec.exc = fetch_exc;
+        return rec;
+    }
+
+    Instr instr = isa::decode(mem.fetchWord(pc));
+    rec.instr = instr;
+
+    auto rs1 = [&] { return xregs[instr.rs1]; };
+    auto rs2 = [&] { return xregs[instr.rs2]; };
+    auto setRd = [&](uint64_t value) {
+        if (instr.rd != 0)
+            xregs[instr.rd] = value;
+    };
+    auto sext32 = [](uint64_t value) {
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(value)));
+    };
+
+    switch (instr.op) {
+      case Op::LUI:
+        setRd(static_cast<uint64_t>(
+            signExtend(static_cast<uint64_t>(instr.imm) << 12, 32)));
+        break;
+      case Op::AUIPC:
+        setRd(pc + static_cast<uint64_t>(
+                       signExtend(static_cast<uint64_t>(instr.imm) << 12,
+                                  32)));
+        break;
+      case Op::JAL:
+        setRd(pc + 4);
+        rec.next_pc = pc + static_cast<uint64_t>(instr.imm);
+        break;
+      case Op::JALR: {
+        uint64_t target = (rs1() + static_cast<uint64_t>(instr.imm)) &
+                          ~1ULL;
+        setRd(pc + 4);
+        rec.next_pc = target;
+        break;
+      }
+      case Op::BEQ: rec.branch_taken = rs1() == rs2(); goto branch;
+      case Op::BNE: rec.branch_taken = rs1() != rs2(); goto branch;
+      case Op::BLT:
+        rec.branch_taken = static_cast<int64_t>(rs1()) <
+                           static_cast<int64_t>(rs2());
+        goto branch;
+      case Op::BGE:
+        rec.branch_taken = static_cast<int64_t>(rs1()) >=
+                           static_cast<int64_t>(rs2());
+        goto branch;
+      case Op::BLTU: rec.branch_taken = rs1() < rs2(); goto branch;
+      case Op::BGEU: rec.branch_taken = rs1() >= rs2(); goto branch;
+      branch:
+        if (rec.branch_taken)
+            rec.next_pc = pc + static_cast<uint64_t>(instr.imm);
+        break;
+
+      case Op::LB: case Op::LH: case Op::LW: case Op::LD:
+      case Op::LBU: case Op::LHU: case Op::LWU: case Op::FLD: {
+        unsigned bytes = isa::accessBytes(instr.op);
+        uint64_t addr = rs1() + static_cast<uint64_t>(instr.imm);
+        rec.mem_addr = addr;
+        ExcCause exc = mem.check(addr, bytes, AccessKind::Load, priv);
+        if (exc != ExcCause::None) {
+            rec.exc = exc;
+            return rec;
+        }
+        uint64_t raw = mem.read(addr, bytes).v;
+        uint64_t value = isa::loadSigned(instr.op)
+                             ? static_cast<uint64_t>(
+                                   signExtend(raw, bytes * 8))
+                             : raw;
+        if (instr.op == Op::FLD)
+            fregs[instr.rd] = raw;
+        else
+            setRd(value);
+        break;
+      }
+      case Op::SB: case Op::SH: case Op::SW: case Op::SD:
+      case Op::FSD: {
+        unsigned bytes = isa::accessBytes(instr.op);
+        uint64_t addr = rs1() + static_cast<uint64_t>(instr.imm);
+        rec.mem_addr = addr;
+        ExcCause exc = mem.check(addr, bytes, AccessKind::Store, priv);
+        if (exc != ExcCause::None) {
+            rec.exc = exc;
+            return rec;
+        }
+        uint64_t value = instr.op == Op::FSD ? fregs[instr.rs2] : rs2();
+        if (writable_mem != nullptr)
+            writable_mem->write(addr, bytes, ift::TV{value, 0});
+        break;
+      }
+
+      case Op::ADDI:  setRd(rs1() + static_cast<uint64_t>(instr.imm)); break;
+      case Op::SLTI:
+        setRd(static_cast<int64_t>(rs1()) < instr.imm ? 1 : 0);
+        break;
+      case Op::SLTIU:
+        setRd(rs1() < static_cast<uint64_t>(instr.imm) ? 1 : 0);
+        break;
+      case Op::XORI:  setRd(rs1() ^ static_cast<uint64_t>(instr.imm)); break;
+      case Op::ORI:   setRd(rs1() | static_cast<uint64_t>(instr.imm)); break;
+      case Op::ANDI:  setRd(rs1() & static_cast<uint64_t>(instr.imm)); break;
+      case Op::SLLI:  setRd(rs1() << (instr.imm & 63)); break;
+      case Op::SRLI:  setRd(rs1() >> (instr.imm & 63)); break;
+      case Op::SRAI:
+        setRd(static_cast<uint64_t>(static_cast<int64_t>(rs1()) >>
+                                    (instr.imm & 63)));
+        break;
+      case Op::ADD:  setRd(rs1() + rs2()); break;
+      case Op::SUB:  setRd(rs1() - rs2()); break;
+      case Op::SLL:  setRd(rs1() << (rs2() & 63)); break;
+      case Op::SLT:
+        setRd(static_cast<int64_t>(rs1()) < static_cast<int64_t>(rs2())
+                  ? 1 : 0);
+        break;
+      case Op::SLTU: setRd(rs1() < rs2() ? 1 : 0); break;
+      case Op::XOR:  setRd(rs1() ^ rs2()); break;
+      case Op::SRL:  setRd(rs1() >> (rs2() & 63)); break;
+      case Op::SRA:
+        setRd(static_cast<uint64_t>(static_cast<int64_t>(rs1()) >>
+                                    (rs2() & 63)));
+        break;
+      case Op::OR:   setRd(rs1() | rs2()); break;
+      case Op::AND:  setRd(rs1() & rs2()); break;
+
+      case Op::ADDIW:
+        setRd(sext32(rs1() + static_cast<uint64_t>(instr.imm)));
+        break;
+      case Op::SLLIW: setRd(sext32(rs1() << (instr.imm & 31))); break;
+      case Op::SRLIW:
+        setRd(sext32(static_cast<uint32_t>(rs1()) >> (instr.imm & 31)));
+        break;
+      case Op::SRAIW:
+        setRd(sext32(static_cast<uint64_t>(
+            static_cast<int32_t>(rs1()) >> (instr.imm & 31))));
+        break;
+      case Op::ADDW: setRd(sext32(rs1() + rs2())); break;
+      case Op::SUBW: setRd(sext32(rs1() - rs2())); break;
+      case Op::SLLW: setRd(sext32(rs1() << (rs2() & 31))); break;
+      case Op::SRLW:
+        setRd(sext32(static_cast<uint32_t>(rs1()) >> (rs2() & 31)));
+        break;
+      case Op::SRAW:
+        setRd(sext32(static_cast<uint64_t>(
+            static_cast<int32_t>(rs1()) >> (rs2() & 31))));
+        break;
+
+      case Op::MUL:  setRd(rs1() * rs2()); break;
+      case Op::MULH: setRd(mulhSigned(static_cast<int64_t>(rs1()),
+                                      static_cast<int64_t>(rs2())));
+        break;
+      case Op::MULHU: setRd(mulhUnsigned(rs1(), rs2())); break;
+      case Op::DIV: {
+        auto a = static_cast<int64_t>(rs1());
+        auto b = static_cast<int64_t>(rs2());
+        if (b == 0)
+            setRd(~0ULL);
+        else if (a == INT64_MIN && b == -1)
+            setRd(static_cast<uint64_t>(INT64_MIN));
+        else
+            setRd(static_cast<uint64_t>(a / b));
+        break;
+      }
+      case Op::DIVU:
+        setRd(rs2() == 0 ? ~0ULL : rs1() / rs2());
+        break;
+      case Op::REM: {
+        auto a = static_cast<int64_t>(rs1());
+        auto b = static_cast<int64_t>(rs2());
+        if (b == 0)
+            setRd(static_cast<uint64_t>(a));
+        else if (a == INT64_MIN && b == -1)
+            setRd(0);
+        else
+            setRd(static_cast<uint64_t>(a % b));
+        break;
+      }
+      case Op::REMU:
+        setRd(rs2() == 0 ? rs1() : rs1() % rs2());
+        break;
+      case Op::MULW: setRd(sext32(rs1() * rs2())); break;
+      case Op::DIVW: {
+        auto a = static_cast<int32_t>(rs1());
+        auto b = static_cast<int32_t>(rs2());
+        if (b == 0)
+            setRd(~0ULL);
+        else if (a == INT32_MIN && b == -1)
+            setRd(sext32(static_cast<uint32_t>(INT32_MIN)));
+        else
+            setRd(sext32(static_cast<uint32_t>(a / b)));
+        break;
+      }
+      case Op::REMW: {
+        auto a = static_cast<int32_t>(rs1());
+        auto b = static_cast<int32_t>(rs2());
+        if (b == 0)
+            setRd(sext32(static_cast<uint32_t>(a)));
+        else if (a == INT32_MIN && b == -1)
+            setRd(0);
+        else
+            setRd(sext32(static_cast<uint32_t>(a % b)));
+        break;
+      }
+
+      case Op::FENCE:
+      case Op::FENCE_I:
+        break;
+
+      case Op::ECALL:
+        rec.exc = priv == isa::Priv::M ? ExcCause::EcallM
+                                       : ExcCause::EcallU;
+        return rec;
+      case Op::EBREAK:
+        rec.exc = ExcCause::Breakpoint;
+        return rec;
+      case Op::MRET:
+      case Op::SRET:
+        if (priv != isa::Priv::M) {
+            rec.exc = ExcCause::IllegalInstr;
+            return rec;
+        }
+        priv = isa::Priv::U;
+        break;
+      case Op::CSRRW:
+      case Op::CSRRS:
+      case Op::CSRRC:
+        // Minimal CSR file: reads return 0; writes are dropped. The
+        // generator never relies on CSR values.
+        setRd(0);
+        break;
+
+      case Op::FADD_D:
+        fregs[instr.rd] = asBits(asDouble(fregs[instr.rs1]) +
+                                 asDouble(fregs[instr.rs2]));
+        break;
+      case Op::FSUB_D:
+        fregs[instr.rd] = asBits(asDouble(fregs[instr.rs1]) -
+                                 asDouble(fregs[instr.rs2]));
+        break;
+      case Op::FMUL_D:
+        fregs[instr.rd] = asBits(asDouble(fregs[instr.rs1]) *
+                                 asDouble(fregs[instr.rs2]));
+        break;
+      case Op::FDIV_D:
+        fregs[instr.rd] = asBits(asDouble(fregs[instr.rs1]) /
+                                 asDouble(fregs[instr.rs2]));
+        break;
+      case Op::FMV_X_D:
+        setRd(fregs[instr.rs1]);
+        break;
+      case Op::FMV_D_X:
+        fregs[instr.rd] = rs1();
+        break;
+
+      case Op::SWAPNEXT:
+        // Terminal marker; the runner interprets it.
+        break;
+
+      case Op::ILLEGAL:
+      default:
+        rec.exc = ExcCause::IllegalInstr;
+        return rec;
+    }
+
+    pc = rec.next_pc;
+    return rec;
+}
+
+GoldenRun
+Golden::run(const swapmem::Memory &mem, uint64_t max_steps,
+            swapmem::Memory *writable_mem, bool keep_trace)
+{
+    GoldenRun result;
+    for (uint64_t i = 0; i < max_steps; ++i) {
+        GoldenStep rec = step(mem, writable_mem);
+        ++result.steps;
+        if (keep_trace)
+            result.trace.push_back(rec);
+        if (rec.exc != ExcCause::None) {
+            result.reason = HaltReason::Exception;
+            result.exc = rec.exc;
+            result.final_pc = rec.pc;
+            return result;
+        }
+        if (rec.instr.op == Op::SWAPNEXT) {
+            result.reason = HaltReason::SwapNext;
+            result.final_pc = rec.pc;
+            return result;
+        }
+    }
+    result.reason = HaltReason::MaxSteps;
+    result.final_pc = pc;
+    return result;
+}
+
+} // namespace dejavuzz::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Address-space layout of the dynamic swappable memory (paper §3.2,
+ * Fig. 4 bottom).
+ *
+ * Three regions share one physical address space:
+ *  - shared:    execution environment common to both DUT instances
+ *               (reset stub, trap handler hook, scratch firmware);
+ *  - swappable: the window the swap runtime re-loads with a different
+ *               instruction packet at each schedule step;
+ *  - dedicated: per-DUT-instance data - the secret and the mutable
+ *               operands - so variants differ only here;
+ * plus a plain data region for leak/scratch arrays.
+ */
+
+#ifndef DEJAVUZZ_SWAPMEM_LAYOUT_HH
+#define DEJAVUZZ_SWAPMEM_LAYOUT_HH
+
+#include <cstdint>
+
+namespace dejavuzz::swapmem {
+
+constexpr uint64_t kPageBytes = 0x1000;
+
+constexpr uint64_t kSharedBase = 0x0000'1000;
+constexpr uint64_t kSharedSize = 0x0000'3000;
+
+constexpr uint64_t kSwapBase = 0x0001'0000;
+constexpr uint64_t kSwapSize = 0x0000'4000;
+
+constexpr uint64_t kDedicatedBase = 0x0002'0000;
+constexpr uint64_t kDedicatedSize = 0x0000'2000;
+
+constexpr uint64_t kDataBase = 0x0003'0000;
+constexpr uint64_t kDataSize = 0x0000'8000;
+
+constexpr uint64_t kMemBytes = 0x0004'0000;
+
+/** Secret block inside the dedicated region. */
+constexpr uint64_t kSecretAddr = kDedicatedBase;
+constexpr uint64_t kSecretBytes = 64;
+
+/** Mutable operand block inside the dedicated region. */
+constexpr uint64_t kOperandAddr = kDedicatedBase + 0x100;
+constexpr uint64_t kOperandBytes = 0x100;
+
+/** Trap vector: the swap runtime's handler entry in the shared region. */
+constexpr uint64_t kTrapVector = kSharedBase;
+
+/** Reset vector: shared-region startup stub. */
+constexpr uint64_t kResetVector = kSharedBase + 0x100;
+
+/** Leak array (the classic Spectre probe array) in the data region. */
+constexpr uint64_t kLeakArrayAddr = kDataBase;
+constexpr uint64_t kLeakArrayBytes = 0x4000;
+
+/** Scratch area for generated loads/stores. */
+constexpr uint64_t kScratchAddr = kDataBase + 0x4000;
+constexpr uint64_t kScratchBytes = 0x4000;
+
+/**
+ * A hole inside the physical image with no page mapping: accesses
+ * raise page faults (the image spans [0, kMemBytes) but the range
+ * [kUnmappedAddr, kMemBytes) is left out of the page map).
+ */
+constexpr uint64_t kUnmappedAddr = kDataBase + kDataSize;
+
+} // namespace dejavuzz::swapmem
+
+#endif // DEJAVUZZ_SWAPMEM_LAYOUT_HH

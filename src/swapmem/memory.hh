@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Byte-addressable backing memory with per-byte taint, page
+ * permissions, PMP-style secret protection, and an undo log.
+ *
+ * Each DUT instance owns one Memory (the dedicated region differs
+ * between instances; everything else is identical). The undo log lets
+ * the differential harness re-run one instance's cycle after learning
+ * the sibling's control trace without copying the whole image.
+ */
+
+#ifndef DEJAVUZZ_SWAPMEM_MEMORY_HH
+#define DEJAVUZZ_SWAPMEM_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ift/taint.hh"
+#include "isa/exceptions.hh"
+#include "swapmem/layout.hh"
+
+namespace dejavuzz::swapmem {
+
+/** How the secret block is architecturally protected right now. */
+enum class SecretProt : uint8_t {
+    Open,   ///< readable by U-mode (training phase / Spectre payloads)
+    Pmp,    ///< PMP-denied => load access fault
+    Pte,    ///< PTE-denied => load page fault
+};
+
+/** Kind of access being permission-checked. */
+enum class AccessKind : uint8_t { Load, Store, Fetch };
+
+class Memory
+{
+  public:
+    Memory();
+
+    // --- raw byte access (no permission checks) ------------------------
+    uint8_t byte(uint64_t addr) const;
+    void setByte(uint64_t addr, uint8_t value, bool tainted);
+
+    /** Little-endian load of @p bytes (1/2/4/8) with taint. */
+    ift::TV read(uint64_t addr, unsigned bytes) const;
+    /** Little-endian store with per-byte taint derived from tv.t. */
+    void write(uint64_t addr, unsigned bytes, ift::TV tv);
+
+    /** 32-bit instruction fetch word. */
+    uint32_t fetchWord(uint64_t addr) const;
+
+    /** Copy a block in (used by the swap runtime packet loader). */
+    void loadBlock(uint64_t addr, const uint32_t *words, size_t count);
+    /** Zero-fill a range (clears taint as well). */
+    void zeroRange(uint64_t addr, uint64_t bytes);
+
+    // --- permissions ----------------------------------------------------
+    /**
+     * Architectural permission check. Returns ExcCause::None when the
+     * access is allowed for @p priv.
+     */
+    isa::ExcCause check(uint64_t addr, unsigned bytes, AccessKind kind,
+                        isa::Priv priv) const;
+
+    void setSecretProt(SecretProt prot) { secret_prot_ = prot; }
+    SecretProt secretProt() const { return secret_prot_; }
+
+    /** Install the secret block (tainted bytes). */
+    void installSecret(const uint8_t *data, size_t bytes);
+    /** Write a mutable operand slot (untainted). */
+    void setOperand(unsigned slot, uint64_t value);
+    uint64_t operandAddr(unsigned slot) const;
+
+    // --- undo log --------------------------------------------------------
+    void beginUndo();
+    void rollbackUndo();
+    void discardUndo();
+
+    bool inRange(uint64_t addr) const { return addr < kMemBytes; }
+
+  private:
+    struct UndoRec
+    {
+        uint32_t addr;
+        uint8_t value;
+        uint8_t taint;
+    };
+
+    std::vector<uint8_t> data_;
+    std::vector<uint8_t> taint_;
+    SecretProt secret_prot_ = SecretProt::Open;
+    bool undo_active_ = false;
+    std::vector<UndoRec> undo_;
+};
+
+} // namespace dejavuzz::swapmem
+
+#endif // DEJAVUZZ_SWAPMEM_MEMORY_HH

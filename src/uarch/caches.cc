@@ -1,0 +1,444 @@
+#include "uarch/caches.hh"
+
+#include "util/logging.hh"
+
+namespace dejavuzz::uarch {
+
+// --- ICache ------------------------------------------------------------
+
+ICache::ICache(unsigned lines, unsigned miss_latency)
+    : miss_latency_(miss_latency)
+{
+    dv_assert(isPow2(lines));
+    tags_.resize(lines);
+}
+
+size_t
+ICache::indexOf(uint64_t line) const
+{
+    return line & (tags_.size() - 1);
+}
+
+bool
+ICache::hit(uint64_t addr) const
+{
+    uint64_t line = lineOf(addr);
+    const Line &slot = tags_[indexOf(line)];
+    return slot.valid && slot.tag == line;
+}
+
+bool
+ICache::startRefill(uint64_t addr, bool addr_tainted)
+{
+    if (refillBusy())
+        return false;
+    refill_line_ = lineOf(addr);
+    refill_remaining_ = miss_latency_;
+    refill_taint_ = addr_tainted;
+    return true;
+}
+
+void
+ICache::tick()
+{
+    if (refill_remaining_ == 0)
+        return;
+    ++busy_cycles;
+    if (--refill_remaining_ == 0) {
+        Line &slot = tags_[indexOf(refill_line_)];
+        slot.valid = true;
+        slot.tag = refill_line_;
+        slot.taint = refill_taint_ ? 1 : 0;
+    }
+}
+
+void
+ICache::flush()
+{
+    for (Line &slot : tags_)
+        slot = Line{};
+    refill_remaining_ = 0;
+}
+
+uint64_t
+ICache::stateHash() const
+{
+    uint64_t hash = kFnvOffset;
+    for (const Line &slot : tags_) {
+        hash = fnv1a(hash, slot.valid);
+        hash = fnv1a(hash, slot.tag);
+    }
+    return hash;
+}
+
+uint32_t
+ICache::taintedRegCount() const
+{
+    uint32_t n = 0;
+    for (const Line &slot : tags_)
+        n += slot.taint != 0;
+    return n;
+}
+
+uint64_t
+ICache::taintBits() const
+{
+    // A tainted line tag stands for a whole line of secret-steered
+    // fetch state.
+    return static_cast<uint64_t>(taintedRegCount()) * 8;
+}
+
+void
+ICache::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+{
+    ift::SinkSnapshot sink;
+    sink.module = "icache";
+    sink.name = "tags";
+    sink.annotated = true;
+    sink.taint.resize(tags_.size());
+    sink.live.resize(tags_.size());
+    for (size_t i = 0; i < tags_.size(); ++i) {
+        sink.taint[i] = tags_[i].taint;
+        sink.live[i] = tags_[i].valid ? 1 : 0;
+    }
+    out.push_back(std::move(sink));
+}
+
+// --- DCache ------------------------------------------------------------
+
+DCache::DCache(unsigned lines, unsigned mshrs, unsigned lfbs,
+               unsigned hit_latency, unsigned miss_latency)
+    : hit_latency_(hit_latency), miss_latency_(miss_latency)
+{
+    dv_assert(isPow2(lines));
+    dv_assert(lfbs >= mshrs);
+    tags_.resize(lines);
+    mshrs_.resize(mshrs);
+    lfbs_.resize(lfbs);
+    lfb_owner_valid_.assign(lfbs, 0);
+}
+
+size_t
+DCache::indexOf(uint64_t line) const
+{
+    return line & (tags_.size() - 1);
+}
+
+bool
+DCache::hit(uint64_t addr) const
+{
+    uint64_t line = lineOf(addr);
+    const Line &slot = tags_[indexOf(line)];
+    return slot.valid && slot.tag == line;
+}
+
+uint64_t
+DCache::lineTaint(uint64_t addr) const
+{
+    uint64_t line = lineOf(addr);
+    const Line &slot = tags_[indexOf(line)];
+    return (slot.valid && slot.tag == line) ? slot.taint : 0;
+}
+
+int
+DCache::allocMshr(TV addr, bool addr_ctl)
+{
+    uint64_t line = lineOf(addr.v);
+    // Already pending?
+    int existing = findMshr(addr.v);
+    if (existing >= 0)
+        return existing;
+    for (size_t i = 0; i < mshrs_.size(); ++i) {
+        if (mshrs_[i].valid)
+            continue;
+        MshrEntry &entry = mshrs_[i];
+        entry.valid = true;
+        entry.line = line;
+        entry.remaining = miss_latency_;
+        entry.addr = addr;
+        entry.lfb_index = static_cast<int>(i); // 1:1 MSHR->LFB pairing
+        entry.faulting = false;
+        entry.addr_ctl = addr_ctl;
+        lfb_owner_valid_[i] = 1;
+        return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+DCache::findMshr(uint64_t addr) const
+{
+    uint64_t line = lineOf(addr);
+    for (size_t i = 0; i < mshrs_.size(); ++i) {
+        if (mshrs_[i].valid && mshrs_[i].line == line)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+DCache::mshrDone(int index) const
+{
+    return !mshrs_[index].valid;
+}
+
+void
+DCache::tick(const std::vector<TV> &refill_data)
+{
+    bool any_busy = false;
+    for (size_t i = 0; i < mshrs_.size(); ++i) {
+        MshrEntry &entry = mshrs_[i];
+        if (!entry.valid)
+            continue;
+        any_busy = true;
+        if (--entry.remaining != 0)
+            continue;
+        // Refill complete: install the line and park the data in the
+        // LFB. The MSHR then invalidates itself - its valid bit is the
+        // LFB entry's liveness signal, so the (possibly secret-
+        // tainted) LFB data is now dead but still present.
+        TV data = i < refill_data.size() ? refill_data[i] : TV{};
+        if (!entry.faulting) {
+            Line &slot = tags_[indexOf(entry.line)];
+            slot.valid = true;
+            slot.tag = entry.line;
+            slot.taint = data.t | (entry.addr_ctl ? ~0ULL : 0);
+        }
+        LfbEntry &lfb = lfbs_[entry.lfb_index];
+        lfb.line = entry.line;
+        lfb.data = data;
+        lfb_owner_valid_[entry.lfb_index] = 0;
+        entry.valid = false;
+    }
+    if (any_busy)
+        ++busy_cycles;
+}
+
+void
+DCache::storeUpdate(uint64_t addr, TV data)
+{
+    uint64_t line = lineOf(addr);
+    Line &slot = tags_[indexOf(line)];
+    if (slot.valid && slot.tag == line)
+        slot.taint |= data.t;
+}
+
+void
+DCache::validLines(std::vector<uint64_t> &lines) const
+{
+    lines.clear();
+    for (const Line &slot : tags_) {
+        if (slot.valid)
+            lines.push_back(slot.tag);
+    }
+}
+
+uint64_t
+DCache::lfbDataHash() const
+{
+    uint64_t hash = kFnvOffset;
+    for (const LfbEntry &entry : lfbs_) {
+        hash = fnv1a(hash, entry.line);
+        hash = fnv1a(hash, entry.data.v);
+    }
+    return hash;
+}
+
+void
+DCache::flush()
+{
+    for (Line &slot : tags_)
+        slot = Line{};
+    for (MshrEntry &entry : mshrs_)
+        entry = MshrEntry{};
+    for (LfbEntry &entry : lfbs_)
+        entry = LfbEntry{};
+    std::fill(lfb_owner_valid_.begin(), lfb_owner_valid_.end(), 0);
+}
+
+uint64_t
+DCache::stateHash() const
+{
+    uint64_t hash = kFnvOffset;
+    for (const Line &slot : tags_) {
+        hash = fnv1a(hash, slot.valid);
+        hash = fnv1a(hash, slot.tag);
+    }
+    return hash;
+}
+
+uint32_t
+DCache::taintedRegCount() const
+{
+    uint32_t n = 0;
+    for (const Line &slot : tags_)
+        n += slot.taint != 0;
+    return n;
+}
+
+uint64_t
+DCache::taintBits() const
+{
+    uint64_t n = 0;
+    for (const Line &slot : tags_)
+        n += popcount64(slot.taint);
+    return n;
+}
+
+uint32_t
+DCache::mshrTaintedRegCount() const
+{
+    uint32_t n = 0;
+    for (const MshrEntry &entry : mshrs_)
+        n += entry.valid && entry.addr.t != 0;
+    return n;
+}
+
+uint64_t
+DCache::mshrTaintBits() const
+{
+    uint64_t n = 0;
+    for (const MshrEntry &entry : mshrs_) {
+        if (entry.valid)
+            n += popcount64(entry.addr.t);
+    }
+    return n;
+}
+
+uint32_t
+DCache::lfbTaintedRegCount() const
+{
+    uint32_t n = 0;
+    for (const LfbEntry &entry : lfbs_)
+        n += entry.data.t != 0;
+    return n;
+}
+
+uint64_t
+DCache::lfbTaintBits() const
+{
+    uint64_t n = 0;
+    for (const LfbEntry &entry : lfbs_)
+        n += popcount64(entry.data.t);
+    return n;
+}
+
+void
+DCache::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+{
+    {
+        ift::SinkSnapshot sink;
+        sink.module = "dcache";
+        sink.name = "lines";
+        sink.annotated = true;
+        sink.taint.resize(tags_.size());
+        sink.live.resize(tags_.size());
+        for (size_t i = 0; i < tags_.size(); ++i) {
+            sink.taint[i] = tags_[i].taint;
+            sink.live[i] = tags_[i].valid ? 1 : 0;
+        }
+        out.push_back(std::move(sink));
+    }
+    {
+        // (* liveness_mask = "mshr_valid_vec" *) reg lb [..] - the
+        // paper's own example annotation.
+        ift::SinkSnapshot sink;
+        sink.module = "lfb";
+        sink.name = "lb";
+        sink.annotated = true;
+        sink.taint.resize(lfbs_.size());
+        sink.live.resize(lfbs_.size());
+        for (size_t i = 0; i < lfbs_.size(); ++i) {
+            sink.taint[i] = lfbs_[i].data.t;
+            sink.live[i] = lfb_owner_valid_[i];
+        }
+        out.push_back(std::move(sink));
+    }
+}
+
+// --- Tlb ---------------------------------------------------------------
+
+Tlb::Tlb(unsigned entries, const char *name) : name_(name)
+{
+    slots_.resize(entries);
+}
+
+bool
+Tlb::hit(uint64_t vpn) const
+{
+    for (const Slot &slot : slots_) {
+        if (slot.valid && slot.vpn.v == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::insert(TV vpn)
+{
+    for (Slot &slot : slots_) {
+        if (slot.valid && slot.vpn.v == vpn.v) {
+            slot.vpn.t |= vpn.t;
+            return;
+        }
+    }
+    Slot &victim = slots_[next_victim_];
+    next_victim_ = (next_victim_ + 1) % slots_.size();
+    victim.valid = true;
+    victim.vpn = vpn;
+}
+
+void
+Tlb::flush()
+{
+    for (Slot &slot : slots_)
+        slot = Slot{};
+    next_victim_ = 0;
+}
+
+uint64_t
+Tlb::stateHash() const
+{
+    uint64_t hash = kFnvOffset;
+    for (const Slot &slot : slots_) {
+        hash = fnv1a(hash, slot.valid);
+        hash = fnv1a(hash, slot.vpn.v);
+    }
+    return hash;
+}
+
+uint32_t
+Tlb::taintedRegCount() const
+{
+    uint32_t n = 0;
+    for (const Slot &slot : slots_)
+        n += slot.vpn.t != 0;
+    return n;
+}
+
+uint64_t
+Tlb::taintBits() const
+{
+    uint64_t n = 0;
+    for (const Slot &slot : slots_)
+        n += popcount64(slot.vpn.t);
+    return n;
+}
+
+void
+Tlb::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+{
+    ift::SinkSnapshot sink;
+    sink.module = name_;
+    sink.name = "entries";
+    sink.annotated = true;
+    sink.taint.resize(slots_.size());
+    sink.live.resize(slots_.size());
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        sink.taint[i] = slots_[i].vpn.t;
+        sink.live[i] = slots_[i].valid ? 1 : 0;
+    }
+    out.push_back(std::move(sink));
+}
+
+} // namespace dejavuzz::uarch

@@ -1,0 +1,117 @@
+#include "uarch/config.hh"
+
+namespace dejavuzz::uarch {
+
+CoreConfig
+smallBoomConfig()
+{
+    CoreConfig cfg;
+    cfg.name = "SmallBOOM";
+    cfg.kind = CoreKind::Boom;
+    cfg.isa = "RV64GC";
+
+    cfg.rob_entries = 32;
+    cfg.prf_entries = 96;
+    cfg.lq_entries = 8;
+    cfg.sq_entries = 8;
+    cfg.bht_entries = 128;
+    cfg.btb_entries = 16;
+    cfg.faubtb_entries = 8;
+    cfg.ras_entries = 8;
+    cfg.loop_entries = 8;
+    cfg.ind_entries = 8;
+    cfg.icache_lines = 32;
+    cfg.dcache_lines = 64;
+    cfg.mshr_entries = 4;
+    cfg.lfb_entries = 4;
+    cfg.dtlb_entries = 8;
+    cfg.l2tlb_entries = 16;
+
+    // BOOM: speculative predictor updates, decode-stage illegal stall,
+    // Meltdown-style forwarding, Phantom-RSB and Phantom-BTB bugs.
+    cfg.meltdown_forwarding = true;
+    cfg.illegal_stalls_decode = true;
+    cfg.speculative_predictor_update = true;
+    cfg.bug_b1_addr_truncation = false;
+    cfg.bug_b2_ras_partial_restore = true;
+    cfg.bug_b3_btb_race = true;
+    cfg.bug_b4_fetch_refill_preempt = true;
+    cfg.bug_b5_shared_load_wb = false;
+
+    // Matches the manual-annotation effort reported in Table 2.
+    cfg.annotation_loc = 212;
+    return cfg;
+}
+
+CoreConfig
+xiangshanMinimalConfig()
+{
+    CoreConfig cfg;
+    cfg.name = "XiangShan-Minimal";
+    cfg.kind = CoreKind::XiangShan;
+    cfg.isa = "RV64GC";
+
+    cfg.rob_entries = 48;
+    cfg.prf_entries = 128;
+    cfg.lq_entries = 12;
+    cfg.sq_entries = 12;
+    cfg.bht_entries = 256;
+    cfg.btb_entries = 32;
+    cfg.faubtb_entries = 0;   // no separate micro-BTB in this model
+    cfg.ras_entries = 12;
+    cfg.loop_entries = 0;     // no loop predictor
+    cfg.ind_entries = 16;
+    cfg.icache_lines = 64;
+    cfg.dcache_lines = 128;
+    cfg.mshr_entries = 6;
+    cfg.lfb_entries = 6;
+    cfg.dtlb_entries = 16;
+    cfg.l2tlb_entries = 32;
+
+    // XiangShan: commit-time predictor training (predictor state does
+    // not leak), illegal instructions flow down the pipe (illegal
+    // windows do trigger), B1 truncation and B5 port sharing present.
+    cfg.meltdown_forwarding = true;
+    cfg.illegal_stalls_decode = false;
+    cfg.speculative_predictor_update = false;
+    cfg.bug_b1_addr_truncation = true;
+    cfg.bug_b2_ras_partial_restore = false;
+    cfg.bug_b3_btb_race = false;
+    cfg.bug_b4_fetch_refill_preempt = true;
+    cfg.bug_b5_shared_load_wb = true;
+
+    cfg.annotation_loc = 592;
+    return cfg;
+}
+
+const char *
+moduleName(ModuleId module_id)
+{
+    switch (module_id) {
+      case kModFrontend: return "frontend";
+      case kModICache:   return "icache";
+      case kModBht:      return "bht";
+      case kModBtb:      return "btb";
+      case kModFauBtb:   return "faubtb";
+      case kModRas:      return "ras";
+      case kModLoopPred: return "loop";
+      case kModIndPred:  return "indpred";
+      case kModRename:   return "rename";
+      case kModPrf:      return "prf";
+      case kModRob:      return "rob";
+      case kModLsu:      return "lsu";
+      case kModLq:       return "lq";
+      case kModSq:       return "sq";
+      case kModDCache:   return "dcache";
+      case kModMshr:     return "mshr";
+      case kModLfb:      return "lfb";
+      case kModDtlb:     return "dtlb";
+      case kModL2Tlb:    return "l2tlb";
+      case kModExec:     return "exec";
+      case kModCsr:      return "csr";
+      case kModCount:    break;
+    }
+    return "?";
+}
+
+} // namespace dejavuzz::uarch

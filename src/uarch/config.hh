@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Core configuration: structure sizes, timing, feature flags and the
+ * planted-bug switches for the two evaluated cores.
+ *
+ * SmallBoomConfig models the paper's BOOM SmallBOOM target (full
+ * complement of speculatively-updated predictors including a FauBTB,
+ * a return-address stack with the Phantom-RSB restore bug, a loop
+ * predictor, and a decode stage that stalls on illegal instructions).
+ * XiangShanMinimalConfig models the XiangShan MinimalConfig target
+ * (larger structures, commit-time predictor updates, the B1 address
+ * truncation and the B5 shared load write-back port).
+ */
+
+#ifndef DEJAVUZZ_UARCH_CONFIG_HH
+#define DEJAVUZZ_UARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dejavuzz::uarch {
+
+/** Which paper core a config models. */
+enum class CoreKind : uint8_t { Boom, XiangShan };
+
+struct CoreConfig
+{
+    std::string name;
+    CoreKind kind = CoreKind::Boom;
+    std::string isa = "RV64GC";
+
+    // --- pipeline widths ---------------------------------------------
+    unsigned fetch_width = 2;
+    unsigned dispatch_width = 2;
+    unsigned commit_width = 2;
+    unsigned issue_scan = 8;      ///< max entries inspected per cycle
+
+    // --- structure sizes ----------------------------------------------
+    unsigned rob_entries = 32;
+    unsigned prf_entries = 96;
+    unsigned lq_entries = 8;
+    unsigned sq_entries = 8;
+    unsigned fetch_buffer = 8;
+
+    unsigned bht_entries = 128;   ///< 2-bit counters
+    unsigned btb_entries = 16;
+    unsigned faubtb_entries = 8;  ///< 0 disables the FauBTB
+    unsigned ras_entries = 8;
+    unsigned loop_entries = 8;    ///< 0 disables the loop predictor
+    unsigned ind_entries = 8;     ///< indirect target predictor
+
+    unsigned icache_lines = 32;   ///< direct-mapped, 64B lines
+    unsigned dcache_lines = 64;   ///< direct-mapped, 64B lines
+    unsigned mshr_entries = 4;
+    unsigned lfb_entries = 4;
+    unsigned dtlb_entries = 8;
+    unsigned l2tlb_entries = 16;
+
+    // --- timing --------------------------------------------------------
+    unsigned dcache_hit_latency = 2;
+    unsigned dcache_miss_latency = 14;
+    unsigned icache_miss_latency = 10;
+    unsigned tlb_miss_latency = 6;
+    unsigned mul_latency = 3;
+    unsigned div_latency = 14;    ///< unpipelined integer divide
+    unsigned fpalu_latency = 4;
+    unsigned fdiv_latency = 18;   ///< unpipelined FP divide
+    unsigned trap_latency = 10;   ///< cycles from faulting commit-head
+                                  ///< to pipeline flush (transient
+                                  ///< window for exception triggers)
+    unsigned alu_ports = 2;
+    unsigned mem_ports = 1;
+    unsigned load_wb_ports = 1;
+
+    // --- behaviour flags -------------------------------------------------
+    /** Faulting loads transiently forward data (Meltdown family). */
+    bool meltdown_forwarding = true;
+    /** Illegal instructions stall at decode (no transient window). */
+    bool illegal_stalls_decode = true;
+    /** Predictors update speculatively at resolve (vs at commit). */
+    bool speculative_predictor_update = true;
+    /** Loads may issue before older unknown store addresses. */
+    bool mem_disambiguation_speculation = true;
+
+    // --- planted bugs (Table 5) -----------------------------------------
+    /** B1: load-unit address wire truncates the high mask bits. */
+    bool bug_b1_addr_truncation = false;
+    /** B2: RAS mispredict recovery restores only TOS + top entry. */
+    bool bug_b2_ras_partial_restore = false;
+    /** B3: exception commit racing an indirect-jump correction
+     *  updates the BTB entry of the faulting PC. */
+    bool bug_b3_btb_race = false;
+    /** B4: transient fetch misses preempt the shared fetch refill
+     *  port past the squash. */
+    bool bug_b4_fetch_refill_preempt = true;
+    /** B5: load pipeline and load queue share the write-back port. */
+    bool bug_b5_shared_load_wb = false;
+
+    /** Liveness annotation line count (Table 2 reporting). */
+    unsigned annotation_loc = 0;
+};
+
+/** The paper's BOOM SmallBOOM configuration. */
+CoreConfig smallBoomConfig();
+
+/** The paper's XiangShan MinimalConfig configuration. */
+CoreConfig xiangshanMinimalConfig();
+
+/** Stable module identifiers used for coverage and taint logs. */
+enum ModuleId : uint16_t {
+    kModFrontend = 0,
+    kModICache,
+    kModBht,
+    kModBtb,
+    kModFauBtb,
+    kModRas,
+    kModLoopPred,
+    kModIndPred,
+    kModRename,
+    kModPrf,
+    kModRob,
+    kModLsu,
+    kModLq,
+    kModSq,
+    kModDCache,
+    kModMshr,
+    kModLfb,
+    kModDtlb,
+    kModL2Tlb,
+    kModExec,
+    kModCsr,
+    kModCount,
+};
+
+const char *moduleName(ModuleId module_id);
+
+} // namespace dejavuzz::uarch
+
+#endif // DEJAVUZZ_UARCH_CONFIG_HH

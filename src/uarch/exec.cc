@@ -1,0 +1,289 @@
+#include "uarch/exec.hh"
+
+#include <bit>
+
+#include "util/bits.hh"
+
+namespace dejavuzz::uarch {
+
+using isa::Instr;
+using isa::Op;
+
+unsigned
+execLatency(const Instr &instr, unsigned mul_latency,
+            unsigned div_latency, unsigned fpalu_latency,
+            unsigned fdiv_latency)
+{
+    switch (isa::opClass(instr.op)) {
+      case isa::OpClass::MulDiv:
+        switch (instr.op) {
+          case Op::MUL: case Op::MULH: case Op::MULHU: case Op::MULW:
+            return mul_latency;
+          default:
+            return div_latency;
+        }
+      case isa::OpClass::FpAlu:
+        return fpalu_latency;
+      case isa::OpClass::FpDiv:
+        return fdiv_latency;
+      default:
+        return 1;
+    }
+}
+
+namespace {
+
+uint64_t
+sext32v(uint64_t value)
+{
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(value)));
+}
+
+TV
+word(TV tv)
+{
+    return ift::sextCell(tv, 32);
+}
+
+double
+asDouble(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+uint64_t
+asBits(double value)
+{
+    return std::bit_cast<uint64_t>(value);
+}
+
+} // namespace
+
+TV
+execArith(const Instr &instr, TV rs1, TV rs2, uint64_t pc,
+          ift::TaintCtx &ctx, uint32_t sig)
+{
+    using ift::addCell;
+    using ift::andCell;
+    using ift::mulLikeCell;
+    using ift::orCell;
+    using ift::shiftCell;
+    using ift::subCell;
+    using ift::xorCell;
+
+    const TV imm = ift::clean(static_cast<uint64_t>(instr.imm));
+    auto a = static_cast<int64_t>(rs1.v);
+    auto b = static_cast<int64_t>(rs2.v);
+
+    switch (instr.op) {
+      case Op::LUI:
+        return ift::clean(static_cast<uint64_t>(
+            signExtend(static_cast<uint64_t>(instr.imm) << 12, 32)));
+      case Op::AUIPC:
+        return ift::clean(
+            pc + static_cast<uint64_t>(
+                     signExtend(static_cast<uint64_t>(instr.imm) << 12,
+                                32)));
+      case Op::JAL:
+      case Op::JALR:
+        return ift::clean(pc + 4);
+
+      case Op::ADDI: return addCell(rs1, imm);
+      case Op::XORI: return xorCell(rs1, imm);
+      case Op::ORI:  return orCell(rs1, imm);
+      case Op::ANDI: return andCell(rs1, imm);
+      case Op::SLTI:
+        return ctx.cmp(sig, a < instr.imm ? 1 : 0, rs1, imm);
+      case Op::SLTIU:
+        return ctx.cmp(sig,
+                       rs1.v < static_cast<uint64_t>(instr.imm) ? 1 : 0,
+                       rs1, imm);
+      case Op::SLLI: return ift::shlConst(rs1, instr.imm & 63);
+      case Op::SRLI: return ift::shrConst(rs1, instr.imm & 63);
+      case Op::SRAI: {
+        TV out = ift::shrConst(rs1, instr.imm & 63);
+        out.v = static_cast<uint64_t>(a >> (instr.imm & 63));
+        if ((rs1.t >> 63) & 1)
+            out.t |= ~(~0ULL >> (instr.imm & 63));
+        return out;
+      }
+
+      case Op::ADD: return addCell(rs1, rs2);
+      case Op::SUB: return subCell(rs1, rs2);
+      case Op::SLL: return shiftCell(rs1.v << (rs2.v & 63), rs1, rs2);
+      case Op::SRL: return shiftCell(rs1.v >> (rs2.v & 63), rs1, rs2);
+      case Op::SRA:
+        return shiftCell(static_cast<uint64_t>(a >> (rs2.v & 63)), rs1,
+                         rs2);
+      case Op::SLT:
+        return ctx.cmp(sig, a < b ? 1 : 0, rs1, rs2);
+      case Op::SLTU:
+        return ctx.cmp(sig, rs1.v < rs2.v ? 1 : 0, rs1, rs2);
+      case Op::XOR: return xorCell(rs1, rs2);
+      case Op::OR:  return orCell(rs1, rs2);
+      case Op::AND: return andCell(rs1, rs2);
+
+      case Op::ADDIW: return word(addCell(rs1, imm));
+      case Op::SLLIW:
+        return word(ift::shlConst(rs1, instr.imm & 31));
+      case Op::SRLIW: {
+        TV out = ift::truncCell(rs1, 32);
+        out = ift::shrConst(out, instr.imm & 31);
+        out.v = sext32v(out.v);
+        return out;
+      }
+      case Op::SRAIW: {
+        TV out;
+        out.v = sext32v(static_cast<uint64_t>(
+            static_cast<int32_t>(rs1.v) >> (instr.imm & 31)));
+        out.t = smearLeft(rs1.t & maskLow(32));
+        return out;
+      }
+      case Op::ADDW: return word(addCell(rs1, rs2));
+      case Op::SUBW: return word(subCell(rs1, rs2));
+      case Op::SLLW:
+        return word(shiftCell(rs1.v << (rs2.v & 31), rs1, rs2));
+      case Op::SRLW:
+        return word(shiftCell(
+            static_cast<uint32_t>(rs1.v) >> (rs2.v & 31), rs1, rs2));
+      case Op::SRAW:
+        return word(shiftCell(
+            sext32v(static_cast<uint64_t>(static_cast<int32_t>(rs1.v) >>
+                                          (rs2.v & 31))),
+            rs1, rs2));
+
+      case Op::MUL:
+        return mulLikeCell(rs1.v * rs2.v, rs1, rs2);
+      case Op::MULH:
+        return mulLikeCell(
+            static_cast<uint64_t>(
+                (static_cast<__int128>(a) * static_cast<__int128>(b)) >>
+                64),
+            rs1, rs2);
+      case Op::MULHU:
+        return mulLikeCell(
+            static_cast<uint64_t>((static_cast<unsigned __int128>(rs1.v) *
+                                   static_cast<unsigned __int128>(rs2.v))
+                                  >> 64),
+            rs1, rs2);
+      case Op::DIV: {
+        uint64_t q;
+        if (b == 0)
+            q = ~0ULL;
+        else if (a == INT64_MIN && b == -1)
+            q = static_cast<uint64_t>(INT64_MIN);
+        else
+            q = static_cast<uint64_t>(a / b);
+        return mulLikeCell(q, rs1, rs2);
+      }
+      case Op::DIVU:
+        return mulLikeCell(rs2.v == 0 ? ~0ULL : rs1.v / rs2.v, rs1,
+                           rs2);
+      case Op::REM: {
+        uint64_t r;
+        if (b == 0)
+            r = static_cast<uint64_t>(a);
+        else if (a == INT64_MIN && b == -1)
+            r = 0;
+        else
+            r = static_cast<uint64_t>(a % b);
+        return mulLikeCell(r, rs1, rs2);
+      }
+      case Op::REMU:
+        return mulLikeCell(rs2.v == 0 ? rs1.v : rs1.v % rs2.v, rs1,
+                           rs2);
+      case Op::MULW:
+        return mulLikeCell(sext32v(rs1.v * rs2.v), rs1, rs2);
+      case Op::DIVW: {
+        auto aw = static_cast<int32_t>(rs1.v);
+        auto bw = static_cast<int32_t>(rs2.v);
+        uint64_t q;
+        if (bw == 0)
+            q = ~0ULL;
+        else if (aw == INT32_MIN && bw == -1)
+            q = sext32v(static_cast<uint32_t>(INT32_MIN));
+        else
+            q = sext32v(static_cast<uint32_t>(aw / bw));
+        return mulLikeCell(q, rs1, rs2);
+      }
+      case Op::REMW: {
+        auto aw = static_cast<int32_t>(rs1.v);
+        auto bw = static_cast<int32_t>(rs2.v);
+        uint64_t r;
+        if (bw == 0)
+            r = sext32v(static_cast<uint32_t>(aw));
+        else if (aw == INT32_MIN && bw == -1)
+            r = 0;
+        else
+            r = sext32v(static_cast<uint32_t>(aw % bw));
+        return mulLikeCell(r, rs1, rs2);
+      }
+
+      case Op::FADD_D:
+        return mulLikeCell(asBits(asDouble(rs1.v) + asDouble(rs2.v)),
+                           rs1, rs2);
+      case Op::FSUB_D:
+        return mulLikeCell(asBits(asDouble(rs1.v) - asDouble(rs2.v)),
+                           rs1, rs2);
+      case Op::FMUL_D:
+        return mulLikeCell(asBits(asDouble(rs1.v) * asDouble(rs2.v)),
+                           rs1, rs2);
+      case Op::FDIV_D:
+        return mulLikeCell(asBits(asDouble(rs1.v) / asDouble(rs2.v)),
+                           rs1, rs2);
+      case Op::FMV_X_D:
+      case Op::FMV_D_X:
+        return rs1;
+
+      case Op::CSRRW: case Op::CSRRS: case Op::CSRRC:
+        return ift::clean(0);
+
+      default:
+        return ift::clean(0);
+    }
+}
+
+TV
+execBranchCond(const Instr &instr, TV rs1, TV rs2, ift::TaintCtx &ctx,
+               uint32_t sig)
+{
+    auto a = static_cast<int64_t>(rs1.v);
+    auto b = static_cast<int64_t>(rs2.v);
+    switch (instr.op) {
+      case Op::BEQ:
+        return ctx.eq(sig, rs1, rs2);
+      case Op::BNE: {
+        TV eq = ctx.eq(sig, rs1, rs2);
+        return TV{eq.v ^ 1, eq.t};
+      }
+      case Op::BLT:
+        return ctx.cmp(sig, a < b ? 1 : 0, rs1, rs2);
+      case Op::BGE:
+        return ctx.cmp(sig, a >= b ? 1 : 0, rs1, rs2);
+      case Op::BLTU:
+        return ctx.cmp(sig, rs1.v < rs2.v ? 1 : 0, rs1, rs2);
+      case Op::BGEU:
+        return ctx.cmp(sig, rs1.v >= rs2.v ? 1 : 0, rs1, rs2);
+      default:
+        return ift::clean(0);
+    }
+}
+
+TV
+execEffAddr(const Instr &instr, TV rs1)
+{
+    return ift::addCell(rs1,
+                        ift::clean(static_cast<uint64_t>(instr.imm)));
+}
+
+TV
+execJalrTarget(const Instr &instr, TV rs1)
+{
+    TV target = ift::addCell(
+        rs1, ift::clean(static_cast<uint64_t>(instr.imm)));
+    target.v &= ~1ULL;
+    return target;
+}
+
+} // namespace dejavuzz::uarch

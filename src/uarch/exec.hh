@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Functional-unit execution semantics over tainted values.
+ *
+ * Computes architectural results together with taint propagation via
+ * the policy kernels: arithmetic goes through the data-flow cells,
+ * comparisons (slt/branch conditions) through the comparison-cell
+ * policy, variable shifts through the shift cell, and multiplies /
+ * divides through the whole-result cell.
+ */
+
+#ifndef DEJAVUZZ_UARCH_EXEC_HH
+#define DEJAVUZZ_UARCH_EXEC_HH
+
+#include <cstdint>
+
+#include "ift/policy.hh"
+#include "ift/taint.hh"
+#include "isa/instr.hh"
+
+namespace dejavuzz::uarch {
+
+using ift::TV;
+
+/** Latency class of an op (cycles; unpipelined units handled upstream). */
+unsigned execLatency(const isa::Instr &instr, unsigned mul_latency,
+                     unsigned div_latency, unsigned fpalu_latency,
+                     unsigned fdiv_latency);
+
+/**
+ * Integer/FP register-result computation for non-memory, non-control
+ * ops. @p sig seeds the control-cell signal id for comparison cells.
+ */
+TV execArith(const isa::Instr &instr, TV rs1, TV rs2, uint64_t pc,
+             ift::TaintCtx &ctx, uint32_t sig);
+
+/** Branch condition (1-bit TV) via the comparison-cell policy. */
+TV execBranchCond(const isa::Instr &instr, TV rs1, TV rs2,
+                  ift::TaintCtx &ctx, uint32_t sig);
+
+/** Effective address of a memory op (add cell). */
+TV execEffAddr(const isa::Instr &instr, TV rs1);
+
+/** Indirect jump target ((rs1 + imm) & ~1, add cell). */
+TV execJalrTarget(const isa::Instr &instr, TV rs1);
+
+} // namespace dejavuzz::uarch
+
+#endif // DEJAVUZZ_UARCH_EXEC_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Branch prediction complex: BHT, BTB, FauBTB, RAS, loop predictor
+ * and indirect-target predictor.
+ *
+ * All predictors are value types (the differential harness snapshots
+ * cores by copy). Entries carry taint (TV) so transient,
+ * secret-dependent training pollutes predictor state observably -
+ * the (fau)btb / ras / loop timing components of Table 5.
+ *
+ * The RAS implements the paper's B2 Phantom-RSB bug: BOOM's
+ * mispredict recovery restores the TOS pointer and the top entry but
+ * not entries below the TOS that transient calls overwrote.
+ */
+
+#ifndef DEJAVUZZ_UARCH_PREDICTORS_HH
+#define DEJAVUZZ_UARCH_PREDICTORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ift/liveness.hh"
+#include "ift/taint.hh"
+#include "util/bits.hh"
+
+namespace dejavuzz::uarch {
+
+using ift::TV;
+
+/** 2-bit-counter branch history table. */
+class Bht
+{
+  public:
+    explicit Bht(unsigned entries);
+
+    bool predictTaken(uint64_t pc) const;
+    void update(uint64_t pc, bool taken, bool taint);
+
+    uint64_t stateHash() const;
+    uint32_t taintedRegCount() const;
+    uint64_t taintBits() const;
+    size_t entries() const { return counters_.size(); }
+
+  private:
+    size_t indexOf(uint64_t pc) const;
+    std::vector<TV> counters_; ///< v in [0,3]
+
+  public:
+    /** liveness: counters are always architecturally reachable. */
+    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+};
+
+/** Direct-mapped branch target buffer (tagged). */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries);
+
+    /** Returns true on hit; fills @p target. */
+    bool lookup(uint64_t pc, TV &target) const;
+    void update(uint64_t pc, TV target);
+    void invalidate(uint64_t pc);
+
+    uint64_t stateHash() const;
+    uint32_t taintedRegCount() const;
+    uint64_t taintBits() const;
+    size_t entries() const { return slots_.size(); }
+
+    void appendSinks(std::vector<ift::SinkSnapshot> &out,
+                     const char *name) const;
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        TV target;
+    };
+    size_t indexOf(uint64_t pc) const;
+    std::vector<Slot> slots_;
+};
+
+/** Return address stack with committed/speculative copies. */
+class Ras
+{
+  public:
+    explicit Ras(unsigned entries);
+
+    /** Speculative push at fetch (calls). */
+    void push(TV ret_addr);
+    /** Speculative pop at fetch (returns); empty stacks predict 0. */
+    TV pop();
+
+    /** Commit-side mirror updates. */
+    void commitPush(TV ret_addr);
+    void commitPop();
+
+    /**
+     * Mispredict recovery. With @p partial_restore_bug (B2) only the
+     * TOS pointer and the top entry are restored from the committed
+     * copy; otherwise the whole stack is restored.
+     */
+    void recover(bool partial_restore_bug);
+
+    int tos() const { return spec_tos_; }
+    TV entry(size_t index) const { return spec_[index]; }
+
+    uint64_t stateHash() const;
+    uint32_t taintedRegCount() const;
+    uint64_t taintBits() const;
+    size_t entries() const { return spec_.size(); }
+
+    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+
+  private:
+    std::vector<TV> spec_;
+    std::vector<TV> committed_;
+    int spec_tos_ = -1;
+    int committed_tos_ = -1;
+};
+
+/** Loop predictor: learns fixed trip counts of backward branches. */
+class LoopPred
+{
+  public:
+    explicit LoopPred(unsigned entries);
+
+    bool enabled() const { return !slots_.empty(); }
+
+    /**
+     * Direction override: returns true when the predictor has a
+     * confident trip count for @p pc and fills @p taken.
+     */
+    bool predict(uint64_t pc, bool &taken) const;
+    void update(uint64_t pc, bool taken, bool taint);
+
+    uint64_t stateHash() const;
+    uint32_t taintedRegCount() const;
+    uint64_t taintBits() const;
+    size_t entries() const { return slots_.size(); }
+
+    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint16_t trip = 0;       ///< learned taken-run length
+        uint16_t count = 0;      ///< current run length
+        uint8_t confidence = 0;  ///< confident when >= 2
+        uint8_t taint = 0;
+    };
+    size_t indexOf(uint64_t pc) const;
+    std::vector<Slot> slots_;
+};
+
+/** Last-target indirect jump predictor. */
+class IndPred
+{
+  public:
+    explicit IndPred(unsigned entries);
+
+    bool lookup(uint64_t pc, TV &target) const;
+    void update(uint64_t pc, TV target);
+
+    uint64_t stateHash() const;
+    uint32_t taintedRegCount() const;
+    uint64_t taintBits() const;
+    size_t entries() const { return slots_.size(); }
+
+    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        TV target;
+    };
+    size_t indexOf(uint64_t pc) const;
+    std::vector<Slot> slots_;
+};
+
+} // namespace dejavuzz::uarch
+
+#endif // DEJAVUZZ_UARCH_PREDICTORS_HH

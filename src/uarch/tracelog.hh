@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Trace log: the per-cycle RoB IO events, commit records and squash
+ * events a simulation emits. This is the paper's "trace log" -
+ * Phase 1 decides from it whether a transient window triggered (more
+ * instructions enqueued inside the window than committed) and Phase 3
+ * compares commit timing between the two DUT variants.
+ */
+
+#ifndef DEJAVUZZ_UARCH_TRACELOG_HH
+#define DEJAVUZZ_UARCH_TRACELOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/exceptions.hh"
+#include "isa/instr.hh"
+
+namespace dejavuzz::uarch {
+
+/** What caused a pipeline squash. */
+enum class SquashCause : uint8_t {
+    None,
+    BranchMispredict,
+    JumpMispredict,    ///< indirect jump target misprediction
+    ReturnMispredict,  ///< RAS misprediction
+    MemDisambiguation, ///< store-load ordering violation
+    Exception,         ///< architectural trap flush
+};
+
+const char *squashCauseName(SquashCause cause);
+
+/** Per-cycle RoB IO sample. */
+struct RobIoRec
+{
+    uint32_t cycle;
+    uint8_t enqueued;
+    uint8_t committed;
+};
+
+/** One committed instruction. */
+struct CommitRec
+{
+    uint32_t cycle;
+    uint64_t pc;
+    isa::Op op;
+};
+
+/** One squash (window close) event. */
+struct SquashRec
+{
+    uint32_t cycle = 0;         ///< cycle the squash fired
+    uint32_t open_cycle = 0;    ///< cycle the squashing instr dispatched
+    SquashCause cause = SquashCause::None;
+    isa::ExcCause exc = isa::ExcCause::None;
+    uint64_t pc = 0;            ///< PC of the squashing instruction
+    uint64_t spec_pc = 0;       ///< first PC of the wrong (transient) path
+    uint32_t flushed = 0;       ///< younger instructions discarded
+    uint32_t transient_executed = 0; ///< flushed instrs that had executed
+};
+
+/** Whole-run trace. */
+struct TraceLog
+{
+    std::vector<RobIoRec> rob_io;
+    std::vector<CommitRec> commits;
+    std::vector<SquashRec> squashes;
+    uint64_t cycles = 0;
+
+    void
+    clear()
+    {
+        rob_io.clear();
+        commits.clear();
+        squashes.clear();
+        cycles = 0;
+    }
+
+    /**
+     * The transient-window evaluation of Phase 1 (step 1.2): true when
+     * some squash flushed instructions that had been enqueued (and
+     * partially executed) inside the window, i.e. RoB enqueue count
+     * exceeded commit count for the window range.
+     */
+    bool
+    windowTriggered() const
+    {
+        for (const auto &squash : squashes) {
+            if (squash.flushed > 0)
+                return true;
+        }
+        return false;
+    }
+
+    /** Largest squash event (the principal window), if any. */
+    const SquashRec *
+    principalWindow() const
+    {
+        const SquashRec *best = nullptr;
+        for (const auto &squash : squashes) {
+            if (squash.flushed == 0)
+                continue;
+            if (best == nullptr || squash.flushed > best->flushed)
+                best = &squash;
+        }
+        return best;
+    }
+};
+
+} // namespace dejavuzz::uarch
+
+#endif // DEJAVUZZ_UARCH_TRACELOG_HH

@@ -1,0 +1,75 @@
+#include "util/logging.hh"
+
+#include <atomic>
+
+namespace dejavuzz {
+
+namespace {
+std::atomic<bool> g_quiet{false};
+
+void
+vreport(const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    g_quiet.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return g_quiet.load(std::memory_order_relaxed);
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (isQuiet())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info: ", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace dejavuzz

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts the process.
+ * fatal()  - the user asked for something impossible (bad configuration);
+ *            exits with an error code.
+ * warn()   - something looks off but simulation can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef DEJAVUZZ_UTIL_LOGGING_HH
+#define DEJAVUZZ_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dejavuzz {
+
+/** Global verbosity switch; benches silence inform() with this. */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+void warnImpl(const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+#define dv_panic(...) \
+    ::dejavuzz::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define dv_fatal(...) \
+    ::dejavuzz::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define dv_warn(...) ::dejavuzz::warnImpl(__VA_ARGS__)
+#define dv_inform(...) ::dejavuzz::informImpl(__VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define dv_assert(cond, ...)                                          \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::dejavuzz::panicImpl(__FILE__, __LINE__,                 \
+                                  "assertion failed: %s", #cond);     \
+        }                                                             \
+    } while (0)
+
+} // namespace dejavuzz
+
+#endif // DEJAVUZZ_UTIL_LOGGING_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic decision in the fuzzer flows through an Rng seeded
+ * from the test-case seed, so campaigns replay bit-exactly. The engine
+ * is Xoshiro256++ (public domain, Blackman/Vigna) seeded via SplitMix64.
+ */
+
+#ifndef DEJAVUZZ_UTIL_RNG_HH
+#define DEJAVUZZ_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace dejavuzz {
+
+/** SplitMix64 step; used for seeding and cheap hash mixing. */
+constexpr uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Deterministic Xoshiro256++ engine. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x6a09e667f3bcc908ULL) { reseed(seed); }
+
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t sm = seed;
+        for (auto &word : s_)
+            word = splitmix64(sm);
+    }
+
+    /** Uniform 64-bit draw. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound); bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        dv_assert(bound != 0);
+        // Lemire-style rejection-free-ish reduction; bias is negligible
+        // for the bounds we use but we debias anyway for property tests.
+        uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        dv_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        dv_assert(den != 0 && num <= den);
+        return below(den) < num;
+    }
+
+    /** Pick a random element of a non-empty container. */
+    template <typename C>
+    auto &
+    pick(C &container)
+    {
+        dv_assert(!container.empty());
+        return container[below(container.size())];
+    }
+
+    template <typename C>
+    const auto &
+    pick(const C &container) const = delete;
+
+    /** Fork a child generator; decorrelated from the parent stream. */
+    Rng
+    fork()
+    {
+        uint64_t child_seed = next() ^ 0x9e3779b97f4a7c15ULL;
+        return Rng(child_seed);
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<uint64_t, 4> s_{};
+};
+
+} // namespace dejavuzz
+
+#endif // DEJAVUZZ_UTIL_RNG_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small statistics helpers used by the benches (means, confidence
+ * intervals for Fig. 7-style plots).
+ */
+
+#ifndef DEJAVUZZ_UTIL_STATS_HH
+#define DEJAVUZZ_UTIL_STATS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dejavuzz {
+
+/** Running mean/variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+    }
+
+    size_t count() const { return n_; }
+    double mean() const { return mean_; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /**
+     * Half-width of the ~95% confidence interval of the mean using the
+     * normal approximation (1.96 * s / sqrt(n)).
+     */
+    double
+    ci95() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+    }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Mean of a vector (0 for empty input). */
+inline double
+meanOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace dejavuzz
+
+#endif // DEJAVUZZ_UTIL_STATS_HH

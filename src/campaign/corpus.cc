@@ -1,0 +1,128 @@
+#include "campaign/corpus.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz::campaign {
+
+bool
+corpusOrderBefore(const CorpusKey &a, const CorpusKey &b)
+{
+    if (a.gain != b.gain)
+        return a.gain > b.gain;
+    if (a.worker != b.worker)
+        return a.worker < b.worker;
+    return a.seq < b.seq;
+}
+
+bool
+corpusOrderBefore(const CorpusEntry &a, const CorpusEntry &b)
+{
+    return corpusOrderBefore(CorpusKey{a.gain, a.worker, a.seq},
+                             CorpusKey{b.gain, b.worker, b.seq});
+}
+
+namespace {
+
+/** Shard selection must be a pure function of (worker, seq) so
+ *  fetch() can find an entry without scanning every shard. */
+size_t
+shardIndexFor(unsigned worker, uint64_t seq, size_t shards)
+{
+    uint64_t state = (uint64_t{worker} << 32) ^ seq;
+    return splitmix64(state) % shards;
+}
+
+} // namespace
+
+SharedCorpus::SharedCorpus(unsigned shards, unsigned shard_cap)
+    : shard_cap_(shard_cap), shards_(std::max(1u, shards))
+{
+    dv_assert(shard_cap >= 1);
+}
+
+void
+SharedCorpus::offer(CorpusEntry entry)
+{
+    Shard &shard = shards_[shardIndexFor(entry.worker, entry.seq,
+                                         shards_.size())];
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.size() < shard_cap_) {
+        shard.entries.push_back(std::move(entry));
+        return;
+    }
+    // Evict-min keeps the shard's retained set equal to the top-cap
+    // of every entry ever offered, independent of arrival order.
+    auto weakest = std::max_element(
+        shard.entries.begin(), shard.entries.end(),
+        [](const CorpusEntry &a, const CorpusEntry &b) {
+            return corpusOrderBefore(a, b);
+        });
+    if (corpusOrderBefore(entry, *weakest))
+        *weakest = std::move(entry);
+}
+
+size_t
+SharedCorpus::size() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+std::vector<CorpusEntry>
+SharedCorpus::snapshotSorted() const
+{
+    std::vector<CorpusEntry> out;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        out.insert(out.end(), shard.entries.begin(),
+                   shard.entries.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CorpusEntry &a, const CorpusEntry &b) {
+                  return corpusOrderBefore(a, b);
+              });
+    return out;
+}
+
+std::vector<CorpusKey>
+SharedCorpus::snapshotKeys() const
+{
+    std::vector<CorpusKey> out;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &entry : shard.entries)
+            out.push_back(
+                CorpusKey{entry.gain, entry.worker, entry.seq});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CorpusKey &a, const CorpusKey &b) {
+                  return corpusOrderBefore(a, b);
+              });
+    return out;
+}
+
+bool
+SharedCorpus::fetch(unsigned worker, uint64_t seq,
+                    CorpusEntry &out) const
+{
+    const Shard &shard =
+        shards_[shardIndexFor(worker, seq, shards_.size())];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto &entry : shard.entries) {
+        if (entry.worker == worker && entry.seq == seq) {
+            out = entry;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace dejavuzz::campaign

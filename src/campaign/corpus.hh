@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mutex-sharded shared corpus of interesting test cases.
+ *
+ * Workers offer() cases whose Phase-2 run propagated taint and gained
+ * coverage; offers take exactly one shard lock, so contention scales
+ * down with the shard count. Every shard is bounded: when full, the
+ * entry with the smallest (gain, worker, seq) order is evicted, which
+ * makes the retained set the top-N of everything ever offered —
+ * independent of arrival order, so barrier-time snapshots are
+ * deterministic no matter how worker threads interleave.
+ *
+ * Cross-worker seed stealing happens at epoch barriers: the
+ * orchestrator snapshots the corpus in a canonical order and injects
+ * high-gain cases authored by other workers into each fuzzer.
+ */
+
+#ifndef DEJAVUZZ_CAMPAIGN_CORPUS_HH
+#define DEJAVUZZ_CAMPAIGN_CORPUS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/seed.hh"
+
+namespace dejavuzz::campaign {
+
+/** One admitted corpus entry. */
+struct CorpusEntry
+{
+    core::TestCase tc;
+    uint64_t gain = 0;    ///< fresh coverage points when admitted
+    unsigned worker = 0;  ///< authoring worker
+    uint64_t seq = 0;     ///< author-local admission sequence number
+};
+
+/** Lightweight identity of a corpus entry (no test-case payload). */
+struct CorpusKey
+{
+    uint64_t gain = 0;
+    unsigned worker = 0;
+    uint64_t seq = 0;
+};
+
+/** Canonical corpus order: gain desc, then (worker, seq) asc. */
+bool corpusOrderBefore(const CorpusKey &a, const CorpusKey &b);
+bool corpusOrderBefore(const CorpusEntry &a, const CorpusEntry &b);
+
+class SharedCorpus
+{
+  public:
+    /**
+     * @p shards lock-striping width; @p shard_cap bound on entries
+     * retained per shard (total capacity = shards * shard_cap).
+     */
+    explicit SharedCorpus(unsigned shards = 8,
+                          unsigned shard_cap = 64);
+
+    SharedCorpus(const SharedCorpus &) = delete;
+    SharedCorpus &operator=(const SharedCorpus &) = delete;
+
+    /**
+     * Admit @p entry. Thread-safe; locks a single shard chosen by
+     * hashing (worker, seq). Entries below every retained gain in a
+     * full shard are dropped.
+     */
+    void offer(CorpusEntry entry);
+
+    /** Number of retained entries (approximate under concurrency). */
+    size_t size() const;
+
+    /**
+     * Snapshot every retained entry in canonical order. Determinism
+     * holds when no concurrent offer() is running (the orchestrator
+     * snapshots only at epoch barriers).
+     */
+    std::vector<CorpusEntry> snapshotSorted() const;
+
+    /**
+     * Snapshot only (gain, worker, seq) identities in canonical
+     * order — cheap enough to call every epoch; the orchestrator
+     * selects steal targets from this and fetch()es just the few
+     * entries it actually injects.
+     */
+    std::vector<CorpusKey> snapshotKeys() const;
+
+    /**
+     * Copy the entry identified by (worker, seq) into @p out.
+     * Returns false when it has been evicted since the snapshot.
+     */
+    bool fetch(unsigned worker, uint64_t seq, CorpusEntry &out) const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::vector<CorpusEntry> entries;
+    };
+
+    unsigned shard_cap_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace dejavuzz::campaign
+
+#endif // DEJAVUZZ_CAMPAIGN_CORPUS_HH

@@ -1,0 +1,91 @@
+#include "campaign/coverage_map.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace dejavuzz::campaign {
+
+namespace {
+
+constexpr size_t
+wordCount(uint32_t slots)
+{
+    return (static_cast<size_t>(slots) + 63) / 64;
+}
+
+} // namespace
+
+GlobalCoverage::GlobalCoverage(const ift::TaintCoverage &shape)
+{
+    modules_.resize(shape.moduleCount());
+    for (size_t m = 0; m < modules_.size(); ++m) {
+        uint32_t slots =
+            shape.moduleSlots(static_cast<uint16_t>(m));
+        modules_[m].slots = slots;
+        modules_[m].words =
+            std::make_unique<std::atomic<uint64_t>[]>(
+                wordCount(slots));
+        for (size_t w = 0; w < wordCount(slots); ++w)
+            modules_[m].words[w].store(0, std::memory_order_relaxed);
+    }
+}
+
+uint64_t
+GlobalCoverage::mergeFrom(const ift::TaintCoverage &local)
+{
+    dv_assert(local.moduleCount() == modules_.size());
+    uint64_t fresh = 0;
+    for (size_t m = 0; m < modules_.size(); ++m) {
+        auto module_id = static_cast<uint16_t>(m);
+        dv_assert(local.moduleSlots(module_id) == modules_[m].slots);
+        const uint32_t slots = modules_[m].slots;
+        for (size_t w = 0; w < wordCount(slots); ++w) {
+            uint64_t bits = 0;
+            const uint32_t base = static_cast<uint32_t>(w) * 64;
+            const uint32_t limit =
+                std::min<uint32_t>(64, slots - base);
+            for (uint32_t b = 0; b < limit; ++b) {
+                if (local.slotSet(module_id, base + b))
+                    bits |= uint64_t{1} << b;
+            }
+            if (bits == 0)
+                continue;
+            uint64_t prev = modules_[m].words[w].fetch_or(
+                bits, std::memory_order_relaxed);
+            fresh += static_cast<uint64_t>(
+                popcount64(bits & ~prev));
+        }
+    }
+    if (fresh != 0)
+        points_.fetch_add(fresh, std::memory_order_relaxed);
+    return fresh;
+}
+
+uint64_t
+GlobalCoverage::pullInto(ift::TaintCoverage &local) const
+{
+    dv_assert(local.moduleCount() == modules_.size());
+    uint64_t fresh = 0;
+    for (size_t m = 0; m < modules_.size(); ++m) {
+        auto module_id = static_cast<uint16_t>(m);
+        const uint32_t slots = modules_[m].slots;
+        for (size_t w = 0; w < wordCount(slots); ++w) {
+            uint64_t bits =
+                modules_[m].words[w].load(std::memory_order_relaxed);
+            while (bits != 0) {
+                const int b = ctz64(bits);
+                bits &= bits - 1;
+                const uint32_t index =
+                    static_cast<uint32_t>(w) * 64 +
+                    static_cast<uint32_t>(b);
+                if (local.markSlot(module_id, index))
+                    ++fresh;
+            }
+        }
+    }
+    return fresh;
+}
+
+} // namespace dejavuzz::campaign

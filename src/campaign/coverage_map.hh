@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Campaign-global taint-coverage map (lock-free merge target).
+ *
+ * Each worker owns a private ift::TaintCoverage that drives its local
+ * novelty decisions. At the end of every epoch slice the worker ORs
+ * its bitmap into this shared map with atomic fetch_or — merging is
+ * commutative, so the global state at each epoch barrier is identical
+ * no matter how the worker threads interleave. At the start of the
+ * next slice each worker pulls the global map back into its private
+ * map, so mutation-budget decisions reflect what the whole fleet has
+ * already discovered.
+ */
+
+#ifndef DEJAVUZZ_CAMPAIGN_COVERAGE_MAP_HH
+#define DEJAVUZZ_CAMPAIGN_COVERAGE_MAP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ift/coverage.hh"
+
+namespace dejavuzz::campaign {
+
+class GlobalCoverage
+{
+  public:
+    /**
+     * Size the per-module word arrays from @p shape. All maps merged
+     * into this instance must share @p shape's module registration
+     * structure (same DUT configuration).
+     */
+    explicit GlobalCoverage(const ift::TaintCoverage &shape);
+
+    GlobalCoverage(const GlobalCoverage &) = delete;
+    GlobalCoverage &operator=(const GlobalCoverage &) = delete;
+
+    /**
+     * OR @p local's discovered slots into the global map. Lock-free
+     * and safe to call concurrently from any number of workers.
+     * Returns the number of slots that were globally fresh.
+     */
+    uint64_t mergeFrom(const ift::TaintCoverage &local);
+
+    /**
+     * Import every globally discovered slot into @p local. Returns
+     * the number of slots @p local had not seen. Callers must
+     * guarantee no concurrent mergeFrom is mutating the map mid-pull
+     * when they need barrier-deterministic results (the orchestrator
+     * pulls only between epoch slices).
+     */
+    uint64_t pullInto(ift::TaintCoverage &local) const;
+
+    /** Total distinct (module, count) tuples discovered fleet-wide. */
+    uint64_t points() const { return points_.load(std::memory_order_relaxed); }
+
+    size_t moduleCount() const { return modules_.size(); }
+
+  private:
+    struct ModuleWords
+    {
+        uint32_t slots = 0;
+        std::unique_ptr<std::atomic<uint64_t>[]> words;
+    };
+
+    std::vector<ModuleWords> modules_;
+    std::atomic<uint64_t> points_{0};
+};
+
+} // namespace dejavuzz::campaign
+
+#endif // DEJAVUZZ_CAMPAIGN_COVERAGE_MAP_HH

@@ -1,0 +1,59 @@
+#include "campaign/ledger.hh"
+
+namespace dejavuzz::campaign {
+
+bool
+BugLedger::record(const core::BugReport &report, unsigned worker,
+                  uint64_t epoch)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    auto [it, inserted] = records_.try_emplace(report.key());
+    if (inserted) {
+        it->second.report = report;
+        it->second.worker = worker;
+        it->second.epoch = epoch;
+        it->second.hits = 1;
+        return true;
+    }
+    ++it->second.hits;
+    return false;
+}
+
+size_t
+BugLedger::distinct() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+}
+
+uint64_t
+BugLedger::totalReports() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+std::vector<BugRecord>
+BugLedger::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<BugRecord> out;
+    out.reserve(records_.size());
+    for (const auto &[key, record] : records_)
+        out.push_back(record);
+    return out;
+}
+
+std::vector<std::string>
+BugLedger::keys() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(records_.size());
+    for (const auto &[key, record] : records_)
+        out.push_back(key);
+    return out;
+}
+
+} // namespace dejavuzz::campaign

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The `dejavuzz` campaign CLI: sharded multi-worker fuzzing with a
+ * shared corpus, fleet-global coverage merging and deduplicated bug
+ * reporting.
+ *
+ *   dejavuzz --workers 4 --iters 4000 --out campaign.jsonl
+ *   dejavuzz --workers 8 --policy sweep --seconds 60
+ *   dejavuzz --workers 5 --policy ablation --core boom
+ *
+ * The JSONL log (stdout by default) carries worker, trigger, bug and
+ * summary records; the human-readable digest goes to stderr.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "campaign/orchestrator.hh"
+#include "uarch/config.hh"
+
+namespace {
+
+using dejavuzz::campaign::CampaignOptions;
+using dejavuzz::campaign::CampaignOrchestrator;
+using dejavuzz::campaign::CampaignStats;
+using dejavuzz::campaign::ShardPolicy;
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [options]\n"
+        "\n"
+        "  --workers N        worker threads (default 4)\n"
+        "  --policy P         replicas | sweep | ablation "
+        "(default replicas)\n"
+        "  --core C           boom | xiangshan base config "
+        "(default boom)\n"
+        "  --iters N          total iteration budget across workers "
+        "(default 4000; 0 = unbounded)\n"
+        "  --seconds S        wall-clock budget in seconds "
+        "(default off)\n"
+        "  --epoch N          per-worker iterations per sync epoch "
+        "(default 200)\n"
+        "  --master-seed X    campaign master seed (default 1)\n"
+        "  --steals N         stolen seeds per worker per epoch "
+        "(default 1)\n"
+        "  --corpus-shards N  corpus lock shards (default 8)\n"
+        "  --corpus-cap N     entries retained per shard "
+        "(default 64)\n"
+        "  --out PATH         JSONL output file (default stdout)\n"
+        "  --quiet            suppress the stderr digest\n"
+        "  --help             this text\n",
+        argv0);
+}
+
+bool
+parseUint(const char *text, uint64_t &out)
+{
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseDouble(const char *text, double &out)
+{
+    char *end = nullptr;
+    double value = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignOptions options;
+    options.base_config = dejavuzz::uarch::smallBoomConfig();
+    std::string out_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto bad = [&]() {
+            std::fprintf(stderr, "bad value for %s\n", arg.c_str());
+            std::exit(2);
+        };
+
+        uint64_t n = 0;
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--workers") {
+            if (!parseUint(value(), n) || n == 0)
+                bad();
+            options.workers = static_cast<unsigned>(n);
+        } else if (arg == "--policy") {
+            const std::string policy = value();
+            if (policy == "replicas")
+                options.policy = ShardPolicy::Replicas;
+            else if (policy == "sweep")
+                options.policy = ShardPolicy::ConfigSweep;
+            else if (policy == "ablation")
+                options.policy = ShardPolicy::AblationMatrix;
+            else
+                bad();
+        } else if (arg == "--core") {
+            const std::string core = value();
+            if (core == "boom")
+                options.base_config =
+                    dejavuzz::uarch::smallBoomConfig();
+            else if (core == "xiangshan")
+                options.base_config =
+                    dejavuzz::uarch::xiangshanMinimalConfig();
+            else
+                bad();
+        } else if (arg == "--iters") {
+            if (!parseUint(value(), options.total_iterations))
+                bad();
+        } else if (arg == "--seconds") {
+            if (!parseDouble(value(), options.wall_seconds) ||
+                options.wall_seconds < 0.0) {
+                bad();
+            }
+        } else if (arg == "--epoch") {
+            if (!parseUint(value(), options.epoch_iterations) ||
+                options.epoch_iterations == 0) {
+                bad();
+            }
+        } else if (arg == "--master-seed") {
+            if (!parseUint(value(), options.master_seed))
+                bad();
+        } else if (arg == "--steals") {
+            if (!parseUint(value(), n))
+                bad();
+            options.steals_per_epoch = static_cast<unsigned>(n);
+        } else if (arg == "--corpus-shards") {
+            if (!parseUint(value(), n) || n == 0)
+                bad();
+            options.corpus_shards = static_cast<unsigned>(n);
+        } else if (arg == "--corpus-cap") {
+            if (!parseUint(value(), n) || n == 0)
+                bad();
+            options.corpus_shard_cap = static_cast<unsigned>(n);
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (options.total_iterations == 0 &&
+        options.wall_seconds <= 0.0) {
+        std::fprintf(stderr,
+                     "need an --iters or --seconds budget\n");
+        return 2;
+    }
+
+    CampaignOrchestrator orchestrator(options);
+    CampaignStats stats = orchestrator.run();
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        orchestrator.writeJsonl(out);
+    } else {
+        orchestrator.writeJsonl(std::cout);
+    }
+
+    if (!quiet) {
+        std::fprintf(stderr,
+            "campaign: %u workers (%s), %llu iterations in %.2fs "
+            "(%.1f iters/s), %llu coverage points, %zu distinct "
+            "bugs (%llu reports), corpus %llu, %llu steals\n",
+            options.workers,
+            dejavuzz::campaign::shardPolicyName(options.policy),
+            static_cast<unsigned long long>(stats.iterations),
+            stats.wall_seconds, stats.iters_per_sec,
+            static_cast<unsigned long long>(stats.coverage_points),
+            orchestrator.ledger().distinct(),
+            static_cast<unsigned long long>(
+                orchestrator.ledger().totalReports()),
+            static_cast<unsigned long long>(stats.corpus_size),
+            static_cast<unsigned long long>(stats.steals));
+        for (const auto &record : orchestrator.ledger().entries()) {
+            std::fprintf(stderr, "  bug [w%u e%llu x%llu] %s\n",
+                         record.worker,
+                         static_cast<unsigned long long>(
+                             record.epoch),
+                         static_cast<unsigned long long>(
+                             record.hits),
+                         record.report.describe().c_str());
+        }
+    }
+    return 0;
+}

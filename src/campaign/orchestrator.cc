@@ -1,0 +1,320 @@
+#include "campaign/orchestrator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace dejavuzz::campaign {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Ablation variants cycled across workers by AblationMatrix. */
+struct AblationVariant
+{
+    const char *name;
+    bool derived_training;
+    bool coverage_feedback;
+    bool use_liveness;
+    bool training_reduction;
+};
+
+constexpr AblationVariant kAblationMatrix[] = {
+    {"full", true, true, true, true},
+    {"dejavuzz-star", false, true, true, true},
+    {"dejavuzz-minus", true, false, true, true},
+    {"no-liveness", true, true, false, true},
+    {"no-reduction", true, true, true, false},
+};
+
+} // namespace
+
+const char *
+shardPolicyName(ShardPolicy policy)
+{
+    switch (policy) {
+      case ShardPolicy::Replicas: return "replicas";
+      case ShardPolicy::ConfigSweep: return "sweep";
+      case ShardPolicy::AblationMatrix: return "ablation";
+    }
+    return "?";
+}
+
+CampaignOrchestrator::CampaignOrchestrator(
+    const CampaignOptions &options)
+    : options_(options),
+      corpus_(options.corpus_shards, options.corpus_shard_cap),
+      steal_rng_(Rng::streamSeed(options.master_seed,
+                                 0x5eedfeedULL))
+{
+    if (options_.workers == 0)
+        options_.workers = 1;
+    if (options_.epoch_iterations == 0)
+        options_.epoch_iterations = 1;
+    dv_assert(options_.total_iterations != 0 ||
+              options_.wall_seconds > 0.0);
+    provision();
+}
+
+void
+CampaignOrchestrator::provision()
+{
+    workers_.resize(options_.workers);
+    for (unsigned w = 0; w < options_.workers; ++w) {
+        Worker &worker = workers_[w];
+
+        uarch::CoreConfig config = options_.base_config;
+        core::FuzzerOptions fopts = options_.fuzzer;
+        worker.variant = "full";
+
+        switch (options_.policy) {
+          case ShardPolicy::Replicas:
+            break;
+          case ShardPolicy::ConfigSweep:
+            // Alternate between the two paper cores, starting from
+            // the base config's core.
+            if (w % 2 == 1) {
+                config = options_.base_config.kind ==
+                                 uarch::CoreKind::Boom
+                             ? uarch::xiangshanMinimalConfig()
+                             : uarch::smallBoomConfig();
+            }
+            break;
+          case ShardPolicy::AblationMatrix: {
+            const auto &variant =
+                kAblationMatrix[w % std::size(kAblationMatrix)];
+            worker.variant = variant.name;
+            fopts.derived_training = variant.derived_training;
+            fopts.coverage_feedback = variant.coverage_feedback;
+            fopts.use_liveness = variant.use_liveness;
+            fopts.training_reduction = variant.training_reduction;
+            break;
+          }
+        }
+
+        // Independent, reproducible per-worker stream from the one
+        // campaign master seed.
+        fopts.master_seed =
+            Rng::streamSeed(options_.master_seed, w);
+        // Long campaigns: bound memory, the orchestrator tracks the
+        // fleet-level coverage curve itself.
+        fopts.record_coverage_curve = false;
+
+        worker.config_name = config.name;
+        worker.fuzzer =
+            std::make_unique<core::Fuzzer>(config, fopts);
+        worker.fuzzer->setInterestingHook(
+            [this, w, &worker](const core::TestCase &tc,
+                               uint64_t gain) {
+                corpus_.offer(
+                    CorpusEntry{tc, gain, w, worker.offer_seq++});
+            });
+
+        auto [it, inserted] = groups_.try_emplace(worker.config_name);
+        if (inserted) {
+            it->second = std::make_unique<GlobalCoverage>(
+                worker.fuzzer->coverage());
+        }
+        worker.group = it->second.get();
+    }
+}
+
+void
+CampaignOrchestrator::runEpoch(const std::vector<uint64_t> &quotas)
+{
+    // Pull fleet-wide discoveries on the main thread, before any
+    // worker starts: a pull inside the worker slice could observe a
+    // faster sibling's same-epoch merge and break reproducibility.
+    for (size_t w = 0; w < workers_.size(); ++w) {
+        if (quotas[w] != 0)
+            workers_[w].group->pullInto(
+                workers_[w].fuzzer->coverageMut());
+    }
+
+    auto slice = [](Worker &worker, uint64_t quota) {
+        if (quota == 0)
+            return;
+        // Run the slice, then publish our discoveries with lock-free
+        // atomic ORs (commutative, so barrier state is timing-free).
+        worker.fuzzer->run(quota);
+        worker.group->mergeFrom(worker.fuzzer->coverage());
+    };
+
+    if (workers_.size() == 1) {
+        slice(workers_[0], quotas[0]);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (size_t w = 0; w < workers_.size(); ++w)
+        threads.emplace_back(slice, std::ref(workers_[w]),
+                             quotas[w]);
+    for (auto &thread : threads)
+        thread.join();
+}
+
+void
+CampaignOrchestrator::syncEpoch(uint64_t epoch)
+{
+    // Drain fresh bug reports into the ledger in worker order so
+    // first-discovery provenance is thread-timing independent.
+    for (unsigned w = 0; w < workers_.size(); ++w) {
+        Worker &worker = workers_[w];
+        const auto &bugs = worker.fuzzer->stats().bugs;
+        for (size_t i = worker.bugs_drained; i < bugs.size(); ++i)
+            ledger_.record(bugs[i], w, epoch);
+        worker.bugs_drained = bugs.size();
+    }
+
+    // Cross-worker seed stealing from a canonical corpus snapshot.
+    // Only (gain, worker, seq) keys are snapshotted; the handful of
+    // entries actually injected are fetched individually, so the
+    // barrier never deep-copies the whole corpus.
+    if (options_.steals_per_epoch == 0 || workers_.size() < 2)
+        return;
+    std::vector<CorpusKey> snapshot = corpus_.snapshotKeys();
+    if (snapshot.empty())
+        return;
+    for (unsigned w = 0; w < workers_.size(); ++w) {
+        Worker &worker = workers_[w];
+        std::vector<const CorpusKey *> eligible;
+        eligible.reserve(snapshot.size());
+        for (const auto &key : snapshot) {
+            if (key.worker == w)
+                continue;
+            // Test cases are trigger-tuned to their author's core:
+            // only steal within the same config group (mirrors the
+            // per-config coverage split).
+            if (workers_[key.worker].config_name !=
+                worker.config_name) {
+                continue;
+            }
+            if (worker.stolen.count({key.worker, key.seq}))
+                continue;
+            eligible.push_back(&key);
+        }
+        for (unsigned s = 0;
+             s < options_.steals_per_epoch && !eligible.empty();
+             ++s) {
+            // Bias toward the head of the canonical (highest-gain)
+            // order: draw twice, keep the earlier index.
+            uint64_t a = steal_rng_.below(eligible.size());
+            uint64_t b = steal_rng_.below(eligible.size());
+            uint64_t pick = std::min(a, b);
+            const CorpusKey *key = eligible[pick];
+            CorpusEntry entry;
+            if (corpus_.fetch(key->worker, key->seq, entry)) {
+                worker.fuzzer->injectSeed(entry.tc);
+                worker.stolen.insert({key->worker, key->seq});
+                ++steals_;
+            }
+            eligible.erase(eligible.begin() +
+                           static_cast<ptrdiff_t>(pick));
+        }
+    }
+}
+
+void
+CampaignOrchestrator::finalizeStats(double wall_seconds)
+{
+    stats_.workers.clear();
+    for (unsigned w = 0; w < workers_.size(); ++w) {
+        const Worker &worker = workers_[w];
+        const core::FuzzerStats &fs = worker.fuzzer->stats();
+        WorkerSummary summary;
+        summary.worker = w;
+        summary.config = worker.config_name;
+        summary.variant = worker.variant;
+        summary.iterations = fs.iterations;
+        summary.simulations = fs.simulations;
+        summary.windows_triggered = fs.windows_triggered;
+        summary.coverage_points = fs.coverage_points;
+        summary.seeds_imported = fs.seeds_imported;
+        summary.bug_reports = fs.bugs.size();
+        summary.active_seconds = worker.fuzzer->elapsedSeconds();
+        stats_.addWorker(summary, worker.fuzzer->triggerStats());
+    }
+
+    stats_.coverage_points = 0;
+    for (const auto &[name, group] : groups_)
+        stats_.coverage_points += group->points();
+
+    stats_.corpus_size = corpus_.size();
+    stats_.steals = steals_;
+    stats_.wall_seconds = wall_seconds;
+    stats_.iters_per_sec =
+        wall_seconds > 0.0
+            ? static_cast<double>(stats_.iterations) / wall_seconds
+            : 0.0;
+}
+
+CampaignStats
+CampaignOrchestrator::run()
+{
+    dv_assert(!ran_);
+    ran_ = true;
+
+    const double begin = nowSeconds();
+    uint64_t done = 0;
+    uint64_t epoch = 0;
+
+    for (;;) {
+        if (options_.total_iterations != 0 &&
+            done >= options_.total_iterations) {
+            break;
+        }
+        if (options_.wall_seconds > 0.0 &&
+            nowSeconds() - begin >= options_.wall_seconds) {
+            break;
+        }
+
+        // Per-worker quotas for this epoch; the final epoch of an
+        // iteration-bounded campaign splits the remainder evenly
+        // (workers [0, rem % N) take one extra iteration).
+        std::vector<uint64_t> quotas(workers_.size(),
+                                     options_.epoch_iterations);
+        if (options_.total_iterations != 0) {
+            uint64_t remaining = options_.total_iterations - done;
+            uint64_t full = options_.epoch_iterations *
+                            static_cast<uint64_t>(workers_.size());
+            if (remaining < full) {
+                uint64_t base =
+                    remaining / workers_.size();
+                uint64_t extra =
+                    remaining % workers_.size();
+                for (size_t w = 0; w < workers_.size(); ++w)
+                    quotas[w] = base + (w < extra ? 1 : 0);
+            }
+        }
+
+        runEpoch(quotas);
+        for (uint64_t quota : quotas)
+            done += quota;
+        syncEpoch(epoch);
+        ++epoch;
+    }
+
+    stats_.epochs = epoch;
+    finalizeStats(nowSeconds() - begin);
+    return stats_;
+}
+
+void
+CampaignOrchestrator::writeJsonl(std::ostream &os) const
+{
+    writeCampaignJsonl(os, stats_, ledger_,
+                       shardPolicyName(options_.policy),
+                       options_.master_seed);
+}
+
+} // namespace dejavuzz::campaign

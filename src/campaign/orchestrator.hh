@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The parallel campaign orchestrator.
+ *
+ * N worker threads each own an independent core::Fuzzer (distinct
+ * Rng stream forked from one master seed; optionally a distinct core
+ * config or ablation variant per shard policy). Work proceeds in
+ * epochs:
+ *
+ *   run phase   the main thread first pulls the fleet-global
+ *               coverage map into every worker's private map (so
+ *               novelty decisions reflect everything any worker had
+ *               found by the last barrier), then workers execute
+ *               their iteration quotas in parallel, each finishing
+ *               by merging its discoveries back with lock-free
+ *               atomic ORs; interesting test cases are offered to
+ *               the mutex-sharded shared corpus as they appear.
+ *   sync phase  the main thread drains new bug reports into the
+ *               deduplicating BugLedger in worker order and performs
+ *               cross-worker seed stealing from a canonical corpus
+ *               snapshot with an epoch-deterministic Rng stream.
+ *
+ * Because coverage merging is commutative, corpus retention is
+ * arrival-order independent, and all cross-worker coupling happens at
+ * the barriers, an iteration-budgeted campaign with a fixed (master
+ * seed, worker count, policy, budget) is bit-reproducible regardless
+ * of thread timing. Wall-clock-budgeted campaigns stop at a
+ * machine-speed-dependent epoch and are not reproducible.
+ */
+
+#ifndef DEJAVUZZ_CAMPAIGN_ORCHESTRATOR_HH
+#define DEJAVUZZ_CAMPAIGN_ORCHESTRATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/corpus.hh"
+#include "campaign/coverage_map.hh"
+#include "campaign/ledger.hh"
+#include "campaign/stats.hh"
+#include "core/fuzzer.hh"
+#include "uarch/config.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz::campaign {
+
+/** How the worker fleet is diversified. */
+enum class ShardPolicy : uint8_t {
+    Replicas,       ///< same config everywhere, distinct Rng streams
+    ConfigSweep,    ///< alternate between the two paper cores
+    AblationMatrix, ///< cycle the paper's ablation variants
+};
+
+const char *shardPolicyName(ShardPolicy policy);
+
+struct CampaignOptions
+{
+    unsigned workers = 4;
+    ShardPolicy policy = ShardPolicy::Replicas;
+    uint64_t master_seed = 1;
+
+    /** Total iteration budget across all workers (0 = unbounded;
+     *  then wall_seconds must be set). */
+    uint64_t total_iterations = 4000;
+    /** Wall-clock budget in seconds (0 = unbounded). */
+    double wall_seconds = 0.0;
+    /** Per-worker iterations between sync barriers. */
+    uint64_t epoch_iterations = 200;
+
+    unsigned corpus_shards = 8;
+    unsigned corpus_shard_cap = 64;
+    /** Stolen corpus seeds injected per worker per sync. */
+    unsigned steals_per_epoch = 1;
+
+    /** Base core config (shard policies derive per-worker configs). */
+    uarch::CoreConfig base_config;
+    /** Base fuzzer options; per-worker seed/ablation fields are
+     *  overridden by the shard policy. */
+    core::FuzzerOptions fuzzer;
+};
+
+class CampaignOrchestrator
+{
+  public:
+    explicit CampaignOrchestrator(const CampaignOptions &options);
+
+    /** Execute the campaign; call at most once per instance. */
+    CampaignStats run();
+
+    const CampaignStats &stats() const { return stats_; }
+    const BugLedger &ledger() const { return ledger_; }
+    const SharedCorpus &corpus() const { return corpus_; }
+
+    /** Emit the campaign JSONL log (stats + deduplicated bugs). */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    struct Worker
+    {
+        std::unique_ptr<core::Fuzzer> fuzzer;
+        std::string config_name;
+        std::string variant;
+        GlobalCoverage *group = nullptr;
+        uint64_t offer_seq = 0;      ///< corpus admission counter
+        size_t bugs_drained = 0;     ///< reports already in the ledger
+        /** (author, seq) pairs already injected into this worker. */
+        std::set<std::pair<unsigned, uint64_t>> stolen;
+    };
+
+    void provision();
+    void runEpoch(const std::vector<uint64_t> &quotas);
+    void syncEpoch(uint64_t epoch);
+    void finalizeStats(double wall_seconds);
+
+    CampaignOptions options_;
+    SharedCorpus corpus_;
+    BugLedger ledger_;
+    CampaignStats stats_;
+    std::vector<Worker> workers_;
+    /** One global coverage map per distinct core config. */
+    std::map<std::string, std::unique_ptr<GlobalCoverage>> groups_;
+    Rng steal_rng_;
+    uint64_t steals_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace dejavuzz::campaign
+
+#endif // DEJAVUZZ_CAMPAIGN_ORCHESTRATOR_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Campaign-level statistics: per-worker FuzzerStats rollups
+ * (Table-2-style totals per worker/config, Table-3-style per-trigger
+ * training-overhead aggregates) and the JSONL campaign log.
+ *
+ * JSONL schema (one JSON object per line, `type` discriminates):
+ *   {"type":"worker", "worker":0, "config":"small-boom",
+ *    "variant":"full", "iterations":..., "simulations":...,
+ *    "windows":..., "coverage_points":..., "seeds_imported":...,
+ *    "bugs":..., "active_seconds":...}
+ *   {"type":"trigger", "kind":"branch-mispred", "windows":...,
+ *    "training_overhead":..., "effective_overhead":...}
+ *   {"type":"bug", "key":"...", "description":"...", "worker":...,
+ *    "epoch":..., "iteration":..., "hits":...}
+ *   {"type":"summary", "workers":..., "policy":"replicas",
+ *    "master_seed":..., "iterations":..., "simulations":...,
+ *    "coverage_points":..., "distinct_bugs":..., "total_reports":...,
+ *    "epochs":..., "corpus_size":..., "steals":...,
+ *    "wall_seconds":..., "iters_per_sec":...}
+ */
+
+#ifndef DEJAVUZZ_CAMPAIGN_STATS_HH
+#define DEJAVUZZ_CAMPAIGN_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "campaign/ledger.hh"
+#include "core/fuzzer.hh"
+
+namespace dejavuzz::campaign {
+
+/** Rollup of one worker's campaign contribution. */
+struct WorkerSummary
+{
+    unsigned worker = 0;
+    std::string config;   ///< core config name
+    std::string variant;  ///< ablation variant name ("full", ...)
+    uint64_t iterations = 0;
+    uint64_t simulations = 0;
+    uint64_t windows_triggered = 0;
+    uint64_t coverage_points = 0;
+    uint64_t seeds_imported = 0;
+    uint64_t bug_reports = 0;
+    double active_seconds = 0.0;
+};
+
+/** Per-trigger-kind aggregate across all workers (Table 3 axes). */
+struct TriggerSummary
+{
+    uint64_t windows = 0;
+    uint64_t training_overhead = 0;
+    uint64_t effective_overhead = 0;
+};
+
+struct CampaignStats
+{
+    std::vector<WorkerSummary> workers;
+    std::array<TriggerSummary, core::kTriggerKinds> triggers{};
+
+    uint64_t iterations = 0;
+    uint64_t simulations = 0;
+    uint64_t windows_triggered = 0;
+    uint64_t coverage_points = 0; ///< summed over coverage groups
+    uint64_t seeds_imported = 0;
+    uint64_t epochs = 0;
+    uint64_t steals = 0;          ///< cross-worker injections
+    uint64_t corpus_size = 0;
+    double wall_seconds = 0.0;
+    double iters_per_sec = 0.0;
+
+    /** Fold one worker's FuzzerStats + trigger stats into the rollup. */
+    void addWorker(const WorkerSummary &summary,
+                   const std::array<core::Fuzzer::TriggerStats,
+                                    core::kTriggerKinds> &trigger_stats);
+};
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string jsonEscape(const std::string &text);
+
+/** Emit the full campaign log in the schema documented above. */
+void writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
+                        const BugLedger &ledger,
+                        const std::string &policy_name,
+                        uint64_t master_seed);
+
+} // namespace dejavuzz::campaign
+
+#endif // DEJAVUZZ_CAMPAIGN_STATS_HH

@@ -26,13 +26,35 @@ Fuzzer::Fuzzer(const uarch::CoreConfig &config,
       rng_(options.master_seed)
 {
     module_ids_ = uarch::Core::registerModules(coverage_, cfg_);
-    start_time_ = nowSeconds();
+}
+
+Fuzzer::RunSlice::RunSlice(Fuzzer &fuzzer) : fuzzer_(fuzzer)
+{
+    dv_assert(!fuzzer_.in_run_);
+    fuzzer_.in_run_ = true;
+    fuzzer_.slice_begin_ = nowSeconds();
+}
+
+Fuzzer::RunSlice::~RunSlice()
+{
+    fuzzer_.active_seconds_ += nowSeconds() - fuzzer_.slice_begin_;
+    fuzzer_.in_run_ = false;
 }
 
 double
 Fuzzer::elapsedSeconds() const
 {
-    return nowSeconds() - start_time_;
+    double total = active_seconds_;
+    if (in_run_)
+        total += nowSeconds() - slice_begin_;
+    return total;
+}
+
+void
+Fuzzer::injectSeed(const TestCase &tc)
+{
+    dv_assert(tc.has_window_payload);
+    injected_.push_back(tc);
 }
 
 bool
@@ -72,6 +94,21 @@ Fuzzer::iterate()
     Phase3 phase3(sim_, options_.sim, gen_);
 
     if (!active_) {
+        // Adopt a stolen corpus seed before generating from scratch:
+        // resume it in Phase-2 mutation mode with fresh entropy so
+        // each adopter explores a distinct neighbourhood.
+        if (!injected_.empty()) {
+            current_ = std::move(injected_.front());
+            injected_.pop_front();
+            ++stats_.seeds_imported;
+            gen_.mutateWindow(current_, rng_.next());
+            active_ = true;
+            mutations_left_ = options_.max_mutations;
+            if (options_.record_coverage_curve)
+                stats_.coverage_curve.push_back(coverage_.points());
+            return;
+        }
+
         // --- Phase 1: new seed, trigger generation + reduction ------
         ++stats_.phase1_attempts;
         Seed seed = gen_.newSeed(rng_, next_seed_id_++);
@@ -80,7 +117,8 @@ Fuzzer::iterate()
         stats_.simulations += phase1.run(current_, triggered,
                                          options_.training_reduction);
         if (!triggered) {
-            stats_.coverage_curve.push_back(coverage_.points());
+            if (options_.record_coverage_curve)
+                stats_.coverage_curve.push_back(coverage_.points());
             return;
         }
         ++stats_.windows_triggered;
@@ -99,7 +137,8 @@ Fuzzer::iterate()
         gen_.completeWindow(current_);
         active_ = true;
         mutations_left_ = options_.max_mutations;
-        stats_.coverage_curve.push_back(coverage_.points());
+        if (options_.record_coverage_curve)
+            stats_.coverage_curve.push_back(coverage_.points());
         return;
     }
 
@@ -107,6 +146,11 @@ Fuzzer::iterate()
     ++stats_.phase2_runs;
     stats_.simulations += 4; // value + diff passes, both instances
     Phase2Result explored = phase2.run(current_);
+
+    if (explored.window_ok && explored.taint_propagated &&
+        explored.new_coverage > 0 && on_interesting_) {
+        on_interesting_(current_, explored.new_coverage);
+    }
 
     bool retire = false;
     if (!explored.window_ok) {
@@ -156,12 +200,14 @@ Fuzzer::iterate()
         active_ = false;
 
     stats_.coverage_points = coverage_.points();
-    stats_.coverage_curve.push_back(coverage_.points());
+    if (options_.record_coverage_curve)
+        stats_.coverage_curve.push_back(coverage_.points());
 }
 
 void
 Fuzzer::run(uint64_t count)
 {
+    RunSlice slice(*this);
     for (uint64_t i = 0; i < count; ++i)
         iterate();
     stats_.coverage_points = coverage_.points();
@@ -170,6 +216,7 @@ Fuzzer::run(uint64_t count)
 void
 Fuzzer::runUntilFirstBug(uint64_t max_iters)
 {
+    RunSlice slice(*this);
     for (uint64_t i = 0; i < max_iters && stats_.bugs.empty(); ++i)
         iterate();
     stats_.coverage_points = coverage_.points();

@@ -18,6 +18,8 @@
 #ifndef DEJAVUZZ_CORE_FUZZER_HH
 #define DEJAVUZZ_CORE_FUZZER_HH
 
+#include <deque>
+#include <functional>
 #include <memory>
 
 #include "core/phases.hh"
@@ -40,6 +42,9 @@ struct FuzzerOptions
     ift::IftMode ift_mode = ift::IftMode::DiffIFT;
     unsigned max_mutations = 6;     ///< window mutations per seed
     unsigned phase1_retries = 3;    ///< regeneration attempts per seed
+    /** Record the per-iteration coverage curve (FuzzerStats); long
+     *  orchestrated campaigns turn this off to bound memory. */
+    bool record_coverage_curve = true;
     harness::SimOptions sim;
 };
 
@@ -59,6 +64,36 @@ class Fuzzer
     const ift::TaintCoverage &coverage() const { return coverage_; }
     const uarch::CoreConfig &config() const { return cfg_; }
 
+    /**
+     * Mutable coverage access for campaign-level merging: an
+     * orchestrator pulls globally discovered points into this map
+     * between run() slices so novelty decisions reflect the whole
+     * fleet. Must not be called while run() is executing.
+     */
+    ift::TaintCoverage &coverageMut() { return coverage_; }
+
+    /**
+     * Queue a foreign test case (typically stolen from a shared
+     * corpus) for adoption: the next time the fuzzer needs a new
+     * seed it resumes this case in Phase-2 mutation mode instead of
+     * generating from scratch. The case must carry a completed
+     * window payload.
+     */
+    void injectSeed(const TestCase &tc);
+
+    /**
+     * Hook invoked whenever a Phase-2 run both propagates taint and
+     * discovers new coverage — the campaign-level "interesting seed"
+     * admission signal. @p gain is the number of fresh coverage
+     * points the run contributed.
+     */
+    using InterestingHook =
+        std::function<void(const TestCase &tc, uint64_t gain)>;
+    void setInterestingHook(InterestingHook hook)
+    {
+        on_interesting_ = std::move(hook);
+    }
+
     /** Per-window-type Table-3 accounting. */
     struct TriggerStats
     {
@@ -77,9 +112,28 @@ class Fuzzer
     bool triggerOnce(TriggerKind kind, uint64_t entropy,
                      size_t &to, size_t &eto);
 
+    /**
+     * Seconds spent inside run()/runUntilFirstBug() so far. Idle time
+     * between orchestrator-driven slices does not count, so
+     * time-to-first-bug stays meaningful when run() is called
+     * repeatedly on one instance.
+     */
+    double elapsedSeconds() const;
+
   private:
     void iterate();
-    double elapsedSeconds() const;
+
+    /** RAII slice timer so elapsedSeconds() sums only active run()
+     *  time across repeated orchestrator-driven slices. */
+    class RunSlice
+    {
+      public:
+        explicit RunSlice(Fuzzer &fuzzer);
+        ~RunSlice();
+
+      private:
+        Fuzzer &fuzzer_;
+    };
 
     uarch::CoreConfig cfg_;
     FuzzerOptions options_;
@@ -97,7 +151,16 @@ class Fuzzer
     unsigned mutations_left_ = 0;
     double average_gain_ = 1.0;
     uint64_t next_seed_id_ = 0;
-    double start_time_ = 0.0;
+
+    // Cumulative active run() time across slices (satisfies repeated
+    // run() calls on one instance; idle time between slices does not
+    // count toward time-to-first-bug).
+    double active_seconds_ = 0.0;
+    double slice_begin_ = 0.0;
+    bool in_run_ = false;
+
+    std::deque<TestCase> injected_;
+    InterestingHook on_interesting_;
 };
 
 } // namespace dejavuzz::core

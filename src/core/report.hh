@@ -62,6 +62,7 @@ struct FuzzerStats
     uint64_t training_overhead = 0;  ///< Σ TO of triggered windows
     uint64_t effective_training = 0; ///< Σ ETO of triggered windows
     uint64_t coverage_points = 0;
+    uint64_t seeds_imported = 0;     ///< corpus seeds adopted
     std::vector<uint64_t> coverage_curve; ///< per-iteration points
     std::vector<BugReport> bugs;
     uint64_t first_bug_iteration = 0;

@@ -477,7 +477,6 @@ StimGen::derivedTraining(const Seed &seed, const Layout &layout,
                          unsigned index, Rng &rng) const
 {
     ProgBuilder prog(swapmem::kSwapBase);
-    const uint64_t exit_addr = swapmem::kSwapBase + kExitOff;
 
     switch (seed.trigger) {
       case TriggerKind::BranchMispredict: {

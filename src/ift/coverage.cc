@@ -56,6 +56,59 @@ TaintCoverage::tuples() const
     return out;
 }
 
+uint32_t
+TaintCoverage::moduleSlots(uint16_t module_id) const
+{
+    dv_assert(module_id < modules_.size());
+    return static_cast<uint32_t>(modules_[module_id].bitmap.size());
+}
+
+bool
+TaintCoverage::slotSet(uint16_t module_id, uint32_t index) const
+{
+    dv_assert(module_id < modules_.size());
+    const auto &bitmap = modules_[module_id].bitmap;
+    dv_assert(index < bitmap.size());
+    return bitmap[index] != 0;
+}
+
+bool
+TaintCoverage::markSlot(uint16_t module_id, uint32_t index)
+{
+    dv_assert(module_id < modules_.size());
+    auto &bitmap = modules_[module_id].bitmap;
+    dv_assert(index < bitmap.size());
+    if (bitmap[index])
+        return false;
+    bitmap[index] = 1;
+    ++points_;
+    // Imported points are not locally-fresh discoveries: keep the
+    // takeNewPoints() delta (Phase-2 coverage gain) unaffected.
+    ++last_points_;
+    return true;
+}
+
+uint64_t
+TaintCoverage::mergeFrom(const TaintCoverage &other)
+{
+    dv_assert(modules_.size() == other.modules_.size());
+    uint64_t fresh = 0;
+    for (size_t m = 0; m < modules_.size(); ++m) {
+        auto &bitmap = modules_[m].bitmap;
+        const auto &theirs = other.modules_[m].bitmap;
+        dv_assert(bitmap.size() == theirs.size());
+        for (size_t i = 0; i < bitmap.size(); ++i) {
+            if (theirs[i] && !bitmap[i]) {
+                bitmap[i] = 1;
+                ++fresh;
+            }
+        }
+    }
+    points_ += fresh;
+    last_points_ += fresh; // imports never count as local gain
+    return fresh;
+}
+
 void
 TaintCoverage::resetSamples()
 {

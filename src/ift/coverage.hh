@@ -64,6 +64,29 @@ class TaintCoverage
     /** Forget all samples but keep module registrations. */
     void resetSamples();
 
+    /** Number of bitmap slots of @p module_id (max_regs + 1). */
+    uint32_t moduleSlots(uint16_t module_id) const;
+
+    /** Whether slot @p index of @p module_id has been discovered. */
+    bool slotSet(uint16_t module_id, uint32_t index) const;
+
+    /**
+     * Force slot @p index of @p module_id set (no clamping, no
+     * zero-count filtering — for importing externally discovered
+     * points). Returns true when the slot was previously unset.
+     * Imported points never count toward the takeNewPoints() delta.
+     */
+    bool markSlot(uint16_t module_id, uint32_t index);
+
+    /**
+     * OR @p other's bitmaps into this map; both must share the same
+     * module registration structure. Returns the number of points
+     * that were new to this map. Idempotent: merging the same map
+     * twice adds nothing the second time. Imported points never
+     * count toward the takeNewPoints() delta.
+     */
+    uint64_t mergeFrom(const TaintCoverage &other);
+
   private:
     struct ModuleSlot
     {

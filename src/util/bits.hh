@@ -42,6 +42,13 @@ popcount64(uint64_t value)
     return std::popcount(value);
 }
 
+/** Number of trailing zero bits (64 for zero input). */
+constexpr int
+ctz64(uint64_t value)
+{
+    return std::countr_zero(value);
+}
+
 /** True iff @p value is a power of two (zero excluded). */
 constexpr bool
 isPow2(uint64_t value)

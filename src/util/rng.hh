@@ -108,6 +108,31 @@ class Rng
         return Rng(child_seed);
     }
 
+    /**
+     * Derive the seed of independent stream @p stream from @p master.
+     * Two SplitMix64 rounds decorrelate adjacent stream ids; the same
+     * (master, stream) pair always yields the same seed, so N worker
+     * streams are reproducible from one campaign master seed.
+     */
+    static constexpr uint64_t
+    streamSeed(uint64_t master, uint64_t stream)
+    {
+        uint64_t state = master ^ (stream * 0xd1342543de82ef95ULL);
+        (void)splitmix64(state);
+        return splitmix64(state);
+    }
+
+    /**
+     * Fork stream @p stream without advancing the parent: repeated
+     * forks with distinct stream ids from the same parent position
+     * yield decorrelated, individually reproducible child streams.
+     */
+    Rng
+    fork(uint64_t stream) const
+    {
+        return Rng(streamSeed(s_[0] ^ rotl(s_[2], 17), stream));
+    }
+
   private:
     static constexpr uint64_t
     rotl(uint64_t x, int k)

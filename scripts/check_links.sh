@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Check README.md and docs/*.md for dead relative links.
+#
+# Extracts every Markdown link target, skips absolute URLs and
+# pure-anchor links, strips #fragments, and verifies the target
+# exists relative to the file that references it. Exits non-zero
+# listing every dead link.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for file in README.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link in $file: $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "all relative links resolve"
+fi
+exit "$fail"

@@ -20,8 +20,8 @@ corpusOrderBefore(const CorpusKey &a, const CorpusKey &b)
 bool
 corpusOrderBefore(const CorpusEntry &a, const CorpusEntry &b)
 {
-    return corpusOrderBefore(CorpusKey{a.gain, a.worker, a.seq},
-                             CorpusKey{b.gain, b.worker, b.seq});
+    return corpusOrderBefore(CorpusKey{a.gain, a.worker, a.seq, {}},
+                             CorpusKey{b.gain, b.worker, b.seq, {}});
 }
 
 namespace {
@@ -43,7 +43,7 @@ SharedCorpus::SharedCorpus(unsigned shards, unsigned shard_cap)
     dv_assert(shard_cap >= 1);
 }
 
-void
+bool
 SharedCorpus::offer(CorpusEntry entry)
 {
     Shard &shard = shards_[shardIndexFor(entry.worker, entry.seq,
@@ -52,7 +52,7 @@ SharedCorpus::offer(CorpusEntry entry)
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.entries.size() < shard_cap_) {
         shard.entries.push_back(std::move(entry));
-        return;
+        return true;
     }
     // Evict-min keeps the shard's retained set equal to the top-cap
     // of every entry ever offered, independent of arrival order.
@@ -61,8 +61,10 @@ SharedCorpus::offer(CorpusEntry entry)
         [](const CorpusEntry &a, const CorpusEntry &b) {
             return corpusOrderBefore(a, b);
         });
-    if (corpusOrderBefore(entry, *weakest))
-        *weakest = std::move(entry);
+    if (!corpusOrderBefore(entry, *weakest))
+        return false;
+    *weakest = std::move(entry);
+    return true;
 }
 
 size_t
@@ -99,8 +101,8 @@ SharedCorpus::snapshotKeys() const
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mu);
         for (const auto &entry : shard.entries)
-            out.push_back(
-                CorpusKey{entry.gain, entry.worker, entry.seq});
+            out.push_back(CorpusKey{entry.gain, entry.worker,
+                                    entry.seq, entry.config});
     }
     std::sort(out.begin(), out.end(),
               [](const CorpusKey &a, const CorpusKey &b) {

@@ -19,7 +19,9 @@
 #define DEJAVUZZ_CAMPAIGN_CORPUS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/seed.hh"
@@ -33,6 +35,7 @@ struct CorpusEntry
     uint64_t gain = 0;    ///< fresh coverage points when admitted
     unsigned worker = 0;  ///< authoring worker
     uint64_t seq = 0;     ///< author-local admission sequence number
+    std::string config;   ///< authoring worker's core config name
 };
 
 /** Lightweight identity of a corpus entry (no test-case payload). */
@@ -41,6 +44,15 @@ struct CorpusKey
     uint64_t gain = 0;
     unsigned worker = 0;
     uint64_t seq = 0;
+    std::string config;
+};
+
+/** Parsed contents of a persisted corpus file. */
+struct CorpusFile
+{
+    uint32_t version = 0;
+    uint64_t master_seed = 0;     ///< master seed of the saving campaign
+    std::vector<CorpusEntry> entries;
 };
 
 /** Canonical corpus order: gain desc, then (worker, seq) asc. */
@@ -63,9 +75,10 @@ class SharedCorpus
     /**
      * Admit @p entry. Thread-safe; locks a single shard chosen by
      * hashing (worker, seq). Entries below every retained gain in a
-     * full shard are dropped.
+     * full shard are dropped. Returns whether the entry was
+     * retained (it may still be evicted by a later, stronger offer).
      */
-    void offer(CorpusEntry entry);
+    bool offer(CorpusEntry entry);
 
     /** Number of retained entries (approximate under concurrency). */
     size_t size() const;
@@ -90,6 +103,26 @@ class SharedCorpus
      * Returns false when it has been evicted since the snapshot.
      */
     bool fetch(unsigned worker, uint64_t seq, CorpusEntry &out) const;
+
+    /** Corpus file format version written by saveTo(). The format
+     *  itself is specified in docs/campaign-format.md. */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /**
+     * Serialize every retained entry, in canonical order, to @p os
+     * (binary). @p master_seed records the saving campaign's master
+     * seed in the header. Returns false when the stream fails.
+     */
+    bool saveTo(std::ostream &os, uint64_t master_seed) const;
+
+    /**
+     * Parse a corpus file produced by saveTo(). Strictly validated:
+     * a bad magic/version, truncated stream, or out-of-range enum
+     * fails the load (with a diagnostic in @p error when non-null)
+     * rather than yielding a half-read corpus.
+     */
+    static bool loadFrom(std::istream &is, CorpusFile &out,
+                         std::string *error = nullptr);
 
   private:
     struct Shard

@@ -7,9 +7,13 @@
  *   dejavuzz --workers 4 --iters 4000 --out campaign.jsonl
  *   dejavuzz --workers 8 --policy sweep --seconds 60
  *   dejavuzz --workers 5 --policy ablation --core boom
+ *   dejavuzz --workers 4 --iters 4000 --corpus-out day1.corpus
+ *   dejavuzz --workers 4 --iters 4000 --corpus-in day1.corpus
  *
- * The JSONL log (stdout by default) carries worker, trigger, bug and
- * summary records; the human-readable digest goes to stderr.
+ * The JSONL log (stdout by default) carries worker, trigger, epoch,
+ * bug and summary records (docs/campaign-format.md); the
+ * human-readable digest goes to stderr. --corpus-out persists the
+ * shared corpus so a later --corpus-in campaign resumes from it.
  */
 
 #include <cstdio>
@@ -53,6 +57,8 @@ usage(const char *argv0)
         "  --corpus-cap N     entries retained per shard "
         "(default 64)\n"
         "  --out PATH         JSONL output file (default stdout)\n"
+        "  --corpus-in PATH   resume from a saved corpus file\n"
+        "  --corpus-out PATH  persist the final corpus to a file\n"
         "  --quiet            suppress the stderr digest\n"
         "  --help             this text\n",
         argv0);
@@ -88,6 +94,8 @@ main(int argc, char **argv)
     CampaignOptions options;
     options.base_config = dejavuzz::uarch::smallBoomConfig();
     std::string out_path;
+    std::string corpus_in_path;
+    std::string corpus_out_path;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -163,6 +171,10 @@ main(int argc, char **argv)
             options.corpus_shard_cap = static_cast<unsigned>(n);
         } else if (arg == "--out") {
             out_path = value();
+        } else if (arg == "--corpus-in") {
+            corpus_in_path = value();
+        } else if (arg == "--corpus-out") {
+            corpus_out_path = value();
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -179,19 +191,90 @@ main(int argc, char **argv)
         return 2;
     }
 
-    CampaignOrchestrator orchestrator(options);
-    CampaignStats stats = orchestrator.run();
+    // Validate --corpus-in before touching any output path: opening
+    // the outputs truncates them, and a bad resume file must not
+    // destroy a previous run's log/corpus.
+    dejavuzz::campaign::CorpusFile resume;
+    if (!corpus_in_path.empty()) {
+        std::ifstream corpus_in(corpus_in_path,
+                                std::ios::in | std::ios::binary);
+        if (!corpus_in) {
+            std::fprintf(stderr, "cannot open --corpus-in %s\n",
+                         corpus_in_path.c_str());
+            return 1;
+        }
+        std::string error;
+        if (!dejavuzz::campaign::SharedCorpus::loadFrom(
+                corpus_in, resume, &error)) {
+            std::fprintf(stderr, "bad corpus file %s: %s\n",
+                         corpus_in_path.c_str(), error.c_str());
+            return 1;
+        }
+    }
 
+    // Open every output before the campaign runs: an unwritable
+    // --out or --corpus-out must fail up front, not after minutes of
+    // fuzzing whose results would then be lost.
+    std::ofstream out_file;
     if (!out_path.empty()) {
-        std::ofstream out(out_path);
-        if (!out) {
-            std::fprintf(stderr, "cannot open %s\n",
+        out_file.open(out_path,
+                      std::ios::out | std::ios::trunc);
+        if (!out_file) {
+            std::fprintf(stderr, "cannot open --out %s for writing\n",
                          out_path.c_str());
             return 1;
         }
-        orchestrator.writeJsonl(out);
+    }
+    std::ofstream corpus_out_file;
+    if (!corpus_out_path.empty()) {
+        corpus_out_file.open(corpus_out_path,
+                             std::ios::out | std::ios::trunc |
+                                 std::ios::binary);
+        if (!corpus_out_file) {
+            std::fprintf(stderr,
+                         "cannot open --corpus-out %s for writing\n",
+                         corpus_out_path.c_str());
+            return 1;
+        }
+    }
+
+    CampaignOrchestrator orchestrator(options);
+    if (!corpus_in_path.empty()) {
+        uint64_t admitted =
+            orchestrator.preloadCorpus(resume.entries);
+        if (!quiet) {
+            std::fprintf(stderr,
+                "corpus: resumed %llu of %zu entries from %s "
+                "(saved by master seed %llu)\n",
+                static_cast<unsigned long long>(admitted),
+                resume.entries.size(), corpus_in_path.c_str(),
+                static_cast<unsigned long long>(
+                    resume.master_seed));
+        }
+    }
+
+    CampaignStats stats = orchestrator.run();
+
+    if (!out_path.empty()) {
+        orchestrator.writeJsonl(out_file);
+        out_file.flush();
+        if (!out_file) {
+            std::fprintf(stderr, "write to --out %s failed\n",
+                         out_path.c_str());
+            return 1;
+        }
     } else {
         orchestrator.writeJsonl(std::cout);
+    }
+
+    if (!corpus_out_path.empty()) {
+        if (!orchestrator.corpus().saveTo(corpus_out_file,
+                                          options.master_seed)) {
+            std::fprintf(stderr,
+                         "write to --corpus-out %s failed\n",
+                         corpus_out_path.c_str());
+            return 1;
+        }
     }
 
     if (!quiet) {

@@ -116,8 +116,9 @@ CampaignOrchestrator::provision()
         worker.fuzzer->setInterestingHook(
             [this, w, &worker](const core::TestCase &tc,
                                uint64_t gain) {
-                corpus_.offer(
-                    CorpusEntry{tc, gain, w, worker.offer_seq++});
+                corpus_.offer(CorpusEntry{tc, gain, w,
+                                          worker.offer_seq++,
+                                          worker.config_name});
             });
 
         auto [it, inserted] = groups_.try_emplace(worker.config_name);
@@ -127,6 +128,37 @@ CampaignOrchestrator::provision()
         }
         worker.group = it->second.get();
     }
+}
+
+uint64_t
+CampaignOrchestrator::preloadCorpus(
+    const std::vector<CorpusEntry> &entries)
+{
+    dv_assert(!ran_);
+    uint64_t admitted = 0;
+    for (const CorpusEntry &entry : entries) {
+        // Reserve the identity even when the entry itself is
+        // skipped or dropped below, so a chained resume never
+        // re-issues a (worker, seq) the file already claims.
+        if (entry.worker < workers_.size()) {
+            Worker &namesake = workers_[entry.worker];
+            namesake.offer_seq =
+                std::max(namesake.offer_seq, entry.seq + 1);
+        }
+        // injectSeed() resumes a case in Phase-2 mutation mode, which
+        // requires a completed window payload.
+        if (!entry.tc.has_window_payload)
+            continue;
+        // A corpus tighter than the saving campaign's (smaller
+        // --corpus-cap) retains only the top of the saved set;
+        // only what actually landed counts as preloaded.
+        if (!corpus_.offer(entry))
+            continue;
+        preloaded_ids_.insert({entry.worker, entry.seq});
+        ++admitted;
+    }
+    preloaded_ += admitted;
+    return admitted;
 }
 
 void
@@ -179,9 +211,13 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
     // Cross-worker seed stealing from a canonical corpus snapshot.
     // Only (gain, worker, seq) keys are snapshotted; the handful of
     // entries actually injected are fetched individually, so the
-    // barrier never deep-copies the whole corpus.
-    if (options_.steals_per_epoch == 0 || workers_.size() < 2)
+    // barrier never deep-copies the whole corpus. A single-worker
+    // fleet still steals when the corpus was preloaded from a saved
+    // campaign — that is what makes --corpus-in resume the run.
+    if (options_.steals_per_epoch == 0 ||
+        (workers_.size() < 2 && preloaded_ids_.empty())) {
         return;
+    }
     std::vector<CorpusKey> snapshot = corpus_.snapshotKeys();
     if (snapshot.empty())
         return;
@@ -190,15 +226,21 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
         std::vector<const CorpusKey *> eligible;
         eligible.reserve(snapshot.size());
         for (const auto &key : snapshot) {
-            if (key.worker == w)
-                continue;
-            // Test cases are trigger-tuned to their author's core:
-            // only steal within the same config group (mirrors the
-            // per-config coverage split).
-            if (workers_[key.worker].config_name !=
-                worker.config_name) {
+            // Skip a worker's own discoveries (it already mutated
+            // them), but not preloaded namesakes from the previous
+            // campaign.
+            if (key.worker == w &&
+                !preloaded_ids_.count({key.worker, key.seq})) {
                 continue;
             }
+            // Test cases are trigger-tuned to their author's core:
+            // only steal within the same config group (mirrors the
+            // per-config coverage split). The entry carries its own
+            // config name because preloaded entries may be authored
+            // by workers of a previous campaign with a different
+            // fleet size.
+            if (key.config != worker.config_name)
+                continue;
             if (worker.stolen.count({key.worker, key.seq}))
                 continue;
             eligible.push_back(&key);
@@ -250,6 +292,7 @@ CampaignOrchestrator::finalizeStats(double wall_seconds)
         stats_.coverage_points += group->points();
 
     stats_.corpus_size = corpus_.size();
+    stats_.corpus_preloaded = preloaded_;
     stats_.steals = steals_;
     stats_.wall_seconds = wall_seconds;
     stats_.iters_per_sec =
@@ -301,6 +344,20 @@ CampaignOrchestrator::run()
         for (uint64_t quota : quotas)
             done += quota;
         syncEpoch(epoch);
+
+        // Fig-7-style epoch-resolution growth sample. The counter
+        // fields are barrier state, so they are reproducible; only
+        // wall_seconds is machine-dependent.
+        EpochSample sample;
+        sample.epoch = epoch;
+        sample.iterations = done;
+        for (const auto &[name, group] : groups_)
+            sample.coverage_points += group->points();
+        sample.distinct_bugs = ledger_.distinct();
+        sample.corpus_size = corpus_.size();
+        sample.wall_seconds = nowSeconds() - begin;
+        stats_.epoch_curve.push_back(sample);
+
         ++epoch;
     }
 

@@ -93,6 +93,17 @@ class CampaignOrchestrator
     /** Execute the campaign; call at most once per instance. */
     CampaignStats run();
 
+    /**
+     * Admit previously persisted corpus entries (see
+     * SharedCorpus::loadFrom) before run(). Worker admission
+     * counters are advanced past every loaded (worker, seq)
+     * identity, so the resumed campaign never re-issues an identity
+     * already present — no duplicate seeds. Entries without a
+     * completed window payload are skipped (they cannot be resumed
+     * in Phase-2 mutation mode). Returns the number admitted.
+     */
+    uint64_t preloadCorpus(const std::vector<CorpusEntry> &entries);
+
     const CampaignStats &stats() const { return stats_; }
     const BugLedger &ledger() const { return ledger_; }
     const SharedCorpus &corpus() const { return corpus_; }
@@ -127,6 +138,11 @@ class CampaignOrchestrator
     std::map<std::string, std::unique_ptr<GlobalCoverage>> groups_;
     Rng steal_rng_;
     uint64_t steals_ = 0;
+    uint64_t preloaded_ = 0;
+    /** Identities admitted by preloadCorpus(): they are stealable by
+     *  every current worker, including the one sharing the author's
+     *  worker number (that worker never actually generated them). */
+    std::set<std::pair<unsigned, uint64_t>> preloaded_ids_;
     bool ran_ = false;
 };
 

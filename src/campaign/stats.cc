@@ -94,6 +94,16 @@ writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
            << "}\n";
     }
 
+    for (const auto &sample : stats.epoch_curve) {
+        os << "{\"type\":\"epoch\",\"epoch\":" << sample.epoch
+           << ",\"iterations\":" << sample.iterations
+           << ",\"coverage_points\":" << sample.coverage_points
+           << ",\"distinct_bugs\":" << sample.distinct_bugs
+           << ",\"corpus_size\":" << sample.corpus_size
+           << ",\"wall_seconds\":" << jsonDouble(sample.wall_seconds)
+           << "}\n";
+    }
+
     for (const auto &record : ledger.entries()) {
         os << "{\"type\":\"bug\",\"key\":\""
            << jsonEscape(record.report.key())
@@ -116,6 +126,7 @@ writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
        << ",\"total_reports\":" << ledger.totalReports()
        << ",\"epochs\":" << stats.epochs
        << ",\"corpus_size\":" << stats.corpus_size
+       << ",\"corpus_preloaded\":" << stats.corpus_preloaded
        << ",\"steals\":" << stats.steals
        << ",\"wall_seconds\":" << jsonDouble(stats.wall_seconds)
        << ",\"iters_per_sec\":" << jsonDouble(stats.iters_per_sec)

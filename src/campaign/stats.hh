@@ -2,22 +2,13 @@
  * @file
  * Campaign-level statistics: per-worker FuzzerStats rollups
  * (Table-2-style totals per worker/config, Table-3-style per-trigger
- * training-overhead aggregates) and the JSONL campaign log.
+ * training-overhead aggregates), the per-epoch coverage-growth curve
+ * (Fig-7 axes), and the JSONL campaign log.
  *
- * JSONL schema (one JSON object per line, `type` discriminates):
- *   {"type":"worker", "worker":0, "config":"small-boom",
- *    "variant":"full", "iterations":..., "simulations":...,
- *    "windows":..., "coverage_points":..., "seeds_imported":...,
- *    "bugs":..., "active_seconds":...}
- *   {"type":"trigger", "kind":"branch-mispred", "windows":...,
- *    "training_overhead":..., "effective_overhead":...}
- *   {"type":"bug", "key":"...", "description":"...", "worker":...,
- *    "epoch":..., "iteration":..., "hits":...}
- *   {"type":"summary", "workers":..., "policy":"replicas",
- *    "master_seed":..., "iterations":..., "simulations":...,
- *    "coverage_points":..., "distinct_bugs":..., "total_reports":...,
- *    "epochs":..., "corpus_size":..., "steals":...,
- *    "wall_seconds":..., "iters_per_sec":...}
+ * The JSONL schema (record types `worker`, `trigger`, `epoch`, `bug`,
+ * `summary`) is specified authoritatively in docs/campaign-format.md;
+ * writeCampaignJsonl() is its only producer and src/report/ its
+ * reference consumer.
  */
 
 #ifndef DEJAVUZZ_CAMPAIGN_STATS_HH
@@ -57,10 +48,22 @@ struct TriggerSummary
     uint64_t effective_overhead = 0;
 };
 
+/** Fleet-global state at one epoch barrier (Fig 7 axes). */
+struct EpochSample
+{
+    uint64_t epoch = 0;
+    uint64_t iterations = 0;      ///< cumulative fleet iterations
+    uint64_t coverage_points = 0; ///< fleet-global, summed over groups
+    uint64_t distinct_bugs = 0;
+    uint64_t corpus_size = 0;
+    double wall_seconds = 0.0;    ///< since campaign start
+};
+
 struct CampaignStats
 {
     std::vector<WorkerSummary> workers;
     std::array<TriggerSummary, core::kTriggerKinds> triggers{};
+    std::vector<EpochSample> epoch_curve;
 
     uint64_t iterations = 0;
     uint64_t simulations = 0;
@@ -70,6 +73,7 @@ struct CampaignStats
     uint64_t epochs = 0;
     uint64_t steals = 0;          ///< cross-worker injections
     uint64_t corpus_size = 0;
+    uint64_t corpus_preloaded = 0; ///< entries admitted via preload
     double wall_seconds = 0.0;
     double iters_per_sec = 0.0;
 

@@ -1,0 +1,316 @@
+#include "report/campaign_log.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+
+#include "report/json.hh"
+
+namespace dejavuzz::report {
+
+namespace {
+
+/** Field extraction over one parsed line; collects the first error. */
+class Fields
+{
+  public:
+    Fields(const JsonObject &obj, std::string &error)
+        : obj_(obj), error_(error)
+    {}
+
+    bool
+    ok() const
+    {
+        return error_.empty();
+    }
+
+    void
+    u64(const char *key, uint64_t &out, bool required = true)
+    {
+        const JsonValue *value = find(key, required);
+        if (!value)
+            return;
+        // Parse from the literal token, not the double: counters
+        // like master_seed use the full 64-bit range, which double
+        // cannot represent exactly (and an out-of-range
+        // double->uint64 cast would be UB).
+        bool integral = value->isNumber() && !value->raw.empty();
+        for (char c : value->raw) {
+            if (c < '0' || c > '9')
+                integral = false;
+        }
+        if (!integral) {
+            set(std::string("field \"") + key +
+                "\" must be a non-negative integer");
+            return;
+        }
+        errno = 0;
+        out = std::strtoull(value->raw.c_str(), nullptr, 10);
+        if (errno == ERANGE)
+            set(std::string("field \"") + key +
+                "\" exceeds the 64-bit range");
+    }
+
+    void
+    f64(const char *key, double &out, bool required = true)
+    {
+        const JsonValue *value = find(key, required);
+        if (!value)
+            return;
+        if (!value->isNumber() || value->number < 0.0 ||
+            !std::isfinite(value->number)) {
+            set(std::string("field \"") + key +
+                "\" must be a finite non-negative number");
+            return;
+        }
+        out = value->number;
+    }
+
+    void
+    str(const char *key, std::string &out, bool required = true)
+    {
+        const JsonValue *value = find(key, required);
+        if (!value)
+            return;
+        if (!value->isString()) {
+            set(std::string("field \"") + key +
+                "\" must be a string");
+            return;
+        }
+        out = value->text;
+    }
+
+  private:
+    const JsonValue *
+    find(const char *key, bool required)
+    {
+        if (!ok())
+            return nullptr;
+        auto it = obj_.find(key);
+        if (it == obj_.end()) {
+            if (required)
+                set(std::string("missing field \"") + key + "\"");
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    void
+    set(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what;
+    }
+
+    const JsonObject &obj_;
+    std::string &error_;
+};
+
+} // namespace
+
+double
+CampaignLog::timeToFirstBug() const
+{
+    for (const auto &row : epochs) {
+        if (row.distinct_bugs > 0)
+            return row.wall_seconds;
+    }
+    return -1.0;
+}
+
+double
+CampaignLog::timeToCoverage(uint64_t target) const
+{
+    for (const auto &row : epochs) {
+        if (row.coverage_points >= target)
+            return row.wall_seconds;
+    }
+    return -1.0;
+}
+
+bool
+parseCampaignLog(std::istream &is, const std::string &name,
+                 CampaignLog &out, std::string *error)
+{
+    out = CampaignLog{};
+    out.name = name;
+
+    unsigned summaries = 0;
+    uint64_t line_no = 0;
+    std::string line;
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = name + " line " + std::to_string(line_no) +
+                     ": " + what;
+        return false;
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+
+        JsonObject obj;
+        std::string json_error;
+        if (!parseFlatJsonObject(line, obj, &json_error))
+            return fail(json_error);
+
+        std::string field_error;
+        Fields fields(obj, field_error);
+        std::string type;
+        fields.str("type", type);
+        if (!fields.ok())
+            return fail(field_error);
+
+        if (type == "worker") {
+            WorkerRow row;
+            fields.u64("worker", row.worker);
+            fields.str("config", row.config);
+            fields.str("variant", row.variant);
+            fields.u64("iterations", row.iterations);
+            fields.u64("simulations", row.simulations);
+            fields.u64("windows", row.windows);
+            fields.u64("coverage_points", row.coverage_points);
+            fields.u64("seeds_imported", row.seeds_imported);
+            fields.u64("bugs", row.bugs);
+            fields.f64("active_seconds", row.active_seconds);
+            if (!fields.ok())
+                return fail(field_error);
+            out.workers.push_back(std::move(row));
+        } else if (type == "trigger") {
+            TriggerRow row;
+            fields.str("kind", row.kind);
+            fields.u64("windows", row.windows);
+            fields.u64("training_overhead", row.training_overhead);
+            fields.u64("effective_overhead",
+                       row.effective_overhead);
+            if (!fields.ok())
+                return fail(field_error);
+            out.triggers.push_back(std::move(row));
+        } else if (type == "epoch") {
+            EpochRow row;
+            fields.u64("epoch", row.epoch);
+            fields.u64("iterations", row.iterations);
+            fields.u64("coverage_points", row.coverage_points);
+            fields.u64("distinct_bugs", row.distinct_bugs);
+            fields.u64("corpus_size", row.corpus_size);
+            fields.f64("wall_seconds", row.wall_seconds);
+            if (!fields.ok())
+                return fail(field_error);
+            out.epochs.push_back(row);
+        } else if (type == "bug") {
+            BugRow row;
+            fields.str("key", row.key);
+            fields.str("description", row.description);
+            fields.u64("worker", row.worker);
+            fields.u64("epoch", row.epoch);
+            fields.u64("iteration", row.iteration);
+            fields.u64("hits", row.hits);
+            if (!fields.ok())
+                return fail(field_error);
+            out.bugs.push_back(std::move(row));
+        } else if (type == "summary") {
+            SummaryRow row;
+            fields.u64("workers", row.workers);
+            fields.str("policy", row.policy);
+            fields.u64("master_seed", row.master_seed);
+            fields.u64("iterations", row.iterations);
+            fields.u64("simulations", row.simulations);
+            fields.u64("windows", row.windows);
+            fields.u64("coverage_points", row.coverage_points);
+            fields.u64("distinct_bugs", row.distinct_bugs);
+            fields.u64("total_reports", row.total_reports);
+            fields.u64("epochs", row.epochs);
+            fields.u64("corpus_size", row.corpus_size);
+            fields.u64("corpus_preloaded", row.corpus_preloaded,
+                       /*required=*/false);
+            fields.u64("steals", row.steals);
+            fields.f64("wall_seconds", row.wall_seconds);
+            fields.f64("iters_per_sec", row.iters_per_sec);
+            if (!fields.ok())
+                return fail(field_error);
+            out.summary = std::move(row);
+            ++summaries;
+        } else {
+            return fail("unknown record type \"" + type + "\"");
+        }
+    }
+
+    if (summaries != 1)
+        return fail("expected exactly one summary record, found " +
+                    std::to_string(summaries));
+    return true;
+}
+
+std::vector<std::string>
+validateCampaignLog(const CampaignLog &log)
+{
+    std::vector<std::string> problems;
+    auto check = [&](bool condition, const std::string &what) {
+        if (!condition)
+            problems.push_back(what);
+    };
+    auto sum = [&](auto field) {
+        uint64_t total = 0;
+        for (const auto &row : log.workers)
+            total += row.*field;
+        return total;
+    };
+
+    const SummaryRow &s = log.summary;
+    check(!log.workers.empty(), "log has no worker records");
+    check(s.workers == log.workers.size(),
+          "summary.workers does not match the worker record count");
+    check(sum(&WorkerRow::iterations) == s.iterations,
+          "per-worker iterations do not sum to summary.iterations");
+    check(sum(&WorkerRow::simulations) == s.simulations,
+          "per-worker simulations do not sum to "
+          "summary.simulations");
+    check(sum(&WorkerRow::windows) == s.windows,
+          "per-worker windows do not sum to summary.windows");
+    check(sum(&WorkerRow::bugs) == s.total_reports,
+          "per-worker bug reports do not sum to "
+          "summary.total_reports");
+
+    uint64_t trigger_windows = 0;
+    for (const auto &row : log.triggers)
+        trigger_windows += row.windows;
+    check(trigger_windows == s.windows,
+          "per-trigger windows do not sum to summary.windows");
+
+    check(log.bugs.size() == s.distinct_bugs,
+          "bug record count does not match summary.distinct_bugs");
+    uint64_t hits = 0;
+    for (const auto &row : log.bugs)
+        hits += row.hits;
+    check(hits == s.total_reports,
+          "bug hits do not sum to summary.total_reports");
+
+    // Logs from schema revisions predating the epoch record type
+    // carry none at all; only a *partial* epoch series is corrupt.
+    check(log.epochs.empty() || log.epochs.size() == s.epochs,
+          "epoch record count does not match summary.epochs");
+    for (size_t i = 0; i < log.epochs.size(); ++i) {
+        if (log.epochs[i].epoch != i) {
+            problems.push_back(
+                "epoch records are not consecutive from 0");
+            break;
+        }
+    }
+    if (!log.epochs.empty()) {
+        const EpochRow &last = log.epochs.back();
+        check(last.iterations == s.iterations,
+              "final epoch iterations do not match "
+              "summary.iterations");
+        check(last.coverage_points == s.coverage_points,
+              "final epoch coverage does not match "
+              "summary.coverage_points");
+        check(last.distinct_bugs == s.distinct_bugs,
+              "final epoch distinct_bugs does not match "
+              "summary.distinct_bugs");
+    }
+    return problems;
+}
+
+} // namespace dejavuzz::report

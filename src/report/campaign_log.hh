@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Typed ingestion of DejaVuzz campaign JSONL logs.
+ *
+ * parseCampaignLog() reads one log emitted by `dejavuzz` (schema:
+ * docs/campaign-format.md) into a CampaignLog, rejecting unknown
+ * record types, missing or mistyped fields, and negative counters.
+ * validateCampaignLog() then cross-checks the invariants that make a
+ * log internally consistent — per-worker sums matching summary
+ * totals, bug hit counts matching report totals, epoch records
+ * matching the summary epoch count — so downstream reporting never
+ * aggregates a half-written or hand-edited log.
+ */
+
+#ifndef DEJAVUZZ_REPORT_CAMPAIGN_LOG_HH
+#define DEJAVUZZ_REPORT_CAMPAIGN_LOG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dejavuzz::report {
+
+/** `type:"worker"` — one worker's rollup. */
+struct WorkerRow
+{
+    uint64_t worker = 0;
+    std::string config;
+    std::string variant;
+    uint64_t iterations = 0;
+    uint64_t simulations = 0;
+    uint64_t windows = 0;
+    uint64_t coverage_points = 0;
+    uint64_t seeds_imported = 0;
+    uint64_t bugs = 0;
+    double active_seconds = 0.0;
+};
+
+/** `type:"trigger"` — fleet aggregate for one window kind. */
+struct TriggerRow
+{
+    std::string kind;
+    uint64_t windows = 0;
+    uint64_t training_overhead = 0;
+    uint64_t effective_overhead = 0;
+};
+
+/** `type:"epoch"` — fleet-global state at one epoch barrier. */
+struct EpochRow
+{
+    uint64_t epoch = 0;
+    uint64_t iterations = 0;
+    uint64_t coverage_points = 0;
+    uint64_t distinct_bugs = 0;
+    uint64_t corpus_size = 0;
+    double wall_seconds = 0.0;
+};
+
+/** `type:"bug"` — one deduplicated finding. */
+struct BugRow
+{
+    std::string key;
+    std::string description;
+    uint64_t worker = 0;
+    uint64_t epoch = 0;
+    uint64_t iteration = 0;
+    uint64_t hits = 0;
+};
+
+/** `type:"summary"` — campaign totals (exactly one per log). */
+struct SummaryRow
+{
+    uint64_t workers = 0;
+    std::string policy;
+    uint64_t master_seed = 0;
+    uint64_t iterations = 0;
+    uint64_t simulations = 0;
+    uint64_t windows = 0;
+    uint64_t coverage_points = 0;
+    uint64_t distinct_bugs = 0;
+    uint64_t total_reports = 0;
+    uint64_t epochs = 0;
+    uint64_t corpus_size = 0;
+    uint64_t corpus_preloaded = 0; ///< optional; 0 for older logs
+    uint64_t steals = 0;
+    double wall_seconds = 0.0;
+    double iters_per_sec = 0.0;
+};
+
+/** One parsed campaign log. */
+struct CampaignLog
+{
+    std::string name;  ///< display label (normally the file stem)
+    std::vector<WorkerRow> workers;
+    std::vector<TriggerRow> triggers;
+    std::vector<EpochRow> epochs;
+    std::vector<BugRow> bugs;
+    SummaryRow summary;
+
+    /** Wall seconds of the first epoch whose distinct_bugs > 0, or
+     *  a negative value when the campaign found no bug. */
+    double timeToFirstBug() const;
+
+    /** Wall seconds of the first epoch whose coverage reached
+     *  @p target points, or a negative value when it never did. */
+    double timeToCoverage(uint64_t target) const;
+};
+
+/**
+ * Parse @p is as a campaign JSONL log. Strict: any malformed line,
+ * unknown record type, missing/mistyped/negative field, or a log
+ * without exactly one summary record fails the parse (diagnostic in
+ * @p error when non-null, with a 1-based line number).
+ */
+bool parseCampaignLog(std::istream &is, const std::string &name,
+                      CampaignLog &out, std::string *error = nullptr);
+
+/**
+ * Cross-record consistency checks over a parsed log. Returns the
+ * list of violated invariants, empty when the log is coherent.
+ */
+std::vector<std::string> validateCampaignLog(const CampaignLog &log);
+
+} // namespace dejavuzz::report
+
+#endif // DEJAVUZZ_REPORT_CAMPAIGN_LOG_HH

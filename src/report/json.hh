@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal JSON parsing for the DejaVuzz campaign log.
+ *
+ * Every record writeCampaignJsonl() emits is a flat JSON object whose
+ * values are strings, numbers, booleans or null — no arrays, no
+ * nesting (docs/campaign-format.md). This parser supports exactly
+ * that subset and rejects everything else, which doubles as schema
+ * enforcement: a nested value in a campaign log is a malformed log.
+ */
+
+#ifndef DEJAVUZZ_REPORT_JSON_HH
+#define DEJAVUZZ_REPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dejavuzz::report {
+
+/** One scalar JSON value. */
+struct JsonValue
+{
+    enum class Kind : uint8_t { Null, Bool, Number, String };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    /** For numbers: the literal token, so integer consumers can
+     *  reparse at full 64-bit precision (double only carries 53
+     *  bits). */
+    std::string raw;
+
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/**
+ * Parse one line of the campaign log — a flat JSON object with
+ * scalar values. Returns false (with a diagnostic in @p error when
+ * non-null) on any syntax error, nested value, duplicate key, or
+ * trailing garbage.
+ */
+bool parseFlatJsonObject(std::string_view line, JsonObject &out,
+                         std::string *error = nullptr);
+
+} // namespace dejavuzz::report
+
+#endif // DEJAVUZZ_REPORT_JSON_HH

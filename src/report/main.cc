@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The `dejavuzz-report` CLI: multi-campaign JSONL analytics.
+ *
+ *   dejavuzz-report a.jsonl b.jsonl                 # Markdown report
+ *   dejavuzz-report --format csv run.jsonl          # CSV sections
+ *   dejavuzz-report --out cmp.md day1.jsonl day2.jsonl
+ *
+ * Each input is a campaign log written by `dejavuzz` (schema:
+ * docs/campaign-format.md). Logs are strictly validated — a
+ * malformed or internally inconsistent log aborts with a diagnostic
+ * and a non-zero exit — then compared side by side on the paper's
+ * evaluation axes (usage and sample output: docs/reporting.md).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/campaign_log.hh"
+#include "report/report.hh"
+
+namespace {
+
+using dejavuzz::report::CampaignLog;
+using dejavuzz::report::ReportFormat;
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [options] LOG.jsonl [LOG.jsonl ...]\n"
+        "\n"
+        "  --format F   md | csv (default md)\n"
+        "  --out PATH   write the report to a file "
+        "(default stdout)\n"
+        "  --help       this text\n",
+        argv0);
+}
+
+/** Display label: file stem, deduplicated with a #N suffix. */
+std::string
+labelFor(const std::string &path,
+         const std::vector<CampaignLog> &loaded)
+{
+    std::string stem = path;
+    size_t slash = stem.find_last_of('/');
+    if (slash != std::string::npos)
+        stem = stem.substr(slash + 1);
+    size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        stem = stem.substr(0, dot);
+
+    std::string label = stem;
+    unsigned suffix = 2;
+    for (size_t i = 0; i < loaded.size();) {
+        if (loaded[i].name == label) {
+            label = stem + "#" + std::to_string(suffix++);
+            i = 0;
+            continue;
+        }
+        ++i;
+    }
+    return label;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ReportFormat format = ReportFormat::Markdown;
+    std::string out_path;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--format") {
+            const std::string fmt = value();
+            if (fmt == "md" || fmt == "markdown") {
+                format = ReportFormat::Markdown;
+            } else if (fmt == "csv") {
+                format = ReportFormat::Csv;
+            } else {
+                std::fprintf(stderr, "bad value for --format\n");
+                return 2;
+            }
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+
+    if (inputs.empty()) {
+        std::fprintf(stderr, "no campaign logs given\n");
+        usage(argv[0]);
+        return 2;
+    }
+
+    // Open --out before doing any work, so an unwritable path fails
+    // immediately.
+    std::ofstream out_file;
+    if (!out_path.empty()) {
+        out_file.open(out_path, std::ios::out | std::ios::trunc);
+        if (!out_file) {
+            std::fprintf(stderr, "cannot open --out %s for writing\n",
+                         out_path.c_str());
+            return 1;
+        }
+    }
+
+    std::vector<CampaignLog> logs;
+    logs.reserve(inputs.size());
+    for (const std::string &path : inputs) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 1;
+        }
+        CampaignLog log;
+        std::string error;
+        if (!dejavuzz::report::parseCampaignLog(
+                in, labelFor(path, logs), log, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+        std::vector<std::string> problems =
+            dejavuzz::report::validateCampaignLog(log);
+        if (!problems.empty()) {
+            for (const auto &problem : problems)
+                std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                             problem.c_str());
+            return 1;
+        }
+        logs.push_back(std::move(log));
+    }
+
+    const std::string report =
+        dejavuzz::report::renderComparison(logs, format);
+    if (!out_path.empty()) {
+        out_file << report;
+        out_file.flush();
+        if (!out_file) {
+            std::fprintf(stderr, "write to --out %s failed\n",
+                         out_path.c_str());
+            return 1;
+        }
+    } else {
+        std::cout << report;
+    }
+    return 0;
+}

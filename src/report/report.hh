@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cross-campaign comparison reports over parsed campaign logs.
+ *
+ * One renderComparison() call turns N CampaignLogs into a single
+ * report with the paper's evaluation axes side by side: campaign
+ * overview, per-config/variant totals (Table 2), per-trigger
+ * training-overhead aggregates (Table 3), a deduplicated
+ * cross-campaign bug matrix (Table 5), epoch-resolution coverage
+ * growth (Fig 7), and first-to-coverage / time-to-first-bug deltas
+ * against the first (baseline) campaign.
+ */
+
+#ifndef DEJAVUZZ_REPORT_REPORT_HH
+#define DEJAVUZZ_REPORT_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "report/campaign_log.hh"
+
+namespace dejavuzz::report {
+
+enum class ReportFormat : uint8_t {
+    Markdown, ///< one Markdown document with one section per table
+    Csv,      ///< the same tables as `# section:`-delimited CSV
+};
+
+/** One rendered comparison table. */
+struct ReportTable
+{
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Build the comparison tables for @p logs (at least one). */
+std::vector<ReportTable>
+buildComparisonTables(const std::vector<CampaignLog> &logs);
+
+/** Render the full comparison report for @p logs. */
+std::string renderComparison(const std::vector<CampaignLog> &logs,
+                             ReportFormat format);
+
+} // namespace dejavuzz::report
+
+#endif // DEJAVUZZ_REPORT_REPORT_HH

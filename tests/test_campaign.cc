@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "campaign/corpus.hh"
@@ -164,6 +165,152 @@ TEST(Corpus, RetentionIsArrivalOrderIndependent)
     EXPECT_EQ(fs[2].gain, 7u);
 }
 
+// --- Corpus persistence -------------------------------------------------
+
+/** A corpus entry with every serialized field holding a nontrivial
+ *  value, so round-trip comparisons exercise the whole format. */
+CorpusEntry
+syntheticEntry(uint64_t gain, unsigned worker, uint64_t seq)
+{
+    CorpusEntry entry;
+    entry.gain = gain;
+    entry.worker = worker;
+    entry.seq = seq;
+    entry.config = "SmallBOOM";
+
+    core::TestCase &tc = entry.tc;
+    tc.seed.id = 42 + seq;
+    tc.seed.trigger = core::TriggerKind::ReturnMispredict;
+    tc.seed.entropy = 0xdeadbeefcafef00dULL + gain;
+    tc.seed.window.meltdown = true;
+    tc.seed.window.prot = swapmem::SecretProt::Pte;
+    tc.seed.window.mask_high_bits = true;
+    tc.seed.window.encode_ops = 5;
+    tc.seed.window.encode_entropy = 0x1234'5678'9abc'def0ULL;
+
+    tc.schedule.transient_prot = swapmem::SecretProt::Pmp;
+    swapmem::SwapPacket train;
+    train.label = "train";
+    train.kind = swapmem::PacketKind::TriggerTrain;
+    train.entry = swapmem::kSwapBase + 8;
+    train.instrs.push_back(
+        isa::Instr{isa::Op::ADDI, 5, 6, 0, -2048, 0x1234});
+    swapmem::SwapPacket transient;
+    transient.label = "transient";
+    transient.kind = swapmem::PacketKind::Transient;
+    transient.instrs.push_back(
+        isa::Instr{isa::Op::LD, 10, 11, 0, 8, 0});
+    transient.instrs.push_back(
+        isa::Instr{isa::Op::SWAPNEXT, 0, 0, 0, 0, 0});
+    tc.schedule.packets = {train, transient};
+
+    for (size_t i = 0; i < tc.data.secret.size(); ++i)
+        tc.data.secret[i] = static_cast<uint8_t>(i * 7 + seq);
+    tc.data.operands = {1, 0xffff'ffff'ffff'ffffULL, 3 + gain};
+
+    tc.trigger_addr = 0x10040;
+    tc.window_addr = 0x10080;
+    tc.window_begin = 1;
+    tc.window_end = 2;
+    tc.encode_begin = 1;
+    tc.encode_end = 2;
+    tc.has_window_payload = true;
+    return entry;
+}
+
+TEST(CorpusIo, SaveLoadRoundTripsEveryField)
+{
+    SharedCorpus corpus(2, 8);
+    corpus.offer(syntheticEntry(9, 0, 0));
+    corpus.offer(syntheticEntry(4, 1, 3));
+
+    std::stringstream file;
+    ASSERT_TRUE(corpus.saveTo(file, /*master_seed=*/77));
+
+    campaign::CorpusFile loaded;
+    std::string error;
+    ASSERT_TRUE(SharedCorpus::loadFrom(file, loaded, &error))
+        << error;
+    EXPECT_EQ(loaded.version, SharedCorpus::kFormatVersion);
+    EXPECT_EQ(loaded.master_seed, 77u);
+    ASSERT_EQ(loaded.entries.size(), 2u);
+
+    // saveTo writes canonical order: gain desc.
+    EXPECT_EQ(loaded.entries[0].gain, 9u);
+    EXPECT_EQ(loaded.entries[1].gain, 4u);
+
+    const CorpusEntry expected = syntheticEntry(9, 0, 0);
+    const CorpusEntry &got = loaded.entries[0];
+    EXPECT_EQ(got.worker, expected.worker);
+    EXPECT_EQ(got.seq, expected.seq);
+    EXPECT_EQ(got.config, expected.config);
+    EXPECT_EQ(got.tc.seed.id, expected.tc.seed.id);
+    EXPECT_EQ(got.tc.seed.trigger, expected.tc.seed.trigger);
+    EXPECT_EQ(got.tc.seed.entropy, expected.tc.seed.entropy);
+    EXPECT_EQ(got.tc.seed.window.meltdown,
+              expected.tc.seed.window.meltdown);
+    EXPECT_EQ(got.tc.seed.window.prot,
+              expected.tc.seed.window.prot);
+    EXPECT_EQ(got.tc.seed.window.mask_high_bits,
+              expected.tc.seed.window.mask_high_bits);
+    EXPECT_EQ(got.tc.seed.window.encode_ops,
+              expected.tc.seed.window.encode_ops);
+    EXPECT_EQ(got.tc.seed.window.encode_entropy,
+              expected.tc.seed.window.encode_entropy);
+    EXPECT_EQ(got.tc.schedule.transient_prot,
+              expected.tc.schedule.transient_prot);
+    ASSERT_EQ(got.tc.schedule.packets.size(),
+              expected.tc.schedule.packets.size());
+    for (size_t p = 0; p < got.tc.schedule.packets.size(); ++p) {
+        const auto &gp = got.tc.schedule.packets[p];
+        const auto &ep = expected.tc.schedule.packets[p];
+        EXPECT_EQ(gp.label, ep.label);
+        EXPECT_EQ(gp.kind, ep.kind);
+        EXPECT_EQ(gp.entry, ep.entry);
+        ASSERT_EQ(gp.instrs.size(), ep.instrs.size());
+        for (size_t i = 0; i < gp.instrs.size(); ++i) {
+            EXPECT_TRUE(gp.instrs[i] == ep.instrs[i]);
+            EXPECT_EQ(gp.instrs[i].raw, ep.instrs[i].raw);
+        }
+    }
+    EXPECT_EQ(got.tc.data.secret, expected.tc.data.secret);
+    EXPECT_EQ(got.tc.data.operands, expected.tc.data.operands);
+    EXPECT_EQ(got.tc.trigger_addr, expected.tc.trigger_addr);
+    EXPECT_EQ(got.tc.window_addr, expected.tc.window_addr);
+    EXPECT_EQ(got.tc.window_begin, expected.tc.window_begin);
+    EXPECT_EQ(got.tc.window_end, expected.tc.window_end);
+    EXPECT_EQ(got.tc.encode_begin, expected.tc.encode_begin);
+    EXPECT_EQ(got.tc.encode_end, expected.tc.encode_end);
+    EXPECT_EQ(got.tc.has_window_payload,
+              expected.tc.has_window_payload);
+}
+
+TEST(CorpusIo, LoadRejectsCorruptInput)
+{
+    campaign::CorpusFile out;
+    std::string error;
+
+    std::stringstream bad_magic("not a corpus file at all");
+    EXPECT_FALSE(SharedCorpus::loadFrom(bad_magic, out, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+    SharedCorpus corpus(1, 4);
+    corpus.offer(syntheticEntry(3, 0, 0));
+    std::stringstream file;
+    ASSERT_TRUE(corpus.saveTo(file, 1));
+    const std::string bytes = file.str();
+
+    // Truncation anywhere inside an entry fails the load.
+    std::stringstream truncated(
+        bytes.substr(0, bytes.size() - 10));
+    EXPECT_FALSE(SharedCorpus::loadFrom(truncated, out, &error));
+
+    // Trailing garbage after the final entry fails too.
+    std::stringstream padded(bytes + "x");
+    EXPECT_FALSE(SharedCorpus::loadFrom(padded, out, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
 // --- Bug ledger ---------------------------------------------------------
 
 TEST(Ledger, DeduplicatesIdenticalReports)
@@ -312,6 +459,124 @@ TEST(Campaign, SweepPolicyAlternatesCores)
     CampaignStats stats = orchestrator.run();
     ASSERT_EQ(stats.workers.size(), 2u);
     EXPECT_NE(stats.workers[0].config, stats.workers[1].config);
+}
+
+TEST(Campaign, RecordsEpochCoverageCurve)
+{
+    CampaignOrchestrator orchestrator(smallCampaign(2, 750));
+    CampaignStats stats = orchestrator.run();
+    ASSERT_EQ(stats.epoch_curve.size(), stats.epochs);
+    uint64_t prev_iters = 0, prev_cov = 0;
+    for (size_t i = 0; i < stats.epoch_curve.size(); ++i) {
+        const auto &sample = stats.epoch_curve[i];
+        EXPECT_EQ(sample.epoch, i);
+        EXPECT_GE(sample.iterations, prev_iters);
+        EXPECT_GE(sample.coverage_points, prev_cov)
+            << "coverage growth must be monotone";
+        prev_iters = sample.iterations;
+        prev_cov = sample.coverage_points;
+    }
+    EXPECT_EQ(stats.epoch_curve.back().iterations,
+              stats.iterations);
+    EXPECT_EQ(stats.epoch_curve.back().coverage_points,
+              stats.coverage_points);
+}
+
+// --- Corpus save -> load -> resume --------------------------------------
+
+TEST(Campaign, CorpusSaveLoadResume)
+{
+    // First campaign: run and persist the corpus.
+    CampaignOptions options = smallCampaign(2, 750);
+    options.steals_per_epoch = 1;
+    CampaignOrchestrator first(options);
+    first.run();
+    ASSERT_GT(first.corpus().size(), 0u);
+    const auto saved = first.corpus().snapshotSorted();
+
+    std::stringstream file;
+    ASSERT_TRUE(first.corpus().saveTo(file, options.master_seed));
+
+    campaign::CorpusFile loaded;
+    std::string error;
+    ASSERT_TRUE(SharedCorpus::loadFrom(file, loaded, &error))
+        << error;
+    ASSERT_EQ(loaded.entries.size(), saved.size());
+
+    // Resume: preload into a fresh campaign with a different seed.
+    CampaignOptions resume_options = smallCampaign(2, 750);
+    resume_options.master_seed = 11;
+    resume_options.steals_per_epoch = 1;
+    CampaignOrchestrator second(resume_options);
+    EXPECT_EQ(second.preloadCorpus(loaded.entries),
+              loaded.entries.size());
+
+    // Preload preserves the saved coverage-gain ordering exactly.
+    const auto preloaded = second.corpus().snapshotSorted();
+    ASSERT_EQ(preloaded.size(), saved.size());
+    for (size_t i = 0; i < preloaded.size(); ++i) {
+        EXPECT_EQ(preloaded[i].gain, saved[i].gain);
+        EXPECT_EQ(preloaded[i].worker, saved[i].worker);
+        EXPECT_EQ(preloaded[i].seq, saved[i].seq);
+        EXPECT_EQ(preloaded[i].config, saved[i].config);
+    }
+
+    CampaignStats stats = second.run();
+    EXPECT_EQ(stats.corpus_preloaded, loaded.entries.size());
+    EXPECT_GE(stats.corpus_size, loaded.entries.size());
+
+    // The resumed campaign admits no duplicate seeds: every
+    // (worker, seq) identity in the final corpus is unique even
+    // though the namesake workers kept offering.
+    std::set<std::pair<unsigned, uint64_t>> identities;
+    for (const auto &entry : second.corpus().snapshotSorted()) {
+        EXPECT_TRUE(
+            identities.insert({entry.worker, entry.seq}).second)
+            << "duplicate corpus identity (" << entry.worker << ", "
+            << entry.seq << ")";
+    }
+    EXPECT_GT(identities.size(), loaded.entries.size())
+        << "resumed campaign should admit fresh entries too";
+}
+
+TEST(Campaign, PreloadCountsOnlyRetainedEntries)
+{
+    // A resuming campaign with a tighter retention bound keeps only
+    // the top of the saved set; dropped entries must not be
+    // reported as preloaded.
+    CampaignOptions options = smallCampaign(2, 250);
+    options.corpus_shards = 1;
+    options.corpus_shard_cap = 2;
+    CampaignOrchestrator orchestrator(options);
+    // Canonical (gain-desc) order, as loadFrom yields it.
+    std::vector<CorpusEntry> entries = {syntheticEntry(9, 0, 0),
+                                        syntheticEntry(4, 0, 1),
+                                        syntheticEntry(1, 1, 0)};
+    EXPECT_EQ(orchestrator.preloadCorpus(entries), 2u);
+    EXPECT_EQ(orchestrator.corpus().size(), 2u);
+}
+
+TEST(Campaign, SingleWorkerResumeInjectsSavedSeeds)
+{
+    // A saved corpus authored by worker 0 must be injectable into a
+    // 1-worker resumed campaign (the namesake-worker case).
+    CampaignOptions options = smallCampaign(1, 500);
+    CampaignOrchestrator first(options);
+    first.run();
+    ASSERT_GT(first.corpus().size(), 0u);
+    std::stringstream file;
+    ASSERT_TRUE(first.corpus().saveTo(file, options.master_seed));
+    campaign::CorpusFile loaded;
+    ASSERT_TRUE(SharedCorpus::loadFrom(file, loaded));
+
+    CampaignOptions resume_options = smallCampaign(1, 500);
+    resume_options.master_seed = 13;
+    CampaignOrchestrator second(resume_options);
+    second.preloadCorpus(loaded.entries);
+    CampaignStats stats = second.run();
+    EXPECT_GT(stats.steals, 0u)
+        << "preloaded entries should be stolen by the lone worker";
+    EXPECT_GT(stats.seeds_imported, 0u);
 }
 
 } // namespace

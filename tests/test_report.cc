@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests of the reporting subsystem: the flat-JSON parser, campaign
+ * JSONL round-tripping (every record the orchestrator emits parses
+ * back and satisfies the schema invariants), strict rejection of
+ * malformed logs, and the cross-campaign comparison renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/orchestrator.hh"
+#include "campaign/stats.hh"
+#include "report/campaign_log.hh"
+#include "report/json.hh"
+#include "report/report.hh"
+#include "uarch/config.hh"
+
+namespace dejavuzz {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignOrchestrator;
+using report::CampaignLog;
+using report::JsonObject;
+using report::ReportFormat;
+
+// --- JSON parser --------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsAndEscapes)
+{
+    JsonObject obj;
+    std::string error;
+    ASSERT_TRUE(report::parseFlatJsonObject(
+        R"({"a":1,"b":-2.5,"c":"x\nyA","d":true,"e":null})",
+        obj, &error))
+        << error;
+    EXPECT_EQ(obj.size(), 5u);
+    EXPECT_DOUBLE_EQ(obj["a"].number, 1.0);
+    EXPECT_DOUBLE_EQ(obj["b"].number, -2.5);
+    EXPECT_EQ(obj["c"].text, "x\nyA");
+    EXPECT_TRUE(obj["d"].boolean);
+    EXPECT_EQ(obj["e"].kind, report::JsonValue::Kind::Null);
+}
+
+TEST(JsonParser, RoundTripsJsonEscape)
+{
+    const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+    const std::string line =
+        "{\"s\":\"" + campaign::jsonEscape(nasty) + "\"}";
+    JsonObject obj;
+    std::string error;
+    ASSERT_TRUE(report::parseFlatJsonObject(line, obj, &error))
+        << error;
+    EXPECT_EQ(obj["s"].text, nasty);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    JsonObject obj;
+    EXPECT_FALSE(report::parseFlatJsonObject("", obj));
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":1", obj));
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":}", obj));
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":1} x", obj));
+    EXPECT_FALSE(
+        report::parseFlatJsonObject("{\"a\":1,\"a\":2}", obj))
+        << "duplicate keys must be rejected";
+    EXPECT_FALSE(
+        report::parseFlatJsonObject("{\"a\":{\"b\":1}}", obj))
+        << "nested objects are not part of the schema";
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":[1]}", obj))
+        << "arrays are not part of the schema";
+    // Not JSON numbers, even though strtod would accept them.
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":nan}", obj));
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":inf}", obj));
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":0x10}", obj));
+    EXPECT_FALSE(report::parseFlatJsonObject("{\"a\":1.}", obj));
+}
+
+TEST(JsonParser, KeepsFullIntegerPrecision)
+{
+    JsonObject obj;
+    std::string error;
+    ASSERT_TRUE(report::parseFlatJsonObject(
+        "{\"seed\":18446744073709551615,\"e\":1e3}", obj, &error))
+        << error;
+    EXPECT_EQ(obj["seed"].raw, "18446744073709551615");
+    EXPECT_DOUBLE_EQ(obj["e"].number, 1000.0);
+}
+
+// --- Campaign log round-trip --------------------------------------------
+
+CampaignOptions
+tinyCampaign(unsigned workers, uint64_t iters, uint64_t seed)
+{
+    CampaignOptions options;
+    options.workers = workers;
+    options.master_seed = seed;
+    options.total_iterations = iters;
+    options.epoch_iterations = 125;
+    options.base_config = uarch::smallBoomConfig();
+    return options;
+}
+
+CampaignLog
+runAndParse(const CampaignOptions &options, const std::string &name)
+{
+    CampaignOrchestrator orchestrator(options);
+    orchestrator.run();
+    std::stringstream jsonl;
+    orchestrator.writeJsonl(jsonl);
+
+    CampaignLog log;
+    std::string error;
+    EXPECT_TRUE(
+        report::parseCampaignLog(jsonl, name, log, &error))
+        << error;
+    return log;
+}
+
+TEST(CampaignLogRoundTrip, EveryEmittedLineParsesBack)
+{
+    const CampaignLog log =
+        runAndParse(tinyCampaign(2, 750, 7), "roundtrip");
+
+    // All record types present: the schema's five discriminators.
+    ASSERT_EQ(log.workers.size(), 2u);
+    EXPECT_FALSE(log.triggers.empty());
+    EXPECT_FALSE(log.epochs.empty());
+    EXPECT_FALSE(log.bugs.empty());
+    EXPECT_EQ(log.summary.workers, 2u);
+    EXPECT_EQ(log.summary.policy, "replicas");
+    EXPECT_EQ(log.summary.master_seed, 7u);
+
+    // Summary totals equal per-worker sums (the remaining schema
+    // invariants are covered by validateCampaignLog below).
+    uint64_t iterations = 0, simulations = 0, reports = 0;
+    for (const auto &w : log.workers) {
+        iterations += w.iterations;
+        simulations += w.simulations;
+        reports += w.bugs;
+    }
+    EXPECT_EQ(iterations, log.summary.iterations);
+    EXPECT_EQ(simulations, log.summary.simulations);
+    EXPECT_EQ(reports, log.summary.total_reports);
+    EXPECT_EQ(log.summary.iterations, 750u);
+
+    EXPECT_TRUE(validateCampaignLog(log).empty());
+}
+
+TEST(CampaignLogRoundTrip, ValidatorCatchesInconsistentLogs)
+{
+    CampaignLog log = runAndParse(tinyCampaign(2, 500, 3), "tamper");
+    ASSERT_TRUE(validateCampaignLog(log).empty());
+    log.summary.iterations += 1;
+    EXPECT_FALSE(validateCampaignLog(log).empty());
+}
+
+TEST(CampaignLogRoundTrip, ParserRejectsBrokenLogs)
+{
+    CampaignLog log;
+    std::string error;
+
+    std::stringstream unknown_type(
+        "{\"type\":\"mystery\",\"x\":1}\n");
+    EXPECT_FALSE(report::parseCampaignLog(unknown_type, "bad", log,
+                                          &error));
+    EXPECT_NE(error.find("unknown record type"), std::string::npos)
+        << error;
+
+    std::stringstream missing_field(
+        "{\"type\":\"trigger\",\"kind\":\"branch-mispred\"}\n");
+    EXPECT_FALSE(report::parseCampaignLog(missing_field, "bad", log,
+                                          &error));
+    EXPECT_NE(error.find("missing field"), std::string::npos)
+        << error;
+
+    std::stringstream negative_field(
+        "{\"type\":\"trigger\",\"kind\":\"k\",\"windows\":-1,"
+        "\"training_overhead\":0,\"effective_overhead\":0}\n");
+    EXPECT_FALSE(report::parseCampaignLog(negative_field, "bad",
+                                          log, &error));
+    EXPECT_NE(error.find("non-negative"), std::string::npos)
+        << error;
+
+    std::stringstream no_summary(
+        "{\"type\":\"epoch\",\"epoch\":0,\"iterations\":1,"
+        "\"coverage_points\":1,\"distinct_bugs\":0,"
+        "\"corpus_size\":0,\"wall_seconds\":0.1}\n");
+    EXPECT_FALSE(report::parseCampaignLog(no_summary, "bad", log,
+                                          &error));
+    EXPECT_NE(error.find("summary"), std::string::npos) << error;
+}
+
+TEST(CampaignLogRoundTrip, PreservesFullRangeMasterSeed)
+{
+    std::stringstream log_text(
+        "{\"type\":\"summary\",\"workers\":0,"
+        "\"policy\":\"replicas\","
+        "\"master_seed\":18446744073709551615,\"iterations\":0,"
+        "\"simulations\":0,\"windows\":0,\"coverage_points\":0,"
+        "\"distinct_bugs\":0,\"total_reports\":0,\"epochs\":0,"
+        "\"corpus_size\":0,\"steals\":0,\"wall_seconds\":0.0,"
+        "\"iters_per_sec\":0.0}\n");
+    CampaignLog log;
+    std::string error;
+    ASSERT_TRUE(report::parseCampaignLog(log_text, "big", log,
+                                         &error))
+        << error;
+    EXPECT_EQ(log.summary.master_seed,
+              18446744073709551615ULL);
+}
+
+TEST(CampaignLogRoundTrip, AcceptsLegacyLogsWithoutEpochRecords)
+{
+    // Pre-epoch-record logs state epochs in the summary but carry
+    // no epoch lines; the validator must not reject them.
+    CampaignLog log = runAndParse(tinyCampaign(1, 250, 5), "old");
+    log.epochs.clear();
+    EXPECT_TRUE(validateCampaignLog(log).empty());
+}
+
+// --- Comparison rendering -----------------------------------------------
+
+TEST(ComparisonReport, MarkdownCoversEveryAxis)
+{
+    std::vector<CampaignLog> logs;
+    logs.push_back(runAndParse(tinyCampaign(2, 750, 7), "alpha"));
+    logs.push_back(runAndParse(tinyCampaign(2, 750, 9), "beta"));
+
+    const std::string md =
+        report::renderComparison(logs, ReportFormat::Markdown);
+    EXPECT_NE(md.find("# DejaVuzz campaign comparison"),
+              std::string::npos);
+    EXPECT_NE(md.find("`alpha`"), std::string::npos);
+    EXPECT_NE(md.find("`beta`"), std::string::npos);
+    EXPECT_NE(md.find("## Campaign overview"), std::string::npos);
+    EXPECT_NE(md.find("## Per-config totals (Table 2 axes)"),
+              std::string::npos);
+    EXPECT_NE(md.find("Transient-window training overhead"),
+              std::string::npos);
+    EXPECT_NE(md.find("Cross-campaign bug matrix"),
+              std::string::npos);
+    EXPECT_NE(md.find("## Coverage growth (Fig 7 axes)"),
+              std::string::npos);
+    EXPECT_NE(md.find("time-to-first-bug"), std::string::npos);
+}
+
+TEST(ComparisonReport, CsvSectionsAreWellFormed)
+{
+    std::vector<CampaignLog> logs;
+    logs.push_back(runAndParse(tinyCampaign(1, 375, 5), "solo"));
+
+    const std::string csv =
+        report::renderComparison(logs, ReportFormat::Csv);
+    EXPECT_NE(csv.find("# section: Campaign overview"),
+              std::string::npos);
+    EXPECT_NE(csv.find("# section: Coverage growth (Fig 7 axes)"),
+              std::string::npos);
+    // Overview data row leads with the campaign label.
+    EXPECT_NE(csv.find("\nsolo,"), std::string::npos);
+}
+
+} // namespace
+} // namespace dejavuzz

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Work-stealing scheduler benchmark: epoch completion time of a
+ * skewed-shard campaign (one worker given 4x the iteration quota)
+ * under the barrier fleet (--no-steal) versus batch work-stealing.
+ *
+ * The barrier fleet's epoch time is bounded by the slowest shard
+ * (three workers idle while the 4x shard grinds); stealing converts
+ * that idle into executed batches, so the same iteration budget
+ * finishes measurably faster. The CI perf-smoke job runs this with
+ * --benchmark_format=json and fails when stealing is not faster
+ * than the barrier baseline on the skewed workload.
+ *
+ * Both modes produce bit-identical bug ledgers and corpora (asserted
+ * in tests/test_campaign.cc); this file measures only wall clock and
+ * scheduler occupancy.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "campaign/orchestrator.hh"
+#include "uarch/config.hh"
+
+using namespace dejavuzz;
+
+namespace {
+
+campaign::CampaignOptions
+skewedCampaign(bool steal)
+{
+    campaign::CampaignOptions options;
+    options.workers = 4;
+    options.master_seed = 7;
+    options.policy = campaign::ShardPolicy::Replicas;
+    options.base_config = uarch::smallBoomConfig();
+    // One worker gets 4x the per-epoch quota: 200+50+50+50 = 350
+    // iterations per epoch, 700 total => 2 epochs.
+    options.epoch_iterations = 50;
+    options.shard_weights = {4.0, 1.0, 1.0, 1.0};
+    options.total_iterations = 700;
+    options.batch_iterations = 10;
+    options.steal_batches = steal;
+    return options;
+}
+
+void
+runSkewed(benchmark::State &state, bool steal)
+{
+    uint64_t stolen = 0;
+    uint64_t idle_ns = 0;
+    uint64_t iterations = 0;
+    for (auto _ : state) {
+        campaign::CampaignOrchestrator orchestrator(
+            skewedCampaign(steal));
+        campaign::CampaignStats stats = orchestrator.run();
+        stolen += stats.batches_stolen;
+        idle_ns += stats.steal_idle_ns;
+        iterations += stats.iterations;
+        benchmark::DoNotOptimize(stats.coverage_points);
+    }
+    state.counters["batches_stolen"] = benchmark::Counter(
+        static_cast<double>(stolen), benchmark::Counter::kAvgIterations);
+    state.counters["steal_idle_s"] = benchmark::Counter(
+        static_cast<double>(idle_ns) / 1e9,
+        benchmark::Counter::kAvgIterations);
+    state.counters["fuzz_iters_per_s"] = benchmark::Counter(
+        static_cast<double>(iterations),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_SkewedEpochBarrier(benchmark::State &state)
+{
+    runSkewed(state, /*steal=*/false);
+}
+
+void
+BM_SkewedEpochStealing(benchmark::State &state)
+{
+    runSkewed(state, /*steal=*/true);
+}
+
+// Real time is the comparison axis: the barrier mode's waste is
+// three parked threads, which CPU time does not see.
+BENCHMARK(BM_SkewedEpochBarrier)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+BENCHMARK(BM_SkewedEpochStealing)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+} // namespace
+
+BENCHMARK_MAIN();

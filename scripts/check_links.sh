@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Check README.md and docs/*.md for dead relative links.
+# Check the top-level Markdown files (README, ISSUE, CHANGES,
+# ROADMAP) and docs/*.md for dead relative links.
 #
 # Extracts every Markdown link target, skips absolute URLs and
 # pure-anchor links, strips #fragments, and verifies the target
@@ -10,7 +11,7 @@ set -u
 cd "$(dirname "$0")/.."
 
 fail=0
-for file in README.md docs/*.md; do
+for file in README.md ISSUE.md CHANGES.md ROADMAP.md docs/*.md; do
     [ -f "$file" ] || continue
     dir=$(dirname "$file")
     while IFS= read -r target; do

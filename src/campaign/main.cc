@@ -50,6 +50,10 @@ usage(const char *argv0)
         "(default off)\n"
         "  --epoch N          per-worker iterations per sync epoch "
         "(default 200)\n"
+        "  --batch N          iterations per scheduler batch "
+        "(default 32)\n"
+        "  --no-steal         disable batch work-stealing "
+        "(barrier fleet; same results, slower on skewed shards)\n"
         "  --master-seed X    campaign master seed (default 1)\n"
         "  --steals N         stolen seeds per worker per epoch "
         "(default 1)\n"
@@ -154,6 +158,13 @@ main(int argc, char **argv)
                 options.epoch_iterations == 0) {
                 bad();
             }
+        } else if (arg == "--batch") {
+            if (!parseUint(value(), options.batch_iterations) ||
+                options.batch_iterations == 0) {
+                bad();
+            }
+        } else if (arg == "--no-steal") {
+            options.steal_batches = false;
         } else if (arg == "--master-seed") {
             if (!parseUint(value(), options.master_seed))
                 bad();
@@ -279,11 +290,13 @@ main(int argc, char **argv)
 
     if (!quiet) {
         std::fprintf(stderr,
-            "campaign: %u workers (%s), %llu iterations in %.2fs "
-            "(%.1f iters/s), %llu coverage points, %zu distinct "
-            "bugs (%llu reports), corpus %llu, %llu steals\n",
+            "campaign: %u workers (%s, %s sched), %llu iterations "
+            "in %.2fs (%.1f iters/s), %llu coverage points, %zu "
+            "distinct bugs (%llu reports), corpus %llu, %llu "
+            "steals, %llu/%llu batches stolen, %.2fs barrier idle\n",
             options.workers,
             dejavuzz::campaign::shardPolicyName(options.policy),
+            stats.stealing ? "steal" : "barrier",
             static_cast<unsigned long long>(stats.iterations),
             stats.wall_seconds, stats.iters_per_sec,
             static_cast<unsigned long long>(stats.coverage_points),
@@ -291,7 +304,10 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(
                 orchestrator.ledger().totalReports()),
             static_cast<unsigned long long>(stats.corpus_size),
-            static_cast<unsigned long long>(stats.steals));
+            static_cast<unsigned long long>(stats.steals),
+            static_cast<unsigned long long>(stats.batches_stolen),
+            static_cast<unsigned long long>(stats.batches),
+            static_cast<double>(stats.steal_idle_ns) / 1e9);
         for (const auto &record : orchestrator.ledger().entries()) {
             std::fprintf(stderr, "  bug [w%u e%llu x%llu] %s\n",
                          record.worker,

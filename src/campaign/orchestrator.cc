@@ -19,6 +19,17 @@ nowSeconds()
         .count();
 }
 
+/**
+ * Rng seed of batch @p index of shard @p shard. Two stream
+ * derivations decorrelate both axes; the same (master, shard, index)
+ * triple always yields the same batch, whoever executes it.
+ */
+uint64_t
+batchSeed(uint64_t master, unsigned shard, uint64_t index)
+{
+    return Rng::streamSeed(Rng::streamSeed(master, shard), index);
+}
+
 /** Ablation variants cycled across workers by AblationMatrix. */
 struct AblationVariant
 {
@@ -61,6 +72,8 @@ CampaignOrchestrator::CampaignOrchestrator(
         options_.workers = 1;
     if (options_.epoch_iterations == 0)
         options_.epoch_iterations = 1;
+    if (options_.batch_iterations == 0)
+        options_.batch_iterations = 1;
     dv_assert(options_.total_iterations != 0 ||
               options_.wall_seconds > 0.0);
     provision();
@@ -69,13 +82,16 @@ CampaignOrchestrator::CampaignOrchestrator(
 void
 CampaignOrchestrator::provision()
 {
-    workers_.resize(options_.workers);
+    shards_.resize(options_.workers);
+    executors_.resize(options_.workers);
+    std::map<std::pair<std::string, std::string>, unsigned> kinds;
+
     for (unsigned w = 0; w < options_.workers; ++w) {
-        Worker &worker = workers_[w];
+        Shard &shard = shards_[w];
 
         uarch::CoreConfig config = options_.base_config;
         core::FuzzerOptions fopts = options_.fuzzer;
-        worker.variant = "full";
+        shard.variant = "full";
 
         switch (options_.policy) {
           case ShardPolicy::Replicas:
@@ -93,7 +109,7 @@ CampaignOrchestrator::provision()
           case ShardPolicy::AblationMatrix: {
             const auto &variant =
                 kAblationMatrix[w % std::size(kAblationMatrix)];
-            worker.variant = variant.name;
+            shard.variant = variant.name;
             fopts.derived_training = variant.derived_training;
             fopts.coverage_feedback = variant.coverage_feedback;
             fopts.use_liveness = variant.use_liveness;
@@ -102,32 +118,54 @@ CampaignOrchestrator::provision()
           }
         }
 
-        // Independent, reproducible per-worker stream from the one
-        // campaign master seed.
+        // The executor's own stream seed is irrelevant in batch mode
+        // (every batch reseeds from its spec) but kept distinct for
+        // any direct run() use. Long campaigns: bound memory, the
+        // orchestrator tracks the fleet-level curve itself.
         fopts.master_seed =
             Rng::streamSeed(options_.master_seed, w);
-        // Long campaigns: bound memory, the orchestrator tracks the
-        // fleet-level coverage curve itself.
         fopts.record_coverage_curve = false;
 
-        worker.config_name = config.name;
-        worker.fuzzer =
-            std::make_unique<core::Fuzzer>(config, fopts);
-        worker.fuzzer->setInterestingHook(
-            [this, w, &worker](const core::TestCase &tc,
-                               uint64_t gain) {
-                corpus_.offer(CorpusEntry{tc, gain, w,
-                                          worker.offer_seq++,
-                                          worker.config_name});
-            });
+        shard.config = config;
+        shard.fopts = fopts;
+        shard.config_name = config.name;
+        shard.agg.worker = w;
+        shard.agg.config = shard.config_name;
+        shard.agg.variant = shard.variant;
 
-        auto [it, inserted] = groups_.try_emplace(worker.config_name);
+        // Executor thread w reuses this one fuzzer (and its dual-sim
+        // buffers) for every batch it runs, own or stolen.
+        executors_[w] =
+            std::make_unique<core::Fuzzer>(config, fopts);
+
+        auto [it, inserted] = groups_.try_emplace(shard.config_name);
         if (inserted) {
             it->second = std::make_unique<GlobalCoverage>(
-                worker.fuzzer->coverage());
+                executors_[w]->coverage());
+            // Blank registered map; epoch snapshots are stamped from
+            // this shape then filled by pullInto.
+            group_shapes_.emplace(shard.config_name,
+                                  executors_[w]->coverage());
+            group_snapshots_.emplace(shard.config_name,
+                                     executors_[w]->coverage());
         }
-        worker.group = it->second.get();
+        shard.group = it->second.get();
+        shard.private_map = group_shapes_.at(shard.config_name);
+
+        auto [kit, fresh] = kinds.try_emplace(
+            {shard.config_name, shard.variant},
+            static_cast<unsigned>(kinds.size()));
+        (void)fresh;
+        shard.kind = kit->second;
     }
+
+    std::vector<unsigned> kind_ids;
+    kind_ids.reserve(shards_.size());
+    for (const Shard &shard : shards_)
+        kind_ids.push_back(shard.kind);
+    sched_ = std::make_unique<WorkStealingScheduler>(kind_ids);
+    busy_seconds_.assign(shards_.size(), 0.0);
+    base_quotas_ = baseQuotas();
 }
 
 uint64_t
@@ -139,13 +177,16 @@ CampaignOrchestrator::preloadCorpus(
     for (const CorpusEntry &entry : entries) {
         // Reserve the identity even when the entry itself is
         // skipped or dropped below, so a chained resume never
-        // re-issues a (worker, seq) the file already claims.
-        if (entry.worker < workers_.size()) {
-            Worker &namesake = workers_[entry.worker];
-            namesake.offer_seq =
-                std::max(namesake.offer_seq, entry.seq + 1);
+        // re-issues a (worker, seq) the file already claims. Batch
+        // k of a shard owns seqs [k*B, (k+1)*B); skipping to the
+        // batch past the highest loaded seq skips every claimed id.
+        if (entry.worker < shards_.size()) {
+            Shard &namesake = shards_[entry.worker];
+            namesake.next_batch = std::max(
+                namesake.next_batch,
+                entry.seq / options_.batch_iterations + 1);
         }
-        // injectSeed() resumes a case in Phase-2 mutation mode, which
+        // runBatch resumes a case in Phase-2 mutation mode, which
         // requires a completed window payload.
         if (!entry.tc.has_window_payload)
             continue;
@@ -161,72 +202,260 @@ CampaignOrchestrator::preloadCorpus(
     return admitted;
 }
 
+std::vector<uint64_t>
+CampaignOrchestrator::baseQuotas() const
+{
+    std::vector<uint64_t> quotas(shards_.size());
+    uint64_t desired_total = 0;
+    for (size_t w = 0; w < shards_.size(); ++w) {
+        double weight = w < options_.shard_weights.size()
+                            ? options_.shard_weights[w]
+                            : 1.0;
+        if (weight < 0.0)
+            weight = 0.0;
+        quotas[w] = static_cast<uint64_t>(
+            static_cast<double>(options_.epoch_iterations) * weight +
+            0.5);
+        desired_total += quotas[w];
+    }
+    if (desired_total == 0) {
+        // All-zero weights would stall the campaign; fall back to a
+        // single active shard.
+        quotas.assign(shards_.size(), 0);
+        quotas[0] = options_.epoch_iterations;
+    }
+    return quotas;
+}
+
+std::vector<uint64_t>
+CampaignOrchestrator::planQuotas(uint64_t done) const
+{
+    // Desired per-shard quota for a full epoch.
+    std::vector<uint64_t> quotas = base_quotas_;
+    uint64_t desired_total = 0;
+    for (uint64_t quota : quotas)
+        desired_total += quota;
+
+    if (options_.total_iterations == 0)
+        return quotas;
+
+    // Final epoch of an iteration-bounded campaign: scale the
+    // desired quotas down proportionally (largest shares first by
+    // worker order for the integer remainder).
+    uint64_t remaining = options_.total_iterations - done;
+    if (remaining >= desired_total)
+        return quotas;
+    uint64_t assigned = 0;
+    std::vector<uint64_t> scaled(shards_.size(), 0);
+    for (size_t w = 0; w < shards_.size(); ++w) {
+        scaled[w] = remaining * quotas[w] / desired_total;
+        assigned += scaled[w];
+    }
+    uint64_t leftover = remaining - assigned;
+    for (size_t w = 0; w < shards_.size() && leftover > 0; ++w) {
+        if (quotas[w] == 0)
+            continue;
+        ++scaled[w];
+        --leftover;
+    }
+    return scaled;
+}
+
+void
+CampaignOrchestrator::executorLoop(unsigned t)
+{
+    core::Fuzzer &fz = *executors_[t];
+    double busy = 0.0;
+    for (;;) {
+        BatchTask task;
+        if (!sched_->popOwn(t, task)) {
+            // Own deque dry: convert would-be barrier idle into
+            // stolen batches. In --no-steal mode the thread simply
+            // parks at the barrier (the PR-1 behaviour).
+            if (!options_.steal_batches || !sched_->steal(t, task))
+                break;
+        }
+        const Shard &shard = shards_[task.shard];
+
+        // Provenance: offers are tagged with the *shard-logical*
+        // (worker, seq) identity regardless of the executing
+        // thread; batch k owns seq range [k*B, (k+1)*B).
+        const uint64_t seq_base =
+            task.index * options_.batch_iterations;
+        uint64_t offer_local = 0;
+        fz.setInterestingHook(
+            [this, &shard, &offer_local, seq_base,
+             s = task.shard](const core::TestCase &tc,
+                             uint64_t gain) {
+                corpus_.offer(CorpusEntry{tc, gain, s,
+                                          seq_base + offer_local++,
+                                          shard.config_name});
+            });
+
+        core::Fuzzer::BatchSpec spec;
+        spec.rng_seed =
+            batchSeed(options_.master_seed, task.shard, task.index);
+        spec.iter_base = seq_base;
+        spec.iterations = task.iterations;
+        spec.baseline = &group_snapshots_.at(shard.config_name);
+        spec.inject = std::move(task.inject);
+
+        const double begin = nowSeconds();
+        SlotResult slot;
+        slot.res = fz.runBatch(spec);
+        // Publish the batch's discoveries with lock-free atomic ORs
+        // (commutative, so barrier state is timing-free); keep the
+        // full map for the barrier-ordered per-shard fold.
+        shard.group->mergeFrom(fz.coverage());
+        slot.cov = fz.coverage();
+        slot.seconds = nowSeconds() - begin;
+        busy += slot.seconds;
+        fz.setInterestingHook(nullptr);
+
+        // Slots are preallocated and disjoint per (shard, slot): no
+        // lock needed to publish.
+        epoch_results_[task.shard][task.slot] = std::move(slot);
+    }
+    busy_seconds_[t] = busy;
+}
+
 void
 CampaignOrchestrator::runEpoch(const std::vector<uint64_t> &quotas)
 {
-    // Pull fleet-wide discoveries on the main thread, before any
-    // worker starts: a pull inside the worker slice could observe a
-    // faster sibling's same-epoch merge and break reproducibility.
-    for (size_t w = 0; w < workers_.size(); ++w) {
-        if (quotas[w] != 0)
-            workers_[w].group->pullInto(
-                workers_[w].fuzzer->coverageMut());
+    // Freeze one coverage snapshot per config group on the main
+    // thread before any executor starts: every batch of the epoch
+    // measures novelty against the same barrier state, which is what
+    // makes batches executor-independent.
+    for (auto &[name, snapshot] : group_snapshots_) {
+        snapshot = group_shapes_.at(name);
+        groups_.at(name)->pullInto(snapshot);
     }
 
-    auto slice = [](Worker &worker, uint64_t quota) {
-        if (quota == 0)
-            return;
-        // Run the slice, then publish our discoveries with lock-free
-        // atomic ORs (commutative, so barrier state is timing-free).
-        worker.fuzzer->run(quota);
-        worker.group->mergeFrom(worker.fuzzer->coverage());
-    };
-
-    if (workers_.size() == 1) {
-        slice(workers_[0], quotas[0]);
-        return;
+    // Plan the epoch: per-shard batch deques + disjoint result slots.
+    epoch_results_.assign(shards_.size(), {});
+    for (unsigned w = 0; w < shards_.size(); ++w) {
+        Shard &shard = shards_[w];
+        uint64_t remaining = quotas[w];
+        if (remaining == 0)
+            continue; // pending seeds wait for the next active epoch
+        std::vector<core::TestCase> pending =
+            std::move(shard.pending_inject);
+        shard.pending_inject.clear();
+        size_t slot = 0;
+        while (remaining > 0) {
+            BatchTask task;
+            task.shard = w;
+            task.index = shard.next_batch++;
+            task.iterations =
+                std::min<uint64_t>(remaining,
+                                   options_.batch_iterations);
+            task.slot = slot++;
+            if (!pending.empty()) {
+                // Corpus seeds ride the shard's first batch of the
+                // epoch; unconsumed ones come back via
+                // leftover_inject and retry next epoch.
+                task.inject = std::move(pending);
+                pending.clear();
+            }
+            sched_->push(w, std::move(task));
+            remaining -= std::min<uint64_t>(
+                options_.batch_iterations,
+                remaining);
+        }
+        epoch_results_[w].resize(slot);
     }
-    std::vector<std::thread> threads;
-    threads.reserve(workers_.size());
-    for (size_t w = 0; w < workers_.size(); ++w)
-        threads.emplace_back(slice, std::ref(workers_[w]),
-                             quotas[w]);
-    for (auto &thread : threads)
-        thread.join();
+
+    stolen_before_ = sched_->stolen();
+    std::fill(busy_seconds_.begin(), busy_seconds_.end(), 0.0);
+
+    const double begin = nowSeconds();
+    if (shards_.size() == 1) {
+        executorLoop(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(shards_.size());
+        for (unsigned t = 0; t < shards_.size(); ++t)
+            threads.emplace_back(
+                [this, t] { executorLoop(t); });
+        for (auto &thread : threads)
+            thread.join();
+    }
+    const double wall = nowSeconds() - begin;
+
+    epoch_stolen_ = sched_->stolen() - stolen_before_;
+    epoch_idle_ns_ = 0;
+    for (double busy : busy_seconds_) {
+        double idle = wall - busy;
+        if (idle > 0.0)
+            epoch_idle_ns_ +=
+                static_cast<uint64_t>(idle * 1e9);
+    }
 }
 
 void
 CampaignOrchestrator::syncEpoch(uint64_t epoch)
 {
-    // Drain fresh bug reports into the ledger in worker order so
-    // first-discovery provenance is thread-timing independent.
-    for (unsigned w = 0; w < workers_.size(); ++w) {
-        Worker &worker = workers_[w];
-        const auto &bugs = worker.fuzzer->stats().bugs;
-        for (size_t i = worker.bugs_drained; i < bugs.size(); ++i)
-            ledger_.record(bugs[i], w, epoch);
-        worker.bugs_drained = bugs.size();
+    // Fold batch outcomes into the shard-logical rollups and the bug
+    // ledger in (shard, batch) order, so provenance and dedup
+    // first-reporter choices are thread-timing independent.
+    for (unsigned w = 0; w < shards_.size(); ++w) {
+        Shard &shard = shards_[w];
+        for (SlotResult &slot : epoch_results_[w]) {
+            const core::Fuzzer::BatchResult &res = slot.res;
+            shard.agg.iterations += res.iterations;
+            shard.agg.simulations += res.simulations;
+            shard.agg.windows_triggered += res.windows_triggered;
+            shard.agg.seeds_imported += res.seeds_imported;
+            shard.agg.bug_reports += res.bugs.size();
+            shard.agg.active_seconds += slot.seconds;
+            for (unsigned k = 0; k < core::kTriggerKinds; ++k) {
+                shard.trigger_agg[k].windows +=
+                    res.triggers[k].windows;
+                shard.trigger_agg[k].training_overhead +=
+                    res.triggers[k].training_overhead;
+                shard.trigger_agg[k].effective_overhead +=
+                    res.triggers[k].effective_overhead;
+                shard.trigger_agg[k].attempts +=
+                    res.triggers[k].attempts;
+            }
+            for (const core::BugReport &bug : res.bugs)
+                ledger_.record(bug, w, epoch);
+            for (core::TestCase &tc : slot.res.leftover_inject)
+                shard.pending_inject.push_back(std::move(tc));
+            // Union, not sum: two batches rediscovering the same
+            // point must not double-count the shard's coverage.
+            shard.private_map.mergeFrom(slot.cov);
+        }
+        shard.agg.coverage_points = shard.private_map.points();
+        stats_.batches += epoch_results_[w].size();
     }
+    stats_.batches_stolen += epoch_stolen_;
+    stats_.steal_idle_ns += epoch_idle_ns_;
 
-    // Cross-worker seed stealing from a canonical corpus snapshot.
+    // Cross-shard seed stealing from a canonical corpus snapshot.
     // Only (gain, worker, seq) keys are snapshotted; the handful of
     // entries actually injected are fetched individually, so the
     // barrier never deep-copies the whole corpus. A single-worker
     // fleet still steals when the corpus was preloaded from a saved
     // campaign — that is what makes --corpus-in resume the run.
     if (options_.steals_per_epoch == 0 ||
-        (workers_.size() < 2 && preloaded_ids_.empty())) {
+        (shards_.size() < 2 && preloaded_ids_.empty())) {
         return;
     }
     std::vector<CorpusKey> snapshot = corpus_.snapshotKeys();
     if (snapshot.empty())
         return;
-    for (unsigned w = 0; w < workers_.size(); ++w) {
-        Worker &worker = workers_[w];
+    for (unsigned w = 0; w < shards_.size(); ++w) {
+        Shard &shard = shards_[w];
+        // A zero-weight shard never plans an epoch: seeds queued for
+        // it would pile up in pending_inject forever (and inflate
+        // the steals counter with injections that never execute).
+        if (base_quotas_[w] == 0)
+            continue;
         std::vector<const CorpusKey *> eligible;
         eligible.reserve(snapshot.size());
         for (const auto &key : snapshot) {
-            // Skip a worker's own discoveries (it already mutated
+            // Skip a shard's own discoveries (it already mutated
             // them), but not preloaded namesakes from the previous
             // campaign.
             if (key.worker == w &&
@@ -239,9 +468,9 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
             // config name because preloaded entries may be authored
             // by workers of a previous campaign with a different
             // fleet size.
-            if (key.config != worker.config_name)
+            if (key.config != shard.config_name)
                 continue;
-            if (worker.stolen.count({key.worker, key.seq}))
+            if (shard.stolen.count({key.worker, key.seq}))
                 continue;
             eligible.push_back(&key);
         }
@@ -256,8 +485,9 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
             const CorpusKey *key = eligible[pick];
             CorpusEntry entry;
             if (corpus_.fetch(key->worker, key->seq, entry)) {
-                worker.fuzzer->injectSeed(entry.tc);
-                worker.stolen.insert({key->worker, key->seq});
+                shard.pending_inject.push_back(
+                    std::move(entry.tc));
+                shard.stolen.insert({key->worker, key->seq});
                 ++steals_;
             }
             eligible.erase(eligible.begin() +
@@ -270,22 +500,8 @@ void
 CampaignOrchestrator::finalizeStats(double wall_seconds)
 {
     stats_.workers.clear();
-    for (unsigned w = 0; w < workers_.size(); ++w) {
-        const Worker &worker = workers_[w];
-        const core::FuzzerStats &fs = worker.fuzzer->stats();
-        WorkerSummary summary;
-        summary.worker = w;
-        summary.config = worker.config_name;
-        summary.variant = worker.variant;
-        summary.iterations = fs.iterations;
-        summary.simulations = fs.simulations;
-        summary.windows_triggered = fs.windows_triggered;
-        summary.coverage_points = fs.coverage_points;
-        summary.seeds_imported = fs.seeds_imported;
-        summary.bug_reports = fs.bugs.size();
-        summary.active_seconds = worker.fuzzer->elapsedSeconds();
-        stats_.addWorker(summary, worker.fuzzer->triggerStats());
-    }
+    for (const Shard &shard : shards_)
+        stats_.addWorker(shard.agg, shard.trigger_agg);
 
     stats_.coverage_points = 0;
     for (const auto &[name, group] : groups_)
@@ -294,6 +510,8 @@ CampaignOrchestrator::finalizeStats(double wall_seconds)
     stats_.corpus_size = corpus_.size();
     stats_.corpus_preloaded = preloaded_;
     stats_.steals = steals_;
+    stats_.batch_iterations = options_.batch_iterations;
+    stats_.stealing = options_.steal_batches;
     stats_.wall_seconds = wall_seconds;
     stats_.iters_per_sec =
         wall_seconds > 0.0
@@ -321,25 +539,7 @@ CampaignOrchestrator::run()
             break;
         }
 
-        // Per-worker quotas for this epoch; the final epoch of an
-        // iteration-bounded campaign splits the remainder evenly
-        // (workers [0, rem % N) take one extra iteration).
-        std::vector<uint64_t> quotas(workers_.size(),
-                                     options_.epoch_iterations);
-        if (options_.total_iterations != 0) {
-            uint64_t remaining = options_.total_iterations - done;
-            uint64_t full = options_.epoch_iterations *
-                            static_cast<uint64_t>(workers_.size());
-            if (remaining < full) {
-                uint64_t base =
-                    remaining / workers_.size();
-                uint64_t extra =
-                    remaining % workers_.size();
-                for (size_t w = 0; w < workers_.size(); ++w)
-                    quotas[w] = base + (w < extra ? 1 : 0);
-            }
-        }
-
+        std::vector<uint64_t> quotas = planQuotas(done);
         runEpoch(quotas);
         for (uint64_t quota : quotas)
             done += quota;
@@ -347,7 +547,8 @@ CampaignOrchestrator::run()
 
         // Fig-7-style epoch-resolution growth sample. The counter
         // fields are barrier state, so they are reproducible; only
-        // wall_seconds is machine-dependent.
+        // wall_seconds and the scheduler occupancy pair are
+        // machine-dependent.
         EpochSample sample;
         sample.epoch = epoch;
         sample.iterations = done;
@@ -355,6 +556,8 @@ CampaignOrchestrator::run()
             sample.coverage_points += group->points();
         sample.distinct_bugs = ledger_.distinct();
         sample.corpus_size = corpus_.size();
+        sample.batches_stolen = epoch_stolen_;
+        sample.steal_idle_ns = epoch_idle_ns_;
         sample.wall_seconds = nowSeconds() - begin;
         stats_.epoch_curve.push_back(sample);
 

@@ -2,30 +2,31 @@
  * @file
  * The parallel campaign orchestrator.
  *
- * N worker threads each own an independent core::Fuzzer (distinct
- * Rng stream forked from one master seed; optionally a distinct core
- * config or ablation variant per shard policy). Work proceeds in
- * epochs:
+ * Work proceeds in epochs. At each epoch boundary the orchestrator
+ * plans every shard's iteration quota as a sequence of small
+ * *batches* (see scheduler.hh) and freezes one coverage snapshot per
+ * core-config group. N executor threads then drain the batch deques:
+ * each thread prefers its own shard's deque and, when that runs dry,
+ * steals batches from the most-loaded compatible peer — so the epoch
+ * barrier is reached when global work is exhausted, not when the
+ * slowest shard finishes a fixed quota.
  *
- *   run phase   the main thread first pulls the fleet-global
- *               coverage map into every worker's private map (so
- *               novelty decisions reflect everything any worker had
- *               found by the last barrier), then workers execute
- *               their iteration quotas in parallel, each finishing
- *               by merging its discoveries back with lock-free
- *               atomic ORs; interesting test cases are offered to
- *               the mutex-sharded shared corpus as they appear.
- *   sync phase  the main thread drains new bug reports into the
- *               deduplicating BugLedger in worker order and performs
- *               cross-worker seed stealing from a canonical corpus
- *               snapshot with an epoch-deterministic Rng stream.
- *
- * Because coverage merging is commutative, corpus retention is
- * arrival-order independent, and all cross-worker coupling happens at
- * the barriers, an iteration-budgeted campaign with a fixed (master
- * seed, worker count, policy, budget) is bit-reproducible regardless
- * of thread timing. Wall-clock-budgeted campaigns stop at a
- * machine-speed-dependent epoch and are not reproducible.
+ * Determinism: a batch is a pure function of (master seed, shard,
+ * batch index, epoch snapshot, assigned corpus seeds) — the executor
+ * resets its fuzzer from that spec before running it
+ * (core::Fuzzer::runBatch). Coverage merging is commutative, corpus
+ * retention is arrival-order independent, bug reports are drained at
+ * the barrier in (shard, batch) order, and all cross-shard coupling
+ * (corpus seed stealing) happens at the barriers with an
+ * epoch-deterministic Rng stream. An iteration-budgeted campaign
+ * with a fixed (master seed, worker count, policy, batch size,
+ * budget) is therefore bit-reproducible regardless of thread timing
+ * — and regardless of whether batch stealing is enabled: stealing
+ * changes only which thread executes a batch and when, never what
+ * the batch computes. Wall-clock-budgeted campaigns stop at a
+ * machine-speed-dependent epoch and are not reproducible; the
+ * batches_stolen / steal_idle_ns counters are wall-clock artifacts
+ * in every mode.
  */
 
 #ifndef DEJAVUZZ_CAMPAIGN_ORCHESTRATOR_HH
@@ -43,6 +44,7 @@
 #include "campaign/corpus.hh"
 #include "campaign/coverage_map.hh"
 #include "campaign/ledger.hh"
+#include "campaign/scheduler.hh"
 #include "campaign/stats.hh"
 #include "core/fuzzer.hh"
 #include "uarch/config.hh"
@@ -73,6 +75,19 @@ struct CampaignOptions
     /** Per-worker iterations between sync barriers. */
     uint64_t epoch_iterations = 200;
 
+    /** Iterations per scheduler batch (the work-stealing grain). */
+    uint64_t batch_iterations = 32;
+    /** Allow idle workers to execute peers' batches. Disabling
+     *  reproduces the PR-1 barrier fleet (each thread runs only its
+     *  own quota); outcomes are bit-identical either way. */
+    bool steal_batches = true;
+    /**
+     * Relative per-worker epoch-quota weights (empty = uniform 1.0).
+     * Worker w's epoch quota is round(epoch_iterations * weight) —
+     * the knob the skewed-shard scheduler benchmark turns.
+     */
+    std::vector<double> shard_weights;
+
     unsigned corpus_shards = 8;
     unsigned corpus_shard_cap = 64;
     /** Stolen corpus seeds injected per worker per sync. */
@@ -95,12 +110,12 @@ class CampaignOrchestrator
 
     /**
      * Admit previously persisted corpus entries (see
-     * SharedCorpus::loadFrom) before run(). Worker admission
-     * counters are advanced past every loaded (worker, seq)
-     * identity, so the resumed campaign never re-issues an identity
-     * already present — no duplicate seeds. Entries without a
-     * completed window payload are skipped (they cannot be resumed
-     * in Phase-2 mutation mode). Returns the number admitted.
+     * SharedCorpus::loadFrom) before run(). Each shard's batch
+     * counter is advanced past every loaded (worker, seq) identity,
+     * so the resumed campaign never re-issues an identity already
+     * present — no duplicate seeds. Entries without a completed
+     * window payload are skipped (they cannot be resumed in Phase-2
+     * mutation mode). Returns the number admitted.
      */
     uint64_t preloadCorpus(const std::vector<CorpusEntry> &entries);
 
@@ -112,36 +127,93 @@ class CampaignOrchestrator
     void writeJsonl(std::ostream &os) const;
 
   private:
-    struct Worker
+    /** Shard-logical state: the unit of provenance and policy. The
+     *  executing thread varies batch to batch; everything here is
+     *  touched only at barriers (main thread). */
+    struct Shard
     {
-        std::unique_ptr<core::Fuzzer> fuzzer;
+        uarch::CoreConfig config;
+        core::FuzzerOptions fopts;
         std::string config_name;
         std::string variant;
         GlobalCoverage *group = nullptr;
-        uint64_t offer_seq = 0;      ///< corpus admission counter
-        size_t bugs_drained = 0;     ///< reports already in the ledger
-        /** (author, seq) pairs already injected into this worker. */
+        unsigned kind = 0;           ///< steal-compatibility class
+        uint64_t next_batch = 0;     ///< shard-global batch counter
+        /** Corpus seeds awaiting assignment to the next batch. */
+        std::vector<core::TestCase> pending_inject;
+        /** (author, seq) pairs already injected into this shard. */
         std::set<std::pair<unsigned, uint64_t>> stolen;
+        /**
+         * The shard's private coverage map (PR-1 semantics:
+         * everything its batches saw, including the epoch baselines
+         * they started from). Batch maps are merged in at barriers
+         * in (shard, batch) order, so the union — and the
+         * coverage_points it yields — is deterministic even when
+         * two batches of the shard discovered the same point.
+         */
+        ift::TaintCoverage private_map;
+        /** Shard-logical rollups, accumulated at barriers. */
+        WorkerSummary agg;
+        std::array<core::Fuzzer::TriggerStats, core::kTriggerKinds>
+            trigger_agg{};
+    };
+
+    /** One batch's outcome in the epoch plan (slot-indexed so
+     *  concurrent executors write disjoint elements). */
+    struct SlotResult
+    {
+        core::Fuzzer::BatchResult res;
+        /** The executor's post-batch coverage map (baseline ∪ batch
+         *  discoveries); folded into the shard's private map at the
+         *  barrier. Bitmaps are small, so the per-epoch copies are
+         *  cheap. */
+        ift::TaintCoverage cov;
+        double seconds = 0.0;
     };
 
     void provision();
+    std::vector<uint64_t> planQuotas(uint64_t done) const;
+    /** Full-epoch per-shard quotas from the weights (budget scaling
+     *  aside); fixed for the campaign's lifetime. A zero entry marks
+     *  a shard that never runs — it must not receive stolen seeds. */
+    std::vector<uint64_t> baseQuotas() const;
     void runEpoch(const std::vector<uint64_t> &quotas);
     void syncEpoch(uint64_t epoch);
+    void executorLoop(unsigned t);
     void finalizeStats(double wall_seconds);
 
     CampaignOptions options_;
     SharedCorpus corpus_;
     BugLedger ledger_;
     CampaignStats stats_;
-    std::vector<Worker> workers_;
+    std::vector<Shard> shards_;
+    /** Executor thread t's fuzzer, built for shard t's kind and
+     *  reused (dual-sim buffers and all) across every batch it
+     *  runs — the batched-simulation amortization. */
+    std::vector<std::unique_ptr<core::Fuzzer>> executors_;
     /** One global coverage map per distinct core config. */
     std::map<std::string, std::unique_ptr<GlobalCoverage>> groups_;
+    /** Blank registered maps (per config) snapshots are stamped from. */
+    std::map<std::string, ift::TaintCoverage> group_shapes_;
+    /** Frozen per-config coverage at the current epoch's start; all
+     *  batches of the epoch read it concurrently, nobody writes. */
+    std::map<std::string, ift::TaintCoverage> group_snapshots_;
+
+    std::unique_ptr<WorkStealingScheduler> sched_;
+    std::vector<uint64_t> base_quotas_;
+    /** Per-(shard, slot) results of the epoch in flight. */
+    std::vector<std::vector<SlotResult>> epoch_results_;
+    std::vector<double> busy_seconds_;
+
     Rng steal_rng_;
     uint64_t steals_ = 0;
     uint64_t preloaded_ = 0;
+    uint64_t stolen_before_ = 0;   ///< sched_->stolen() at epoch start
+    uint64_t epoch_stolen_ = 0;    ///< batches stolen this epoch
+    uint64_t epoch_idle_ns_ = 0;   ///< idle (non-busy) ns this epoch
     /** Identities admitted by preloadCorpus(): they are stealable by
-     *  every current worker, including the one sharing the author's
-     *  worker number (that worker never actually generated them). */
+     *  every current shard, including the one sharing the author's
+     *  worker number (that shard never actually generated them). */
     std::set<std::pair<unsigned, uint64_t>> preloaded_ids_;
     bool ran_ = false;
 };

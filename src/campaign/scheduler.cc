@@ -1,0 +1,80 @@
+#include "campaign/scheduler.hh"
+
+#include "util/logging.hh"
+
+namespace dejavuzz::campaign {
+
+WorkStealingScheduler::WorkStealingScheduler(
+    const std::vector<unsigned> &kinds)
+    : kinds_(kinds), deques_(kinds.size())
+{
+    dv_assert(!kinds_.empty());
+}
+
+void
+WorkStealingScheduler::push(unsigned worker, BatchTask task)
+{
+    dv_assert(worker < deques_.size());
+    Deque &dq = deques_[worker];
+    std::lock_guard<std::mutex> lock(dq.mu);
+    dq.tasks.push_back(std::move(task));
+    dq.size.store(dq.tasks.size(), std::memory_order_relaxed);
+}
+
+bool
+WorkStealingScheduler::popOwn(unsigned worker, BatchTask &out)
+{
+    dv_assert(worker < deques_.size());
+    Deque &dq = deques_[worker];
+    std::lock_guard<std::mutex> lock(dq.mu);
+    if (dq.tasks.empty())
+        return false;
+    out = std::move(dq.tasks.front());
+    dq.tasks.pop_front();
+    dq.size.store(dq.tasks.size(), std::memory_order_relaxed);
+    return true;
+}
+
+bool
+WorkStealingScheduler::steal(unsigned thief, BatchTask &out)
+{
+    dv_assert(thief < deques_.size());
+    // Retry until a pop succeeds or a scan finds everything empty.
+    // A scan can lose a race (the hinted victim drains before we
+    // lock it), but work is never *added* mid-epoch, so an all-empty
+    // scan is a stable termination condition.
+    for (;;) {
+        size_t best_load = 0;
+        unsigned victim = deques_.size();
+        for (unsigned w = 0; w < deques_.size(); ++w) {
+            if (w == thief || kinds_[w] != kinds_[thief])
+                continue;
+            size_t load = deques_[w].size.load(
+                std::memory_order_relaxed);
+            if (load > best_load) {
+                best_load = load;
+                victim = w;
+            }
+        }
+        if (victim == deques_.size())
+            return false;
+        Deque &dq = deques_[victim];
+        std::lock_guard<std::mutex> lock(dq.mu);
+        if (dq.tasks.empty())
+            continue; // raced with the owner; rescan
+        out = std::move(dq.tasks.back());
+        dq.tasks.pop_back();
+        dq.size.store(dq.tasks.size(), std::memory_order_relaxed);
+        stolen_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+}
+
+size_t
+WorkStealingScheduler::load(unsigned worker) const
+{
+    dv_assert(worker < deques_.size());
+    return deques_[worker].size.load(std::memory_order_relaxed);
+}
+
+} // namespace dejavuzz::campaign

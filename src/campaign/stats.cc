@@ -100,6 +100,8 @@ writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
            << ",\"coverage_points\":" << sample.coverage_points
            << ",\"distinct_bugs\":" << sample.distinct_bugs
            << ",\"corpus_size\":" << sample.corpus_size
+           << ",\"batches_stolen\":" << sample.batches_stolen
+           << ",\"steal_idle_ns\":" << sample.steal_idle_ns
            << ",\"wall_seconds\":" << jsonDouble(sample.wall_seconds)
            << "}\n";
     }
@@ -128,6 +130,12 @@ writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
        << ",\"corpus_size\":" << stats.corpus_size
        << ",\"corpus_preloaded\":" << stats.corpus_preloaded
        << ",\"steals\":" << stats.steals
+       << ",\"sched\":\""
+       << (stats.stealing ? "steal" : "barrier")
+       << "\",\"batch\":" << stats.batch_iterations
+       << ",\"batches\":" << stats.batches
+       << ",\"batches_stolen\":" << stats.batches_stolen
+       << ",\"steal_idle_ns\":" << stats.steal_idle_ns
        << ",\"wall_seconds\":" << jsonDouble(stats.wall_seconds)
        << ",\"iters_per_sec\":" << jsonDouble(stats.iters_per_sec)
        << "}\n";

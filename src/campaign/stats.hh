@@ -56,6 +56,12 @@ struct EpochSample
     uint64_t coverage_points = 0; ///< fleet-global, summed over groups
     uint64_t distinct_bugs = 0;
     uint64_t corpus_size = 0;
+    /** Batches executed by a non-owner thread this epoch
+     *  (machine-dependent, like wall_seconds). */
+    uint64_t batches_stolen = 0;
+    /** Σ per-thread (epoch wall − busy) this epoch, in ns — the
+     *  barrier idle the scheduler could not convert into work. */
+    uint64_t steal_idle_ns = 0;
     double wall_seconds = 0.0;    ///< since campaign start
 };
 
@@ -74,6 +80,11 @@ struct CampaignStats
     uint64_t steals = 0;          ///< cross-worker injections
     uint64_t corpus_size = 0;
     uint64_t corpus_preloaded = 0; ///< entries admitted via preload
+    uint64_t batch_iterations = 0; ///< scheduler grain (--batch)
+    uint64_t batches = 0;          ///< batches planned and executed
+    uint64_t batches_stolen = 0;   ///< executed by a non-owner thread
+    uint64_t steal_idle_ns = 0;    ///< Σ per-thread barrier idle
+    bool stealing = true;          ///< false under --no-steal
     double wall_seconds = 0.0;
     double iters_per_sec = 0.0;
 

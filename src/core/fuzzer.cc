@@ -50,13 +50,6 @@ Fuzzer::elapsedSeconds() const
     return total;
 }
 
-void
-Fuzzer::injectSeed(const TestCase &tc)
-{
-    dv_assert(tc.has_window_payload);
-    injected_.push_back(tc);
-}
-
 bool
 Fuzzer::triggerOnce(TriggerKind kind, uint64_t entropy, size_t &to,
                     size_t &eto)
@@ -85,13 +78,9 @@ Fuzzer::triggerOnce(TriggerKind kind, uint64_t entropy, size_t &to,
 }
 
 void
-Fuzzer::iterate()
+Fuzzer::iterate(Phase1 &phase1, Phase2 &phase2, Phase3 &phase3)
 {
     ++stats_.iterations;
-
-    Phase1 phase1(sim_, options_.sim);
-    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
-    Phase3 phase3(sim_, options_.sim, gen_);
 
     if (!active_) {
         // Adopt a stolen corpus seed before generating from scratch:
@@ -208,8 +197,11 @@ void
 Fuzzer::run(uint64_t count)
 {
     RunSlice slice(*this);
+    Phase1 phase1(sim_, options_.sim);
+    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
+    Phase3 phase3(sim_, options_.sim, gen_);
     for (uint64_t i = 0; i < count; ++i)
-        iterate();
+        iterate(phase1, phase2, phase3);
     stats_.coverage_points = coverage_.points();
 }
 
@@ -217,9 +209,92 @@ void
 Fuzzer::runUntilFirstBug(uint64_t max_iters)
 {
     RunSlice slice(*this);
+    Phase1 phase1(sim_, options_.sim);
+    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
+    Phase3 phase3(sim_, options_.sim, gen_);
     for (uint64_t i = 0; i < max_iters && stats_.bugs.empty(); ++i)
-        iterate();
+        iterate(phase1, phase2, phase3);
     stats_.coverage_points = coverage_.points();
+}
+
+Fuzzer::BatchResult
+Fuzzer::runBatch(const BatchSpec &spec)
+{
+    dv_assert(spec.baseline != nullptr);
+
+    // Reset the campaign state machine from the spec so the batch's
+    // outcome is a pure function of (config, options, spec) — the
+    // determinism contract that lets any compatible executor run it.
+    rng_.reseed(spec.rng_seed);
+    coverage_ = *spec.baseline;
+    active_ = false;
+    current_ = TestCase{};
+    mutations_left_ = 0;
+    average_gain_ = 1.0;
+    next_seed_id_ = spec.iter_base;
+    injected_.assign(spec.inject.begin(), spec.inject.end());
+
+    // Delta markers over the executor-cumulative stats.
+    const FuzzerStats before = [this] {
+        FuzzerStats copy;
+        copy.iterations = stats_.iterations;
+        copy.simulations = stats_.simulations;
+        copy.windows_triggered = stats_.windows_triggered;
+        copy.phase1_attempts = stats_.phase1_attempts;
+        copy.phase2_runs = stats_.phase2_runs;
+        copy.phase3_runs = stats_.phase3_runs;
+        copy.seeds_imported = stats_.seeds_imported;
+        copy.training_overhead = stats_.training_overhead;
+        copy.effective_training = stats_.effective_training;
+        return copy;
+    }();
+    const size_t bugs_before = stats_.bugs.size();
+    const auto triggers_before = trigger_stats_;
+    const uint64_t baseline_points = spec.baseline->points();
+
+    run(spec.iterations);
+
+    BatchResult result;
+    result.iterations = stats_.iterations - before.iterations;
+    result.simulations = stats_.simulations - before.simulations;
+    result.windows_triggered =
+        stats_.windows_triggered - before.windows_triggered;
+    result.phase1_attempts =
+        stats_.phase1_attempts - before.phase1_attempts;
+    result.phase2_runs = stats_.phase2_runs - before.phase2_runs;
+    result.phase3_runs = stats_.phase3_runs - before.phase3_runs;
+    result.seeds_imported =
+        stats_.seeds_imported - before.seeds_imported;
+    result.training_overhead =
+        stats_.training_overhead - before.training_overhead;
+    result.effective_training =
+        stats_.effective_training - before.effective_training;
+    result.new_coverage = coverage_.points() - baseline_points;
+    for (unsigned k = 0; k < kTriggerKinds; ++k) {
+        result.triggers[k].windows = trigger_stats_[k].windows -
+                                     triggers_before[k].windows;
+        result.triggers[k].training_overhead =
+            trigger_stats_[k].training_overhead -
+            triggers_before[k].training_overhead;
+        result.triggers[k].effective_overhead =
+            trigger_stats_[k].effective_overhead -
+            triggers_before[k].effective_overhead;
+        result.triggers[k].attempts = trigger_stats_[k].attempts -
+                                      triggers_before[k].attempts;
+    }
+    result.bugs.assign(stats_.bugs.begin() +
+                           static_cast<ptrdiff_t>(bugs_before),
+                       stats_.bugs.end());
+    // Rewrite executor-cumulative iteration provenance into the
+    // shard-logical numbering the campaign reports.
+    for (BugReport &bug : result.bugs) {
+        bug.iteration =
+            spec.iter_base + (bug.iteration - before.iterations);
+    }
+    result.leftover_inject.assign(injected_.begin(),
+                                  injected_.end());
+    injected_.clear();
+    return result;
 }
 
 } // namespace dejavuzz::core

@@ -60,6 +60,73 @@ class Fuzzer
     /** Run until at least one bug is found or @p max_iters elapse. */
     void runUntilFirstBug(uint64_t max_iters);
 
+    /** Per-window-type Table-3 accounting. */
+    struct TriggerStats
+    {
+        uint64_t windows = 0;
+        uint64_t training_overhead = 0;
+        uint64_t effective_overhead = 0;
+        uint64_t attempts = 0;
+    };
+
+    /**
+     * A self-contained batch of iterations for the work-stealing
+     * campaign scheduler. The executing instance's persistent state
+     * (Rng position, active test case, private coverage map, seed
+     * ids) is reset from the spec before the first iteration, so the
+     * batch's outcome depends only on the spec — any Fuzzer built
+     * with the same (config, options modulo master_seed) produces
+     * bit-identical results, which is what lets an idle worker
+     * execute a peer's batch without perturbing determinism.
+     */
+    struct BatchSpec
+    {
+        /** Rng seed; derive from (master seed, shard, batch index). */
+        uint64_t rng_seed = 0;
+        /** Shard-logical iteration number of the batch's first
+         *  iteration; bug provenance and seed ids count from here. */
+        uint64_t iter_base = 0;
+        uint64_t iterations = 0;
+        /** Coverage baseline the batch starts from (the shard
+         *  group's epoch-barrier snapshot); copied, never mutated. */
+        const ift::TaintCoverage *baseline = nullptr;
+        /** Corpus seeds to adopt before generating from scratch. */
+        std::vector<TestCase> inject;
+    };
+
+    /** Everything a batch produced, as deltas over the spec. */
+    struct BatchResult
+    {
+        uint64_t iterations = 0;
+        uint64_t simulations = 0;
+        uint64_t windows_triggered = 0;
+        uint64_t phase1_attempts = 0;
+        uint64_t phase2_runs = 0;
+        uint64_t phase3_runs = 0;
+        uint64_t seeds_imported = 0;
+        uint64_t training_overhead = 0;
+        uint64_t effective_training = 0;
+        /** Points discovered beyond the baseline snapshot. */
+        uint64_t new_coverage = 0;
+        std::array<TriggerStats, kTriggerKinds> triggers{};
+        /** Bug reports; iteration fields are shard-logical
+         *  (iter_base-relative), not executor-cumulative. */
+        std::vector<BugReport> bugs;
+        /** Injected seeds the batch did not get around to adopting
+         *  (re-queued by the orchestrator for the next batch). */
+        std::vector<TestCase> leftover_inject;
+    };
+
+    /**
+     * Execute one batch (see BatchSpec). Resets the campaign state
+     * machine from the spec, runs spec.iterations iterations, and
+     * returns the deltas. Interesting-hook callbacks still fire
+     * during the batch (the orchestrator retargets the hook per
+     * batch for provenance). The instance's cumulative stats() keep
+     * accumulating across batches and remain executor-local.
+     */
+    BatchResult runBatch(const BatchSpec &spec);
+
     const FuzzerStats &stats() const { return stats_; }
     const ift::TaintCoverage &coverage() const { return coverage_; }
     const uarch::CoreConfig &config() const { return cfg_; }
@@ -71,15 +138,6 @@ class Fuzzer
      * fleet. Must not be called while run() is executing.
      */
     ift::TaintCoverage &coverageMut() { return coverage_; }
-
-    /**
-     * Queue a foreign test case (typically stolen from a shared
-     * corpus) for adoption: the next time the fuzzer needs a new
-     * seed it resumes this case in Phase-2 mutation mode instead of
-     * generating from scratch. The case must carry a completed
-     * window payload.
-     */
-    void injectSeed(const TestCase &tc);
 
     /**
      * Hook invoked whenever a Phase-2 run both propagates taint and
@@ -94,14 +152,6 @@ class Fuzzer
         on_interesting_ = std::move(hook);
     }
 
-    /** Per-window-type Table-3 accounting. */
-    struct TriggerStats
-    {
-        uint64_t windows = 0;
-        uint64_t training_overhead = 0;
-        uint64_t effective_overhead = 0;
-        uint64_t attempts = 0;
-    };
     const std::array<TriggerStats, kTriggerKinds> &
     triggerStats() const
     {
@@ -121,7 +171,13 @@ class Fuzzer
     double elapsedSeconds() const;
 
   private:
-    void iterate();
+    /**
+     * One evaluation step. The phase drivers are constructed once
+     * per run()/runBatch() slice and shared across the slice's
+     * iterations — the batched-simulation amortization that keeps
+     * per-iteration setup out of the hot loop.
+     */
+    void iterate(Phase1 &phase1, Phase2 &phase2, Phase3 &phase3);
 
     /** RAII slice timer so elapsedSeconds() sums only active run()
      *  time across repeated orchestrator-driven slices. */

@@ -195,6 +195,10 @@ parseCampaignLog(std::istream &is, const std::string &name,
             fields.u64("coverage_points", row.coverage_points);
             fields.u64("distinct_bugs", row.distinct_bugs);
             fields.u64("corpus_size", row.corpus_size);
+            fields.u64("batches_stolen", row.batches_stolen,
+                       /*required=*/false);
+            fields.u64("steal_idle_ns", row.steal_idle_ns,
+                       /*required=*/false);
             fields.f64("wall_seconds", row.wall_seconds);
             if (!fields.ok())
                 return fail(field_error);
@@ -226,6 +230,13 @@ parseCampaignLog(std::istream &is, const std::string &name,
             fields.u64("corpus_preloaded", row.corpus_preloaded,
                        /*required=*/false);
             fields.u64("steals", row.steals);
+            fields.str("sched", row.sched, /*required=*/false);
+            fields.u64("batch", row.batch, /*required=*/false);
+            fields.u64("batches", row.batches, /*required=*/false);
+            fields.u64("batches_stolen", row.batches_stolen,
+                       /*required=*/false);
+            fields.u64("steal_idle_ns", row.steal_idle_ns,
+                       /*required=*/false);
             fields.f64("wall_seconds", row.wall_seconds);
             fields.f64("iters_per_sec", row.iters_per_sec);
             if (!fields.ok())
@@ -298,7 +309,15 @@ validateCampaignLog(const CampaignLog &log)
             break;
         }
     }
+    check(s.batches_stolen <= s.batches,
+          "summary.batches_stolen exceeds summary.batches");
     if (!log.epochs.empty()) {
+        uint64_t stolen = 0;
+        for (const auto &row : log.epochs)
+            stolen += row.batches_stolen;
+        check(stolen == s.batches_stolen,
+              "per-epoch batches_stolen do not sum to "
+              "summary.batches_stolen");
         const EpochRow &last = log.epochs.back();
         check(last.iterations == s.iterations,
               "final epoch iterations do not match "

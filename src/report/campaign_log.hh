@@ -54,6 +54,8 @@ struct EpochRow
     uint64_t coverage_points = 0;
     uint64_t distinct_bugs = 0;
     uint64_t corpus_size = 0;
+    uint64_t batches_stolen = 0; ///< optional; 0 for older logs
+    uint64_t steal_idle_ns = 0;  ///< optional; 0 for older logs
     double wall_seconds = 0.0;
 };
 
@@ -84,6 +86,12 @@ struct SummaryRow
     uint64_t corpus_size = 0;
     uint64_t corpus_preloaded = 0; ///< optional; 0 for older logs
     uint64_t steals = 0;
+    /** Scheduler fields; optional, absent in pre-scheduler logs. */
+    std::string sched;             ///< "steal" | "barrier" | ""
+    uint64_t batch = 0;            ///< iterations per batch
+    uint64_t batches = 0;          ///< batches executed
+    uint64_t batches_stolen = 0;   ///< executed by a non-owner
+    uint64_t steal_idle_ns = 0;    ///< Σ per-thread barrier idle
     double wall_seconds = 0.0;
     double iters_per_sec = 0.0;
 };

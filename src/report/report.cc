@@ -82,6 +82,42 @@ overviewTable(const std::vector<CampaignLog> &logs)
 }
 
 ReportTable
+schedulerTable(const std::vector<CampaignLog> &logs)
+{
+    // Scheduler occupancy: how much of the fleet's time the
+    // work-stealing scheduler kept busy. Pre-scheduler logs carry no
+    // batch fields and contribute no rows (an all-empty table is
+    // skipped by the renderers).
+    ReportTable table;
+    table.title = "Scheduler occupancy";
+    table.header = {"campaign", "sched", "batch", "batches",
+                    "batches_stolen", "stolen_pct", "steal_idle_s",
+                    "idle_per_worker_s"};
+    for (const auto &log : logs) {
+        const SummaryRow &s = log.summary;
+        if (s.batches == 0)
+            continue;
+        const double idle_s =
+            static_cast<double>(s.steal_idle_ns) / 1e9;
+        const double per_worker =
+            s.workers > 0
+                ? idle_s / static_cast<double>(s.workers)
+                : idle_s;
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%.1f%%",
+                      100.0 *
+                          static_cast<double>(s.batches_stolen) /
+                          static_cast<double>(s.batches));
+        table.rows.push_back(
+            {log.name, s.sched.empty() ? "?" : s.sched,
+             fmtU64(s.batch), fmtU64(s.batches),
+             fmtU64(s.batches_stolen), pct, fmtF64(idle_s),
+             fmtF64(per_worker)});
+    }
+    return table;
+}
+
+ReportTable
 configTable(const std::vector<CampaignLog> &logs)
 {
     ReportTable table;
@@ -341,6 +377,7 @@ buildComparisonTables(const std::vector<CampaignLog> &logs)
     dv_assert(!logs.empty());
     std::vector<ReportTable> tables;
     tables.push_back(overviewTable(logs));
+    tables.push_back(schedulerTable(logs));
     tables.push_back(configTable(logs));
     tables.push_back(triggerTable(logs));
     tables.push_back(bugMatrixTable(logs));

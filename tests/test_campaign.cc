@@ -556,6 +556,150 @@ TEST(Campaign, PreloadCountsOnlyRetainedEntries)
     EXPECT_EQ(orchestrator.corpus().size(), 2u);
 }
 
+// --- Work-stealing scheduler determinism --------------------------------
+
+/** Everything a determinism comparison should look at: the full bug
+ *  ledger (keys, provenance, hit counts) and the corpus identity set
+ *  (gain, worker, seq, config). */
+void
+expectSameOutcome(const CampaignOrchestrator &a,
+                  const CampaignOrchestrator &b)
+{
+    auto ea = a.ledger().entries();
+    auto eb = b.ledger().entries();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].report.key(), eb[i].report.key());
+        EXPECT_EQ(ea[i].worker, eb[i].worker);
+        EXPECT_EQ(ea[i].epoch, eb[i].epoch);
+        EXPECT_EQ(ea[i].hits, eb[i].hits);
+        EXPECT_EQ(ea[i].report.iteration, eb[i].report.iteration);
+    }
+
+    auto ka = a.corpus().snapshotKeys();
+    auto kb = b.corpus().snapshotKeys();
+    ASSERT_EQ(ka.size(), kb.size());
+    for (size_t i = 0; i < ka.size(); ++i) {
+        EXPECT_EQ(ka[i].gain, kb[i].gain);
+        EXPECT_EQ(ka[i].worker, kb[i].worker);
+        EXPECT_EQ(ka[i].seq, kb[i].seq);
+        EXPECT_EQ(ka[i].config, kb[i].config);
+    }
+
+    EXPECT_EQ(a.stats().iterations, b.stats().iterations);
+    EXPECT_EQ(a.stats().coverage_points,
+              b.stats().coverage_points);
+    EXPECT_EQ(a.stats().steals, b.stats().steals);
+    EXPECT_EQ(a.stats().seeds_imported,
+              b.stats().seeds_imported);
+}
+
+TEST(Scheduler, StealingMatchesNoStealBitIdentical)
+{
+    // The tentpole property: batch work-stealing changes which
+    // thread executes a batch, never what the batch computes, so a
+    // 4-worker stealing campaign and a --no-steal campaign with the
+    // same master seed yield identical bug ledgers and corpus keys.
+    CampaignOptions steal = smallCampaign(4, 2000);
+    steal.batch_iterations = 16;
+    steal.steal_batches = true;
+    CampaignOptions barrier = steal;
+    barrier.steal_batches = false;
+
+    CampaignOrchestrator a(steal);
+    CampaignStats sa = a.run();
+    CampaignOrchestrator b(barrier);
+    CampaignStats sb = b.run();
+
+    EXPECT_GT(a.ledger().distinct(), 0u);
+    expectSameOutcome(a, b);
+
+    // The scheduler-occupancy counters are the only divergence
+    // axis: a barrier run by definition steals nothing.
+    EXPECT_EQ(sb.batches_stolen, 0u);
+    EXPECT_EQ(sa.batches, sb.batches);
+    EXPECT_LE(sa.batches_stolen, sa.batches);
+}
+
+TEST(Scheduler, BatchSizeOnePreservesEquivalence)
+{
+    // The finest grain exercises the seq/iteration numbering edge
+    // cases (one identity range per iteration).
+    CampaignOptions steal = smallCampaign(2, 400);
+    steal.batch_iterations = 1;
+    CampaignOptions barrier = steal;
+    barrier.steal_batches = false;
+
+    CampaignOrchestrator a(steal);
+    a.run();
+    CampaignOrchestrator b(barrier);
+    b.run();
+    expectSameOutcome(a, b);
+}
+
+TEST(Scheduler, SkewedWeightsPreserveEquivalence)
+{
+    // One shard with 4x the work — the heterogeneity case stealing
+    // exists for. Outcomes must still be mode-independent.
+    CampaignOptions steal = smallCampaign(4, 1400);
+    steal.epoch_iterations = 50;
+    steal.batch_iterations = 10;
+    steal.shard_weights = {4.0, 1.0, 1.0, 1.0};
+    CampaignOptions barrier = steal;
+    barrier.steal_batches = false;
+
+    CampaignOrchestrator a(steal);
+    CampaignStats sa = a.run();
+    CampaignOrchestrator b(barrier);
+    b.run();
+    expectSameOutcome(a, b);
+
+    // The skewed shard really received ~4x the iterations.
+    ASSERT_EQ(sa.workers.size(), 4u);
+    EXPECT_GT(sa.workers[0].iterations,
+              3 * sa.workers[1].iterations);
+    EXPECT_EQ(sa.iterations, 1400u);
+}
+
+TEST(Scheduler, ZeroWeightShardReceivesNoStolenSeeds)
+{
+    // A zero-weight shard never plans an epoch; routing stolen
+    // corpus seeds to it would leak them into a queue that never
+    // drains and overstate the steals counter.
+    CampaignOptions options = smallCampaign(3, 750);
+    options.epoch_iterations = 125;
+    options.shard_weights = {1.0, 1.0, 0.0};
+    options.steals_per_epoch = 2;
+    CampaignOrchestrator orchestrator(options);
+    CampaignStats stats = orchestrator.run();
+
+    ASSERT_EQ(stats.workers.size(), 3u);
+    EXPECT_EQ(stats.workers[2].iterations, 0u);
+    EXPECT_EQ(stats.workers[2].seeds_imported, 0u);
+    EXPECT_EQ(stats.iterations, 750u);
+    // Steals only target shards that can actually run them.
+    EXPECT_LE(stats.seeds_imported, stats.steals);
+    EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(Scheduler, BatchAccountingIsCoherent)
+{
+    CampaignOptions options = smallCampaign(2, 500);
+    options.batch_iterations = 32;
+    CampaignOrchestrator orchestrator(options);
+    CampaignStats stats = orchestrator.run();
+
+    // 500 iterations at epoch 125 x 2 workers: per epoch each shard
+    // plans ceil(125/32) = 4 batches, 2 epochs => 16 batches.
+    EXPECT_EQ(stats.batches, 16u);
+    EXPECT_LE(stats.batches_stolen, stats.batches);
+    EXPECT_EQ(stats.batch_iterations, 32u);
+    uint64_t epoch_stolen = 0;
+    for (const auto &sample : stats.epoch_curve)
+        epoch_stolen += sample.batches_stolen;
+    EXPECT_EQ(epoch_stolen, stats.batches_stolen);
+}
+
 TEST(Campaign, SingleWorkerResumeInjectsSavedSeeds)
 {
     // A saved corpus authored by worker 0 must be injectable into a

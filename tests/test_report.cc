@@ -221,6 +221,64 @@ TEST(CampaignLogRoundTrip, AcceptsLegacyLogsWithoutEpochRecords)
     EXPECT_TRUE(validateCampaignLog(log).empty());
 }
 
+TEST(CampaignLogRoundTrip, SchedulerFieldsRoundTrip)
+{
+    CampaignOptions options = tinyCampaign(2, 500, 11);
+    options.batch_iterations = 16;
+    const CampaignLog log = runAndParse(options, "sched");
+
+    EXPECT_EQ(log.summary.sched, "steal");
+    EXPECT_EQ(log.summary.batch, 16u);
+    // 500 iters at epoch 125 x 2 workers: ceil(125/16) = 8 batches
+    // per shard per epoch, 2 epochs.
+    EXPECT_EQ(log.summary.batches, 32u);
+    EXPECT_LE(log.summary.batches_stolen, log.summary.batches);
+
+    uint64_t stolen = 0;
+    for (const auto &row : log.epochs)
+        stolen += row.batches_stolen;
+    EXPECT_EQ(stolen, log.summary.batches_stolen);
+    EXPECT_TRUE(validateCampaignLog(log).empty());
+}
+
+TEST(CampaignLogRoundTrip, ValidatorCatchesStolenBatchMismatch)
+{
+    CampaignLog log = runAndParse(tinyCampaign(2, 500, 3), "steals");
+    ASSERT_TRUE(validateCampaignLog(log).empty());
+    log.summary.batches_stolen = log.summary.batches + 1;
+    EXPECT_FALSE(validateCampaignLog(log).empty());
+}
+
+TEST(CampaignLogRoundTrip, AcceptsLegacyLogsWithoutSchedulerFields)
+{
+    // Pre-scheduler epoch and summary records carry none of the
+    // batch fields; they must parse with zero defaults and validate.
+    std::stringstream log_text(
+        "{\"type\":\"worker\",\"worker\":0,\"config\":\"c\","
+        "\"variant\":\"full\",\"iterations\":1,\"simulations\":1,"
+        "\"windows\":0,\"coverage_points\":0,\"seeds_imported\":0,"
+        "\"bugs\":0,\"active_seconds\":0.1}\n"
+        "{\"type\":\"epoch\",\"epoch\":0,\"iterations\":1,"
+        "\"coverage_points\":0,\"distinct_bugs\":0,"
+        "\"corpus_size\":0,\"wall_seconds\":0.1}\n"
+        "{\"type\":\"summary\",\"workers\":1,"
+        "\"policy\":\"replicas\",\"master_seed\":1,"
+        "\"iterations\":1,\"simulations\":1,\"windows\":0,"
+        "\"coverage_points\":0,\"distinct_bugs\":0,"
+        "\"total_reports\":0,\"epochs\":1,\"corpus_size\":0,"
+        "\"steals\":0,\"wall_seconds\":0.1,"
+        "\"iters_per_sec\":10.0}\n");
+    CampaignLog log;
+    std::string error;
+    ASSERT_TRUE(report::parseCampaignLog(log_text, "legacy", log,
+                                         &error))
+        << error;
+    EXPECT_EQ(log.summary.sched, "");
+    EXPECT_EQ(log.summary.batches, 0u);
+    EXPECT_EQ(log.epochs.at(0).batches_stolen, 0u);
+    EXPECT_TRUE(validateCampaignLog(log).empty());
+}
+
 // --- Comparison rendering -----------------------------------------------
 
 TEST(ComparisonReport, MarkdownCoversEveryAxis)
@@ -236,6 +294,7 @@ TEST(ComparisonReport, MarkdownCoversEveryAxis)
     EXPECT_NE(md.find("`alpha`"), std::string::npos);
     EXPECT_NE(md.find("`beta`"), std::string::npos);
     EXPECT_NE(md.find("## Campaign overview"), std::string::npos);
+    EXPECT_NE(md.find("## Scheduler occupancy"), std::string::npos);
     EXPECT_NE(md.find("## Per-config totals (Table 2 axes)"),
               std::string::npos);
     EXPECT_NE(md.find("Transient-window training overhead"),

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests of the work-stealing batch scheduler: owner FIFO order,
+ * thief LIFO (back-of-deque) order, most-loaded victim selection,
+ * kind compatibility, empty-steal behaviour, and a concurrent drain
+ * hammer that the ThreadSanitizer CI job leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "campaign/scheduler.hh"
+
+namespace dejavuzz {
+namespace {
+
+using campaign::BatchTask;
+using campaign::WorkStealingScheduler;
+
+BatchTask
+task(unsigned shard, uint64_t index, uint64_t iters = 10)
+{
+    BatchTask t;
+    t.shard = shard;
+    t.index = index;
+    t.iterations = iters;
+    t.slot = static_cast<size_t>(index);
+    return t;
+}
+
+TEST(Scheduler, OwnerPopsInFifoOrder)
+{
+    WorkStealingScheduler sched({0, 0});
+    for (uint64_t i = 0; i < 4; ++i)
+        sched.push(0, task(0, i));
+
+    BatchTask out;
+    for (uint64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(sched.popOwn(0, out));
+        EXPECT_EQ(out.index, i) << "owner end must be FIFO";
+    }
+    EXPECT_FALSE(sched.popOwn(0, out));
+}
+
+TEST(Scheduler, ThiefStealsFromTheBack)
+{
+    WorkStealingScheduler sched({0, 0});
+    for (uint64_t i = 0; i < 3; ++i)
+        sched.push(0, task(0, i));
+
+    BatchTask out;
+    ASSERT_TRUE(sched.steal(1, out));
+    EXPECT_EQ(out.index, 2u) << "thief end must be LIFO";
+    ASSERT_TRUE(sched.popOwn(0, out));
+    EXPECT_EQ(out.index, 0u) << "owner still drains the front";
+    EXPECT_EQ(sched.stolen(), 1u);
+}
+
+TEST(Scheduler, StealPrefersTheMostLoadedVictim)
+{
+    WorkStealingScheduler sched({0, 0, 0});
+    sched.push(0, task(0, 0));
+    for (uint64_t i = 0; i < 5; ++i)
+        sched.push(1, task(1, i));
+
+    BatchTask out;
+    ASSERT_TRUE(sched.steal(2, out));
+    EXPECT_EQ(out.shard, 1u) << "victim must be the deepest deque";
+    EXPECT_EQ(sched.load(1), 4u);
+    EXPECT_EQ(sched.load(0), 1u);
+}
+
+TEST(Scheduler, StealNeverCrossesKinds)
+{
+    // Worker 0/1 share a kind; worker 2 is its own kind (e.g. a
+    // different core config) and must not execute their batches.
+    WorkStealingScheduler sched({0, 0, 1});
+    for (uint64_t i = 0; i < 3; ++i)
+        sched.push(0, task(0, i));
+
+    BatchTask out;
+    EXPECT_FALSE(sched.steal(2, out))
+        << "incompatible thief must come up empty";
+    EXPECT_TRUE(sched.steal(1, out));
+    EXPECT_EQ(sched.stolen(), 1u);
+}
+
+TEST(Scheduler, EmptyStealReturnsFalse)
+{
+    WorkStealingScheduler sched({0, 0});
+    BatchTask out;
+    EXPECT_FALSE(sched.steal(0, out));
+    EXPECT_FALSE(sched.steal(1, out));
+    EXPECT_EQ(sched.stolen(), 0u);
+
+    // A thief must also not steal its own deque's work through the
+    // victim scan.
+    sched.push(0, task(0, 0));
+    EXPECT_FALSE(sched.steal(0, out));
+    EXPECT_EQ(sched.load(0), 1u);
+}
+
+TEST(Scheduler, ConcurrentDrainLosesNothing)
+{
+    // A skewed plan hammered by popOwn+steal from every thread:
+    // every batch must be executed exactly once no matter how the
+    // pops and steals interleave (the TSan job replays this).
+    constexpr unsigned kWorkers = 4;
+    constexpr uint64_t kSkewed = 256;
+    constexpr uint64_t kRest = 32;
+
+    WorkStealingScheduler sched(
+        std::vector<unsigned>(kWorkers, 0));
+    uint64_t total = 0;
+    for (unsigned w = 0; w < kWorkers; ++w) {
+        const uint64_t n = w == 0 ? kSkewed : kRest;
+        for (uint64_t i = 0; i < n; ++i)
+            sched.push(w, task(w, i, /*iters=*/1));
+        total += n;
+    }
+
+    std::atomic<uint64_t> executed{0};
+    std::vector<std::atomic<uint32_t>> seen(kWorkers);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kWorkers; ++t) {
+        threads.emplace_back([&, t] {
+            BatchTask out;
+            for (;;) {
+                if (!sched.popOwn(t, out) && !sched.steal(t, out))
+                    break;
+                seen[out.shard].fetch_add(
+                    1, std::memory_order_relaxed);
+                executed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(executed.load(), total);
+    EXPECT_EQ(seen[0].load(), kSkewed);
+    for (unsigned w = 1; w < kWorkers; ++w)
+        EXPECT_EQ(seen[w].load(), kRest);
+    for (unsigned w = 0; w < kWorkers; ++w)
+        EXPECT_EQ(sched.load(w), 0u);
+    EXPECT_LE(sched.stolen(), total);
+}
+
+} // namespace
+} // namespace dejavuzz

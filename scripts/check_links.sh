@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Check the top-level Markdown files (README, ISSUE, CHANGES,
-# ROADMAP) and docs/*.md for dead relative links.
+# Check every Markdown file in the repository (top-level pages, the
+# docs/ tree, and anything added later) for dead relative links.
 #
 # Extracts every Markdown link target, skips absolute URLs and
 # pure-anchor links, strips #fragments, and verifies the target
@@ -11,7 +11,7 @@ set -u
 cd "$(dirname "$0")/.."
 
 fail=0
-for file in README.md ISSUE.md CHANGES.md ROADMAP.md docs/*.md; do
+while IFS= read -r file; do
     [ -f "$file" ] || continue
     dir=$(dirname "$file")
     while IFS= read -r target; do
@@ -25,7 +25,8 @@ for file in README.md ISSUE.md CHANGES.md ROADMAP.md docs/*.md; do
             fail=1
         fi
     done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
-done
+done < <(find . -name '*.md' \
+    -not -path './.git/*' -not -path './build*/*' | sort)
 
 if [ "$fail" -eq 0 ]; then
     echo "all relative links resolve"

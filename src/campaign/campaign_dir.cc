@@ -1,0 +1,386 @@
+#include "campaign/campaign_dir.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/orchestrator.hh"
+#include "campaign/stats.hh"
+#include "report/json.hh"
+
+namespace dejavuzz::campaign {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Strict non-negative integer extraction from a parsed meta line.
+ *  Mirrors report::Fields::u64 (src/report/campaign_log.cc) — the
+ *  two must stay behaviorally in sync so meta.json and the JSONL
+ *  log reject the same malformed values. */
+bool
+metaU64(const report::JsonObject &obj, const char *key,
+        uint64_t &out, std::string &error)
+{
+    if (!error.empty())
+        return false;
+    auto it = obj.find(key);
+    if (it == obj.end()) {
+        error = std::string("meta.json: missing field \"") + key +
+                "\"";
+        return false;
+    }
+    const report::JsonValue &value = it->second;
+    bool integral = value.isNumber() && !value.raw.empty();
+    for (char c : value.raw) {
+        if (c < '0' || c > '9')
+            integral = false;
+    }
+    if (!integral) {
+        error = std::string("meta.json: field \"") + key +
+                "\" must be a non-negative integer";
+        return false;
+    }
+    errno = 0;
+    out = std::strtoull(value.raw.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+        error = std::string("meta.json: field \"") + key +
+                "\" exceeds the 64-bit range";
+        return false;
+    }
+    return true;
+}
+
+bool
+metaStr(const report::JsonObject &obj, const char *key,
+        std::string &out, std::string &error)
+{
+    if (!error.empty())
+        return false;
+    auto it = obj.find(key);
+    if (it == obj.end() || !it->second.isString()) {
+        error = std::string("meta.json: missing string field \"") +
+                key + "\"";
+        return false;
+    }
+    out = it->second.text;
+    return true;
+}
+
+bool
+metaBool(const report::JsonObject &obj, const char *key, bool &out,
+         std::string &error)
+{
+    if (!error.empty())
+        return false;
+    auto it = obj.find(key);
+    if (it == obj.end() ||
+        it->second.kind != report::JsonValue::Kind::Bool) {
+        error = std::string("meta.json: missing boolean field \"") +
+                key + "\"";
+        return false;
+    }
+    out = it->second.boolean;
+    return true;
+}
+
+void
+mismatch(std::vector<std::string> &out, const char *field,
+         const std::string &saved, const std::string &current)
+{
+    if (saved != current) {
+        out.push_back(std::string(field) + ": saved " + saved +
+                      ", current " + current);
+    }
+}
+
+void
+mismatchU64(std::vector<std::string> &out, const char *field,
+            uint64_t saved, uint64_t current)
+{
+    mismatch(out, field, std::to_string(saved),
+             std::to_string(current));
+}
+
+} // namespace
+
+CampaignDirPaths
+campaignDirPaths(const std::string &dir)
+{
+    CampaignDirPaths paths;
+    paths.meta = (fs::path(dir) / "meta.json").string();
+    paths.log = (fs::path(dir) / "campaign.jsonl").string();
+    paths.corpus = (fs::path(dir) / "corpus.bin").string();
+    paths.snapshot = (fs::path(dir) / "campaign.snap").string();
+    return paths;
+}
+
+CampaignMeta
+metaFromOptions(const CampaignOptions &options)
+{
+    CampaignMeta meta;
+    meta.meta_version = kMetaFormatVersion;
+    meta.corpus_version = SharedCorpus::kFormatVersion;
+    meta.snapshot_version = kSnapshotFormatVersion;
+    meta.master_seed = options.master_seed;
+    meta.workers = options.workers;
+    meta.policy = shardPolicyName(options.policy);
+    meta.core = options.base_config.name;
+    meta.epoch_iterations = options.epoch_iterations;
+    meta.batch_iterations = options.batch_iterations;
+    meta.steal_batches = options.steal_batches;
+    meta.steals_per_epoch = options.steals_per_epoch;
+    meta.corpus_shards = options.corpus_shards;
+    meta.corpus_shard_cap = options.corpus_shard_cap;
+    return meta;
+}
+
+void
+writeMeta(std::ostream &os, const CampaignMeta &meta)
+{
+    os << "{\"meta_version\":" << meta.meta_version
+       << ",\"corpus_version\":" << meta.corpus_version
+       << ",\"snapshot_version\":" << meta.snapshot_version
+       << ",\"master_seed\":" << meta.master_seed
+       << ",\"workers\":" << meta.workers
+       << ",\"policy\":\"" << jsonEscape(meta.policy)
+       << "\",\"core\":\"" << jsonEscape(meta.core)
+       << "\",\"epoch\":" << meta.epoch_iterations
+       << ",\"batch\":" << meta.batch_iterations
+       << ",\"steal\":" << (meta.steal_batches ? "true" : "false")
+       << ",\"steals\":" << meta.steals_per_epoch
+       << ",\"corpus_shards\":" << meta.corpus_shards
+       << ",\"corpus_cap\":" << meta.corpus_shard_cap << "}\n";
+}
+
+bool
+readMeta(std::istream &is, CampaignMeta &out, std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+
+    std::string line, extra;
+    // The object is one line; tolerate trailing blank lines only.
+    while (std::getline(is, line) && line.empty()) {
+    }
+    if (line.empty())
+        return fail("meta.json is empty");
+    while (std::getline(is, extra)) {
+        if (!extra.empty())
+            return fail("meta.json: trailing content after the "
+                        "meta object");
+    }
+
+    report::JsonObject obj;
+    std::string json_error;
+    if (!report::parseFlatJsonObject(line, obj, &json_error))
+        return fail("meta.json: " + json_error);
+
+    std::string field_error;
+    uint64_t meta_version = 0, corpus_version = 0,
+             snapshot_version = 0;
+    metaU64(obj, "meta_version", meta_version, field_error);
+    metaU64(obj, "corpus_version", corpus_version, field_error);
+    metaU64(obj, "snapshot_version", snapshot_version, field_error);
+    metaU64(obj, "master_seed", out.master_seed, field_error);
+    metaU64(obj, "workers", out.workers, field_error);
+    metaStr(obj, "policy", out.policy, field_error);
+    metaStr(obj, "core", out.core, field_error);
+    metaU64(obj, "epoch", out.epoch_iterations, field_error);
+    metaU64(obj, "batch", out.batch_iterations, field_error);
+    metaBool(obj, "steal", out.steal_batches, field_error);
+    metaU64(obj, "steals", out.steals_per_epoch, field_error);
+    metaU64(obj, "corpus_shards", out.corpus_shards, field_error);
+    metaU64(obj, "corpus_cap", out.corpus_shard_cap, field_error);
+    if (!field_error.empty())
+        return fail(field_error);
+
+    out.meta_version = static_cast<uint32_t>(meta_version);
+    out.corpus_version = static_cast<uint32_t>(corpus_version);
+    out.snapshot_version = static_cast<uint32_t>(snapshot_version);
+    return true;
+}
+
+std::vector<std::string>
+metaMismatches(const CampaignMeta &saved, const CampaignMeta &current)
+{
+    std::vector<std::string> out;
+    mismatchU64(out, "meta_version", saved.meta_version,
+                current.meta_version);
+    mismatchU64(out, "corpus_version", saved.corpus_version,
+                current.corpus_version);
+    mismatchU64(out, "snapshot_version", saved.snapshot_version,
+                current.snapshot_version);
+    mismatchU64(out, "master_seed", saved.master_seed,
+                current.master_seed);
+    mismatchU64(out, "workers", saved.workers, current.workers);
+    mismatch(out, "policy", saved.policy, current.policy);
+    mismatch(out, "core", saved.core, current.core);
+    mismatchU64(out, "epoch", saved.epoch_iterations,
+                current.epoch_iterations);
+    mismatchU64(out, "batch", saved.batch_iterations,
+                current.batch_iterations);
+    mismatch(out, "steal", saved.steal_batches ? "true" : "false",
+             current.steal_batches ? "true" : "false");
+    mismatchU64(out, "steals", saved.steals_per_epoch,
+                current.steals_per_epoch);
+    mismatchU64(out, "corpus_shards", saved.corpus_shards,
+                current.corpus_shards);
+    mismatchU64(out, "corpus_cap", saved.corpus_shard_cap,
+                current.corpus_shard_cap);
+    return out;
+}
+
+bool
+campaignDirExists(const std::string &dir)
+{
+    std::error_code ec;
+    return fs::is_regular_file(campaignDirPaths(dir).meta, ec);
+}
+
+bool
+loadCampaignSnapshot(const std::string &dir, CampaignMeta &meta,
+                     CampaignCheckpoint &checkpoint,
+                     std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    const CampaignDirPaths paths = campaignDirPaths(dir);
+
+    std::ifstream meta_in(paths.meta);
+    if (!meta_in)
+        return fail("cannot open " + paths.meta);
+    std::string sub_error;
+    if (!readMeta(meta_in, meta, &sub_error))
+        return fail(sub_error);
+
+    std::ifstream snap_in(paths.snapshot,
+                          std::ios::in | std::ios::binary);
+    if (!snap_in)
+        return fail("cannot open " + paths.snapshot);
+    if (!loadCheckpoint(snap_in, checkpoint, &sub_error))
+        return fail(paths.snapshot + ": " + sub_error);
+    return true;
+}
+
+bool
+loadCampaignDir(const std::string &dir, LoadedCampaignDir &out,
+                std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    if (!loadCampaignSnapshot(dir, out.meta, out.checkpoint, error))
+        return false;
+
+    const CampaignDirPaths paths = campaignDirPaths(dir);
+    std::ifstream corpus_in(paths.corpus,
+                            std::ios::in | std::ios::binary);
+    if (!corpus_in)
+        return fail("cannot open " + paths.corpus);
+    std::string sub_error;
+    if (!SharedCorpus::loadFrom(corpus_in, out.corpus, &sub_error))
+        return fail(paths.corpus + ": " + sub_error);
+    return true;
+}
+
+bool
+saveCampaignDir(const std::string &dir,
+                const CampaignOrchestrator &orchestrator,
+                const CampaignOptions &options, std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return fail("cannot create campaign directory " + dir +
+                    ": " + ec.message());
+    const CampaignDirPaths paths = campaignDirPaths(dir);
+
+    // Crash-safe sequencing: every artifact is written to a .tmp
+    // sibling first, the meta.json completion marker is removed
+    // before any artifact is replaced, and a fresh meta.json is
+    // written last. A crash at any point leaves either the previous
+    // complete directory (tmp writes unfinished) or a marker-less
+    // one the next run treats as fresh — never a directory whose
+    // meta.json vouches for truncated artifacts.
+    const std::string log_tmp = paths.log + ".tmp";
+    const std::string corpus_tmp = paths.corpus + ".tmp";
+    const std::string snapshot_tmp = paths.snapshot + ".tmp";
+    {
+        std::ofstream log(log_tmp, std::ios::out | std::ios::trunc);
+        if (!log)
+            return fail("cannot open " + log_tmp + " for writing");
+        orchestrator.writeJsonl(log);
+        log.flush();
+        if (!log)
+            return fail("write to " + log_tmp + " failed");
+    }
+    {
+        std::ofstream corpus(corpus_tmp,
+                             std::ios::out | std::ios::trunc |
+                                 std::ios::binary);
+        if (!corpus || !orchestrator.corpus().saveTo(
+                           corpus, options.master_seed)) {
+            return fail("write to " + corpus_tmp + " failed");
+        }
+    }
+    {
+        std::ofstream snap(snapshot_tmp,
+                           std::ios::out | std::ios::trunc |
+                               std::ios::binary);
+        if (!snap ||
+            !saveCheckpoint(snap, orchestrator.makeCheckpoint())) {
+            return fail("write to " + snapshot_tmp + " failed");
+        }
+    }
+
+    fs::remove(paths.meta, ec); // invalidate before replacing
+    const std::pair<const std::string *, const std::string *>
+        renames[] = {{&log_tmp, &paths.log},
+                     {&corpus_tmp, &paths.corpus},
+                     {&snapshot_tmp, &paths.snapshot}};
+    for (const auto &[from, to] : renames) {
+        fs::rename(*from, *to, ec);
+        if (ec)
+            return fail("cannot move " + *from + " into place: " +
+                        ec.message());
+    }
+    {
+        // meta.json last — its presence marks the directory
+        // complete — and via tmp + rename, so a crash mid-write
+        // cannot leave a truncated marker that blocks every later
+        // resume attempt.
+        const std::string meta_tmp = paths.meta + ".tmp";
+        std::ofstream meta(meta_tmp,
+                           std::ios::out | std::ios::trunc);
+        if (!meta)
+            return fail("cannot open " + meta_tmp + " for writing");
+        writeMeta(meta, metaFromOptions(options));
+        meta.flush();
+        if (!meta)
+            return fail("write to " + meta_tmp + " failed");
+        meta.close();
+        fs::rename(meta_tmp, paths.meta, ec);
+        if (ec)
+            return fail("cannot move " + meta_tmp + " into place: " +
+                        ec.message());
+    }
+    return true;
+}
+
+} // namespace dejavuzz::campaign

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Self-contained campaign directories (`dejavuzz --campaign-dir`).
+ *
+ * One directory holds everything a campaign produces and everything
+ * a resume needs:
+ *
+ *   meta.json       — flat JSON: schema versions + the campaign
+ *                     configuration (master seed, fleet shape,
+ *                     scheduler grain). Written last, so a directory
+ *                     with a meta.json is complete.
+ *   campaign.jsonl  — the JSONL campaign log (docs/campaign-format.md).
+ *   corpus.bin      — the shared corpus (SharedCorpus::saveTo).
+ *   campaign.snap   — the checkpoint: coverage snapshot, shard
+ *                     continuations, steal Rng, bug ledger with
+ *                     reproducers (snapshot.hh).
+ *
+ * Resuming requires the invocation to match the saved meta.json —
+ * same schema versions and same campaign configuration (budgets may
+ * grow; that is how a resume extends a run). Mismatches are reported
+ * as a list of human-readable differences and the directory is left
+ * untouched: `dejavuzz` errors out instead of silently overwriting
+ * a foreign campaign.
+ */
+
+#ifndef DEJAVUZZ_CAMPAIGN_CAMPAIGN_DIR_HH
+#define DEJAVUZZ_CAMPAIGN_CAMPAIGN_DIR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/corpus.hh"
+#include "campaign/snapshot.hh"
+
+namespace dejavuzz::campaign {
+
+struct CampaignOptions;
+class CampaignOrchestrator;
+
+/** meta.json schema version written by writeMeta(). */
+constexpr uint32_t kMetaFormatVersion = 1;
+
+/** File names inside a campaign directory. */
+struct CampaignDirPaths
+{
+    std::string meta;
+    std::string log;
+    std::string corpus;
+    std::string snapshot;
+};
+
+CampaignDirPaths campaignDirPaths(const std::string &dir);
+
+/** The persisted campaign configuration (meta.json contents). */
+struct CampaignMeta
+{
+    uint32_t meta_version = kMetaFormatVersion;
+    uint32_t corpus_version = 0;
+    uint32_t snapshot_version = 0;
+    uint64_t master_seed = 0;
+    uint64_t workers = 0;
+    std::string policy; ///< replicas | sweep | ablation
+    std::string core;   ///< base core config name
+    uint64_t epoch_iterations = 0;
+    uint64_t batch_iterations = 0;
+    bool steal_batches = true;
+    uint64_t steals_per_epoch = 0;
+    uint64_t corpus_shards = 0;
+    uint64_t corpus_shard_cap = 0;
+};
+
+/** Derive the meta record of @p options (current schema versions). */
+CampaignMeta metaFromOptions(const CampaignOptions &options);
+
+/** Emit @p meta as one flat JSON object line. */
+void writeMeta(std::ostream &os, const CampaignMeta &meta);
+
+/**
+ * Parse a meta.json written by writeMeta(). Strict: a malformed or
+ * non-flat object, a missing/mistyped field, or trailing content
+ * fails with a diagnostic in @p error (when non-null).
+ */
+bool readMeta(std::istream &is, CampaignMeta &out,
+              std::string *error = nullptr);
+
+/**
+ * Compare a saved meta against the current invocation's. Returns
+ * one human-readable line per differing field — empty means the
+ * directory is resumable by this invocation. Schema versions and
+ * every configuration field must match exactly (iteration/wall
+ * budgets are not part of the meta: growing them is the point of a
+ * resume).
+ */
+std::vector<std::string> metaMismatches(const CampaignMeta &saved,
+                                        const CampaignMeta &current);
+
+/** Everything loadCampaignDir() reads back. */
+struct LoadedCampaignDir
+{
+    CampaignMeta meta;
+    CorpusFile corpus;
+    CampaignCheckpoint checkpoint;
+};
+
+/** Whether @p dir holds a completed campaign (meta.json exists). */
+bool campaignDirExists(const std::string &dir);
+
+/**
+ * Load meta.json, corpus.bin and campaign.snap from @p dir. Fails
+ * cleanly (diagnostic in @p error) on a missing file, a schema
+ * version this build does not speak, or any corrupt artifact.
+ */
+bool loadCampaignDir(const std::string &dir, LoadedCampaignDir &out,
+                     std::string *error = nullptr);
+
+/**
+ * Load only meta.json and campaign.snap — what `dejavuzz-replay`
+ * needs (reproducers live in the snapshot), so replaying a ledger
+ * neither parses nor depends on the corpus artifact.
+ */
+bool loadCampaignSnapshot(const std::string &dir, CampaignMeta &meta,
+                          CampaignCheckpoint &checkpoint,
+                          std::string *error = nullptr);
+
+/**
+ * Persist @p orchestrator (after run()) into @p dir: the JSONL log,
+ * the corpus, the checkpoint, and — last, as the completion marker —
+ * meta.json. Creates the directory if needed.
+ */
+bool saveCampaignDir(const std::string &dir,
+                     const CampaignOrchestrator &orchestrator,
+                     const CampaignOptions &options,
+                     std::string *error = nullptr);
+
+} // namespace dejavuzz::campaign
+
+#endif // DEJAVUZZ_CAMPAIGN_CAMPAIGN_DIR_HH

@@ -1,7 +1,11 @@
 #include "campaign/corpus.hh"
 
 #include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <utility>
 
+#include "campaign/io_util.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -109,6 +113,53 @@ SharedCorpus::snapshotKeys() const
                   return corpusOrderBefore(a, b);
               });
     return out;
+}
+
+SharedCorpus::MinimizeStats
+SharedCorpus::minimize(const CoverageEval &eval)
+{
+    // Canonical order makes the greedy walk deterministic: the
+    // highest-gain representative of each content class / coverage
+    // contribution survives, whatever order entries arrived in.
+    std::vector<CorpusEntry> entries = snapshotSorted();
+
+    MinimizeStats stats;
+    stats.before = entries.size();
+
+    std::vector<CorpusEntry> kept;
+    kept.reserve(entries.size());
+    std::unordered_set<uint64_t> seen_hashes;
+    std::set<std::pair<uint16_t, uint32_t>> covered;
+    for (CorpusEntry &entry : entries) {
+        if (!seen_hashes.insert(hashTestCase(entry.tc)).second) {
+            ++stats.duplicates;
+            continue;
+        }
+        if (eval) {
+            bool fresh = false;
+            for (const ift::CoveragePoint &point : eval(entry)) {
+                if (covered
+                        .insert({point.module_id, point.index})
+                        .second) {
+                    fresh = true;
+                }
+            }
+            if (!fresh) {
+                ++stats.subsumed;
+                continue;
+            }
+        }
+        kept.push_back(std::move(entry));
+    }
+    stats.kept = kept.size();
+
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.entries.clear();
+    }
+    for (CorpusEntry &entry : kept)
+        offer(std::move(entry));
+    return stats;
 }
 
 bool

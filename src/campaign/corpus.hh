@@ -19,12 +19,14 @@
 #define DEJAVUZZ_CAMPAIGN_CORPUS_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/seed.hh"
+#include "ift/coverage.hh"
 
 namespace dejavuzz::campaign {
 
@@ -123,6 +125,37 @@ class SharedCorpus
      */
     static bool loadFrom(std::istream &is, CorpusFile &out,
                          std::string *error = nullptr);
+
+    /** What minimize() removed. */
+    struct MinimizeStats
+    {
+        size_t before = 0;      ///< entries prior to minimization
+        size_t kept = 0;        ///< entries retained
+        size_t duplicates = 0;  ///< dropped: content-identical twin kept
+        size_t subsumed = 0;    ///< dropped: coverage already provided
+
+        size_t dropped() const { return duplicates + subsumed; }
+    };
+
+    /** Coverage oracle for minimize(): the tuple set one test case
+     *  produces on its own (core::Fuzzer::replayCase provides it). */
+    using CoverageEval =
+        std::function<std::vector<ift::CoveragePoint>(
+            const CorpusEntry &)>;
+
+    /**
+     * Content-based corpus distillation. Walks the retained entries
+     * in canonical order (highest gain first) and drops
+     *  - content duplicates: entries whose canonical test-case hash
+     *    (hashTestCase) matches an already-kept entry, and
+     *  - coverage-subsumed entries: entries whose @p eval tuple set
+     *    adds nothing to the union of the kept entries' sets
+     *    (skipped when @p eval is null — dedup only).
+     * The kept set's coverage union equals the original union by
+     * construction. Not thread-safe against concurrent offer();
+     * call at a barrier or after the campaign finished.
+     */
+    MinimizeStats minimize(const CoverageEval &eval = nullptr);
 
   private:
     struct Shard

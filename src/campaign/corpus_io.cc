@@ -1,36 +1,31 @@
 /**
  * @file
- * Corpus persistence: SharedCorpus::saveTo / loadFrom.
+ * Campaign binary-IO primitives (io_util.hh) and corpus persistence
+ * (SharedCorpus::saveTo / loadFrom).
  *
- * The on-disk layout is the versioned little-endian binary format
- * specified in docs/campaign-format.md: an 8-byte magic + version
- * header carrying the saving campaign's master seed, followed by the
- * retained entries in canonical (gain desc, worker, seq) order. Each
- * entry serializes its full admission metadata (gain, author worker,
- * author-local sequence number, core config name) and the complete
- * test case, so a resumed campaign can both re-admit and re-execute
- * every saved seed. Loading is strict: any truncation, size bound
- * violation, or out-of-range enum value fails the whole load.
+ * The corpus on-disk layout is the versioned little-endian binary
+ * format specified in docs/campaign-format.md: an 8-byte magic +
+ * version header carrying the saving campaign's master seed, followed
+ * by the retained entries in canonical (gain desc, worker, seq)
+ * order. Each entry serializes its full admission metadata (gain,
+ * author worker, author-local sequence number, core config name) and
+ * the complete test case, so a resumed campaign can both re-admit and
+ * re-execute every saved seed. Loading is strict: any truncation,
+ * size bound violation, or out-of-range enum value fails the whole
+ * load — and no count field is trusted to size an allocation before
+ * the bytes it promises have actually been read.
  */
 
 #include <algorithm>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "campaign/corpus.hh"
+#include "campaign/io_util.hh"
 
-namespace dejavuzz::campaign {
-
-namespace {
-
-constexpr char kMagic[8] = {'D', 'V', 'Z', 'C', 'O', 'R', 'P', 'S'};
-
-/** Bounds applied to every count/length read from the file; a corpus
- *  that legitimately exceeds these would be far beyond anything the
- *  orchestrator retains (shards * cap entries). */
-constexpr uint32_t kMaxStringBytes = 1u << 20;
-constexpr uint32_t kMaxVectorItems = 1u << 20;
+namespace dejavuzz::campaign::bio {
 
 // --- little-endian primitives ---------------------------------------------
 
@@ -67,111 +62,117 @@ putString(std::ostream &os, const std::string &text)
     os.write(text.data(), static_cast<std::streamsize>(text.size()));
 }
 
-/** Load-side cursor that turns any truncation into a sticky error. */
-struct Reader
+// --- Reader ----------------------------------------------------------------
+
+bool
+Reader::fail(const std::string &what)
 {
-    std::istream &is;
-    std::string error;
+    if (error.empty())
+        error = what;
+    return false;
+}
 
-    bool
-    fail(const std::string &what)
-    {
-        if (error.empty())
-            error = what;
+bool
+Reader::bytes(void *out, size_t count, const char *what)
+{
+    if (!error.empty())
         return false;
-    }
+    is.read(static_cast<char *>(out),
+            static_cast<std::streamsize>(count));
+    if (static_cast<size_t>(is.gcount()) != count)
+        return fail(std::string("truncated ") + what);
+    return true;
+}
 
-    bool
-    bytes(void *out, size_t count, const char *what)
-    {
-        if (!error.empty())
-            return false;
-        is.read(static_cast<char *>(out),
-                static_cast<std::streamsize>(count));
-        if (static_cast<size_t>(is.gcount()) != count)
-            return fail(std::string("truncated ") + what);
-        return true;
-    }
+bool
+Reader::u8(uint8_t &out, const char *what)
+{
+    return bytes(&out, 1, what);
+}
 
-    bool
-    u8(uint8_t &out, const char *what)
-    {
-        return bytes(&out, 1, what);
-    }
+bool
+Reader::u32(uint32_t &out, const char *what)
+{
+    uint8_t raw[4];
+    if (!bytes(raw, sizeof(raw), what))
+        return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+        out |= static_cast<uint32_t>(raw[i]) << (8 * i);
+    return true;
+}
 
-    bool
-    u32(uint32_t &out, const char *what)
-    {
-        uint8_t raw[4];
-        if (!bytes(raw, sizeof(raw), what))
-            return false;
-        out = 0;
-        for (int i = 0; i < 4; ++i)
-            out |= static_cast<uint32_t>(raw[i]) << (8 * i);
-        return true;
-    }
+bool
+Reader::u64(uint64_t &out, const char *what)
+{
+    uint8_t raw[8];
+    if (!bytes(raw, sizeof(raw), what))
+        return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i)
+        out |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    return true;
+}
 
-    bool
-    u64(uint64_t &out, const char *what)
-    {
-        uint8_t raw[8];
-        if (!bytes(raw, sizeof(raw), what))
-            return false;
-        out = 0;
-        for (int i = 0; i < 8; ++i)
-            out |= static_cast<uint64_t>(raw[i]) << (8 * i);
-        return true;
-    }
+bool
+Reader::i64(int64_t &out, const char *what)
+{
+    uint64_t raw = 0;
+    if (!u64(raw, what))
+        return false;
+    out = static_cast<int64_t>(raw);
+    return true;
+}
 
-    bool
-    i64(int64_t &out, const char *what)
-    {
-        uint64_t raw = 0;
-        if (!u64(raw, what))
-            return false;
-        out = static_cast<int64_t>(raw);
-        return true;
-    }
+bool
+Reader::str(std::string &out, const char *what)
+{
+    uint32_t length = 0;
+    if (!u32(length, what))
+        return false;
+    if (length > kMaxStringBytes)
+        return fail(std::string("oversized string in ") + what);
+    out.resize(length);
+    return length == 0 || bytes(out.data(), length, what);
+}
 
-    bool
-    str(std::string &out, const char *what)
-    {
-        uint32_t length = 0;
-        if (!u32(length, what))
-            return false;
-        if (length > kMaxStringBytes)
-            return fail(std::string("oversized string in ") + what);
-        out.resize(length);
-        return length == 0 || bytes(out.data(), length, what);
-    }
+bool
+Reader::count(uint32_t &out, uint32_t limit, const char *what)
+{
+    if (!u32(out, what))
+        return false;
+    if (out > limit)
+        return fail(std::string("oversized count in ") + what);
+    return true;
+}
 
-    /** Read a count field and bound it. */
-    bool
-    count(uint32_t &out, const char *what)
-    {
-        if (!u32(out, what))
-            return false;
-        if (out > kMaxVectorItems)
-            return fail(std::string("oversized count in ") + what);
-        return true;
-    }
+bool
+readBool(Reader &in, bool &out, const char *what)
+{
+    uint8_t raw = 0;
+    if (!in.u8(raw, what))
+        return false;
+    if (raw > 1)
+        return in.fail(std::string("non-boolean ") + what);
+    out = raw != 0;
+    return true;
+}
 
-    /** Read an enum byte and range-check it against [0, limit). */
-    template <typename E>
-    bool
-    enumByte(E &out, unsigned limit, const char *what)
-    {
-        uint8_t raw = 0;
-        if (!u8(raw, what))
-            return false;
-        if (raw >= limit)
-            return fail(std::string("out-of-range ") + what);
-        out = static_cast<E>(raw);
-        return true;
-    }
-};
+bool
+readIndex(Reader &in, size_t &out, const char *what)
+{
+    uint64_t raw = 0;
+    if (!in.u64(raw, what))
+        return false;
+    if (raw > std::numeric_limits<size_t>::max())
+        return in.fail(std::string("oversized ") + what);
+    out = static_cast<size_t>(raw);
+    return true;
+}
 
 // --- test-case payload ------------------------------------------------------
+
+namespace {
 
 void
 writeInstr(std::ostream &os, const isa::Instr &instr)
@@ -196,6 +197,8 @@ readInstr(Reader &in, isa::Instr &instr)
            in.i64(instr.imm, "instr.imm") &&
            in.u32(instr.raw, "instr.raw");
 }
+
+} // namespace
 
 void
 writeTestCase(std::ostream &os, const core::TestCase &tc)
@@ -237,30 +240,6 @@ writeTestCase(std::ostream &os, const core::TestCase &tc)
 }
 
 bool
-readBool(Reader &in, bool &out, const char *what)
-{
-    uint8_t raw = 0;
-    if (!in.u8(raw, what))
-        return false;
-    if (raw > 1)
-        return in.fail(std::string("non-boolean ") + what);
-    out = raw != 0;
-    return true;
-}
-
-bool
-readIndex(Reader &in, size_t &out, const char *what)
-{
-    uint64_t raw = 0;
-    if (!in.u64(raw, what))
-        return false;
-    if (raw > std::numeric_limits<size_t>::max())
-        return in.fail(std::string("oversized ") + what);
-    out = static_cast<size_t>(raw);
-    return true;
-}
-
-bool
 readTestCase(Reader &in, core::TestCase &tc)
 {
     if (!in.u64(tc.seed.id, "seed.id") ||
@@ -287,10 +266,13 @@ readTestCase(Reader &in, core::TestCase &tc)
         return false;
     }
     uint32_t packet_count = 0;
-    if (!in.count(packet_count, "schedule.packets"))
+    if (!in.count(packet_count, kMaxPackets, "schedule.packets"))
         return false;
-    tc.schedule.packets.resize(packet_count);
-    for (auto &packet : tc.schedule.packets) {
+    tc.schedule.packets.clear();
+    tc.schedule.packets.reserve(
+        std::min(packet_count, kMaxReserveItems));
+    for (uint32_t p = 0; p < packet_count; ++p) {
+        swapmem::SwapPacket packet;
         if (!in.str(packet.label, "packet.label") ||
             !in.enumByte(packet.kind,
                          static_cast<unsigned>(
@@ -301,13 +283,18 @@ readTestCase(Reader &in, core::TestCase &tc)
             return false;
         }
         uint32_t instr_count = 0;
-        if (!in.count(instr_count, "packet.instrs"))
+        if (!in.count(instr_count, kMaxInstrs, "packet.instrs"))
             return false;
-        packet.instrs.resize(instr_count);
-        for (auto &instr : packet.instrs) {
+        packet.instrs.clear();
+        packet.instrs.reserve(
+            std::min(instr_count, kMaxReserveItems));
+        for (uint32_t i = 0; i < instr_count; ++i) {
+            isa::Instr instr;
             if (!readInstr(in, instr))
                 return false;
+            packet.instrs.push_back(instr);
         }
+        tc.schedule.packets.push_back(std::move(packet));
     }
 
     uint32_t secret_bytes = 0;
@@ -320,12 +307,16 @@ readTestCase(Reader &in, core::TestCase &tc)
         return false;
     }
     uint32_t operand_count = 0;
-    if (!in.count(operand_count, "data.operands"))
+    if (!in.count(operand_count, kMaxVectorItems, "data.operands"))
         return false;
-    tc.data.operands.resize(operand_count);
-    for (auto &operand : tc.data.operands) {
+    tc.data.operands.clear();
+    tc.data.operands.reserve(
+        std::min(operand_count, kMaxReserveItems));
+    for (uint32_t i = 0; i < operand_count; ++i) {
+        uint64_t operand = 0;
         if (!in.u64(operand, "data.operand"))
             return false;
+        tc.data.operands.push_back(operand);
     }
 
     return in.u64(tc.trigger_addr, "trigger_addr") &&
@@ -337,7 +328,31 @@ readTestCase(Reader &in, core::TestCase &tc)
            readBool(in, tc.has_window_payload, "has_window_payload");
 }
 
+} // namespace dejavuzz::campaign::bio
+
+namespace dejavuzz::campaign {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'V', 'Z', 'C', 'O', 'R', 'P', 'S'};
+
 } // namespace
+
+uint64_t
+hashTestCase(const core::TestCase &tc)
+{
+    std::ostringstream blob(std::ios::binary);
+    bio::writeTestCase(blob, tc);
+    const std::string bytes = blob.str();
+    // FNV-1a 64: cheap, deterministic across platforms, and applied
+    // to the canonical serialization so equality is semantic.
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
 
 bool
 SharedCorpus::saveTo(std::ostream &os, uint64_t master_seed) const
@@ -345,15 +360,15 @@ SharedCorpus::saveTo(std::ostream &os, uint64_t master_seed) const
     std::vector<CorpusEntry> entries = snapshotSorted();
 
     os.write(kMagic, sizeof(kMagic));
-    putU32(os, kFormatVersion);
-    putU64(os, master_seed);
-    putU64(os, entries.size());
+    bio::putU32(os, kFormatVersion);
+    bio::putU64(os, master_seed);
+    bio::putU64(os, entries.size());
     for (const auto &entry : entries) {
-        putU64(os, entry.gain);
-        putU32(os, entry.worker);
-        putU64(os, entry.seq);
-        putString(os, entry.config);
-        writeTestCase(os, entry.tc);
+        bio::putU64(os, entry.gain);
+        bio::putU32(os, entry.worker);
+        bio::putU64(os, entry.seq);
+        bio::putString(os, entry.config);
+        bio::writeTestCase(os, entry.tc);
     }
     os.flush();
     return os.good();
@@ -363,7 +378,7 @@ bool
 SharedCorpus::loadFrom(std::istream &is, CorpusFile &out,
                        std::string *error)
 {
-    Reader in{is, {}};
+    bio::Reader in{is, {}};
     auto report = [&](bool ok) {
         if (!ok && error)
             *error = in.error.empty() ? "corpus load failed"
@@ -392,13 +407,14 @@ SharedCorpus::loadFrom(std::istream &is, CorpusFile &out,
     uint64_t entry_count = 0;
     if (!in.u64(entry_count, "entry count"))
         return report(false);
-    if (entry_count > kMaxVectorItems) {
+    if (entry_count > bio::kMaxVectorItems) {
         in.fail("oversized entry count");
         return report(false);
     }
 
     out.entries.clear();
-    out.entries.reserve(entry_count);
+    out.entries.reserve(std::min<uint64_t>(entry_count,
+                                           bio::kMaxReserveItems));
     for (uint64_t i = 0; i < entry_count; ++i) {
         CorpusEntry entry;
         uint32_t worker = 0;
@@ -406,7 +422,7 @@ SharedCorpus::loadFrom(std::istream &is, CorpusFile &out,
             !in.u32(worker, "entry.worker") ||
             !in.u64(entry.seq, "entry.seq") ||
             !in.str(entry.config, "entry.config") ||
-            !readTestCase(in, entry.tc)) {
+            !bio::readTestCase(in, entry.tc)) {
             return report(false);
         }
         entry.worker = worker;

@@ -63,6 +63,48 @@ GlobalCoverage::mergeFrom(const ift::TaintCoverage &local)
     return fresh;
 }
 
+uint32_t
+GlobalCoverage::moduleSlots(size_t module) const
+{
+    dv_assert(module < modules_.size());
+    return modules_[module].slots;
+}
+
+size_t
+GlobalCoverage::moduleWords(size_t module) const
+{
+    dv_assert(module < modules_.size());
+    return wordCount(modules_[module].slots);
+}
+
+uint64_t
+GlobalCoverage::word(size_t module, size_t word) const
+{
+    dv_assert(module < modules_.size());
+    dv_assert(word < wordCount(modules_[module].slots));
+    return modules_[module].words[word].load(
+        std::memory_order_relaxed);
+}
+
+bool
+GlobalCoverage::restoreWord(size_t module, size_t word,
+                            uint64_t bits)
+{
+    dv_assert(module < modules_.size());
+    dv_assert(word < wordCount(modules_[module].slots));
+    const uint32_t slots = modules_[module].slots;
+    const uint32_t base = static_cast<uint32_t>(word) * 64;
+    const uint32_t limit = std::min<uint32_t>(64, slots - base);
+    if (limit < 64 && (bits >> limit) != 0)
+        return false; // set bit past the module's slot count
+    uint64_t prev = modules_[module].words[word].fetch_or(
+        bits, std::memory_order_relaxed);
+    uint64_t fresh = popcount64(bits & ~prev);
+    if (fresh != 0)
+        points_.fetch_add(fresh, std::memory_order_relaxed);
+    return true;
+}
+
 uint64_t
 GlobalCoverage::pullInto(ift::TaintCoverage &local) const
 {

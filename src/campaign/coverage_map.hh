@@ -58,6 +58,31 @@ class GlobalCoverage
 
     size_t moduleCount() const { return modules_.size(); }
 
+    // --- snapshot save/restore (src/campaign/snapshot_io.cc) ----------
+    //
+    // The word accessors expose the raw bitmaps so a campaign
+    // checkpoint can persist the fleet map and a resumed campaign can
+    // reinstall it. Callers must not race mergeFrom() (the
+    // orchestrator snapshots/restores only outside epochs).
+
+    /** Bitmap slot count of module @p module (shape invariant). */
+    uint32_t moduleSlots(size_t module) const;
+
+    /** Number of 64-bit bitmap words of module @p module. */
+    size_t moduleWords(size_t module) const;
+
+    /** Bitmap word @p word of module @p module. */
+    uint64_t word(size_t module, size_t word) const;
+
+    /**
+     * OR @p bits into word @p word of module @p module, updating the
+     * points() total. Bits addressing slots past moduleSlots() are
+     * rejected with a false return (corrupt snapshot), leaving the
+     * word untouched. Returns true and adds the fresh-bit count to
+     * points() otherwise.
+     */
+    bool restoreWord(size_t module, size_t word, uint64_t bits);
+
   private:
     struct ModuleWords
     {

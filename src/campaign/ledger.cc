@@ -4,7 +4,9 @@ namespace dejavuzz::campaign {
 
 bool
 BugLedger::record(const core::BugReport &report, unsigned worker,
-                  uint64_t epoch)
+                  uint64_t epoch, const core::TestCase &repro,
+                  const std::string &config,
+                  const std::string &variant)
 {
     std::lock_guard<std::mutex> lock(mu_);
     ++total_;
@@ -14,10 +16,33 @@ BugLedger::record(const core::BugReport &report, unsigned worker,
         it->second.worker = worker;
         it->second.epoch = epoch;
         it->second.hits = 1;
+        it->second.repro = repro;
+        it->second.config = config;
+        it->second.variant = variant;
         return true;
     }
     ++it->second.hits;
     return false;
+}
+
+void
+BugLedger::restore(std::vector<BugRecord> records)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    total_ = 0;
+    for (BugRecord &record : records) {
+        const uint64_t hits = record.hits;
+        std::string key = record.report.key();
+        // First record wins on a duplicate signature (the snapshot
+        // loader rejects duplicates; this keeps total_ equal to the
+        // stored records' hit sum even for hand-built inputs).
+        auto [it, inserted] =
+            records_.try_emplace(std::move(key), std::move(record));
+        (void)it;
+        if (inserted)
+            total_ += hits;
+    }
 }
 
 size_t

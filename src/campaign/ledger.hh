@@ -33,6 +33,12 @@ struct BugRecord
     unsigned worker = 0;      ///< worker that reported it first
     uint64_t epoch = 0;       ///< epoch of the first report
     uint64_t hits = 1;        ///< total reports collapsed onto this key
+    /** The first reporter's exact test case — replaying it through
+     *  core::Fuzzer::replayCase re-derives the same signature
+     *  (the dejavuzz-replay regression contract). */
+    core::TestCase repro;
+    std::string config;       ///< first reporter's core config name
+    std::string variant;      ///< first reporter's ablation variant
 };
 
 class BugLedger
@@ -40,10 +46,23 @@ class BugLedger
   public:
     /**
      * Record @p report from @p worker during @p epoch. Thread-safe.
-     * Returns true when the report's signature was new.
+     * Returns true when the report's signature was new; only then
+     * are @p repro / @p config / @p variant retained (first reporter
+     * wins, so provenance stays deterministic).
      */
     bool record(const core::BugReport &report, unsigned worker,
-                uint64_t epoch);
+                uint64_t epoch,
+                const core::TestCase &repro = {},
+                const std::string &config = {},
+                const std::string &variant = {});
+
+    /**
+     * Reinstall previously persisted records (checkpoint resume).
+     * Replaces the current contents; the total report count becomes
+     * the restored hit sum, so counters continue where the saved
+     * campaign stopped. Must not race record().
+     */
+    void restore(std::vector<BugRecord> records);
 
     /** Number of distinct signatures. */
     size_t distinct() const;

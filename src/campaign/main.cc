@@ -9,20 +9,30 @@
  *   dejavuzz --workers 5 --policy ablation --core boom
  *   dejavuzz --workers 4 --iters 4000 --corpus-out day1.corpus
  *   dejavuzz --workers 4 --iters 4000 --corpus-in day1.corpus
+ *   dejavuzz --workers 4 --iters 4000 --campaign-dir day1 --minimize
+ *   dejavuzz --workers 4 --iters 8000 --campaign-dir day1   # resume
  *
  * The JSONL log (stdout by default) carries worker, trigger, epoch,
  * bug and summary records (docs/campaign-format.md); the
  * human-readable digest goes to stderr. --corpus-out persists the
  * shared corpus so a later --corpus-in campaign resumes from it.
+ * --campaign-dir persists the log, corpus, coverage/ledger snapshot
+ * and a meta.json under one directory; pointing a matching
+ * invocation at it later continues the campaign exactly where it
+ * stopped (a mismatched invocation errors out instead of
+ * overwriting). dejavuzz-replay re-executes the directory's bug
+ * ledger as a regression suite.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "campaign/campaign_dir.hh"
 #include "campaign/orchestrator.hh"
 #include "uarch/config.hh"
 
@@ -63,6 +73,12 @@ usage(const char *argv0)
         "  --out PATH         JSONL output file (default stdout)\n"
         "  --corpus-in PATH   resume from a saved corpus file\n"
         "  --corpus-out PATH  persist the final corpus to a file\n"
+        "  --campaign-dir DIR self-contained campaign directory "
+        "(log + corpus + snapshot + meta.json); resumes the saved\n"
+        "                     campaign when DIR already holds one "
+        "with a matching configuration\n"
+        "  --minimize         distill the corpus before saving "
+        "(drop content duplicates and coverage-subsumed entries)\n"
         "  --quiet            suppress the stderr digest\n"
         "  --help             this text\n",
         argv0);
@@ -100,6 +116,8 @@ main(int argc, char **argv)
     std::string out_path;
     std::string corpus_in_path;
     std::string corpus_out_path;
+    std::string campaign_dir;
+    bool minimize = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -186,6 +204,10 @@ main(int argc, char **argv)
             corpus_in_path = value();
         } else if (arg == "--corpus-out") {
             corpus_out_path = value();
+        } else if (arg == "--campaign-dir") {
+            campaign_dir = value();
+        } else if (arg == "--minimize") {
+            minimize = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -200,6 +222,67 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "need an --iters or --seconds budget\n");
         return 2;
+    }
+    if (!campaign_dir.empty() &&
+        (!out_path.empty() || !corpus_in_path.empty() ||
+         !corpus_out_path.empty())) {
+        std::fprintf(stderr,
+                     "--campaign-dir manages its own log and corpus; "
+                     "it cannot be combined with --out, --corpus-in "
+                     "or --corpus-out\n");
+        return 2;
+    }
+    if (minimize && campaign_dir.empty() &&
+        corpus_out_path.empty()) {
+        std::fprintf(stderr,
+                     "--minimize needs a corpus destination "
+                     "(--corpus-out or --campaign-dir)\n");
+        return 2;
+    }
+
+    // Resolve the campaign directory up front: a directory holding a
+    // completed campaign is resumed — but only by an invocation whose
+    // configuration matches its meta.json; anything else errors out
+    // rather than silently overwriting the saved campaign.
+    bool resuming = false;
+    dejavuzz::campaign::LoadedCampaignDir saved;
+    if (!campaign_dir.empty()) {
+        if (dejavuzz::campaign::campaignDirExists(campaign_dir)) {
+            std::string error;
+            if (!dejavuzz::campaign::loadCampaignDir(
+                    campaign_dir, saved, &error)) {
+                std::fprintf(stderr,
+                             "cannot resume --campaign-dir %s: %s\n",
+                             campaign_dir.c_str(), error.c_str());
+                return 1;
+            }
+            std::vector<std::string> mismatches =
+                dejavuzz::campaign::metaMismatches(
+                    saved.meta,
+                    dejavuzz::campaign::metaFromOptions(options));
+            if (!mismatches.empty()) {
+                std::fprintf(stderr,
+                    "refusing to overwrite --campaign-dir %s: the "
+                    "saved campaign's configuration does not match "
+                    "this invocation\n",
+                    campaign_dir.c_str());
+                for (const std::string &line : mismatches)
+                    std::fprintf(stderr, "  %s\n", line.c_str());
+                return 1;
+            }
+            resuming = true;
+        } else {
+            // Fail on an unwritable destination before fuzzing.
+            std::error_code ec;
+            std::filesystem::create_directories(campaign_dir, ec);
+            if (ec) {
+                std::fprintf(stderr,
+                             "cannot create --campaign-dir %s: %s\n",
+                             campaign_dir.c_str(),
+                             ec.message().c_str());
+                return 1;
+            }
+        }
     }
 
     // Validate --corpus-in before touching any output path: opening
@@ -250,6 +333,57 @@ main(int argc, char **argv)
     }
 
     CampaignOrchestrator orchestrator(options);
+    if (resuming) {
+        std::string error;
+        if (!orchestrator.restoreCheckpoint(saved.checkpoint,
+                                            &error)) {
+            std::fprintf(stderr,
+                         "cannot resume --campaign-dir %s: %s\n",
+                         campaign_dir.c_str(), error.c_str());
+            return 1;
+        }
+        orchestrator.restoreCorpus(saved.corpus.entries);
+        if (!quiet) {
+            std::fprintf(stderr,
+                "campaign-dir: resuming %s at %llu iterations, "
+                "%llu epochs, %llu coverage points, %zu distinct "
+                "bugs, corpus %zu\n",
+                campaign_dir.c_str(),
+                static_cast<unsigned long long>(
+                    saved.checkpoint.iterations_done),
+                static_cast<unsigned long long>(
+                    saved.checkpoint.epochs_done),
+                static_cast<unsigned long long>(
+                    orchestrator.stats().coverage_preloaded),
+                static_cast<size_t>(
+                    saved.checkpoint.ledger.size()),
+                orchestrator.corpus().size());
+        }
+        if (options.total_iterations != 0 &&
+            options.total_iterations <=
+                saved.checkpoint.iterations_done) {
+            // A no-op resume must not rewrite the directory: it
+            // would replace the saved log (epoch curve, worker
+            // rollups) with a zero-iteration one. Refuse rather
+            // than silently skip a requested minimization.
+            std::fprintf(stderr,
+                "--iters %llu does not exceed the saved campaign's "
+                "%llu iterations; nothing to run — leaving %s "
+                "untouched (raise --iters to extend the campaign)\n",
+                static_cast<unsigned long long>(
+                    options.total_iterations),
+                static_cast<unsigned long long>(
+                    saved.checkpoint.iterations_done),
+                campaign_dir.c_str());
+            if (minimize) {
+                std::fprintf(stderr,
+                    "--minimize was requested but runs only after "
+                    "fuzzing; the saved corpus is unchanged\n");
+                return 2;
+            }
+            return 0;
+        }
+    }
     if (!corpus_in_path.empty()) {
         uint64_t admitted =
             orchestrator.preloadCorpus(resume.entries);
@@ -266,7 +400,28 @@ main(int argc, char **argv)
 
     CampaignStats stats = orchestrator.run();
 
-    if (!out_path.empty()) {
+    if (minimize) {
+        dejavuzz::campaign::SharedCorpus::MinimizeStats mstats =
+            orchestrator.minimizeCorpus();
+        if (!quiet) {
+            std::fprintf(stderr,
+                "corpus: minimized %zu -> %zu entries "
+                "(%zu content duplicates, %zu coverage-subsumed)\n",
+                mstats.before, mstats.kept, mstats.duplicates,
+                mstats.subsumed);
+        }
+        stats = orchestrator.stats(); // refresh corpus_size
+    }
+
+    if (!campaign_dir.empty()) {
+        std::string error;
+        if (!dejavuzz::campaign::saveCampaignDir(
+                campaign_dir, orchestrator, options, &error)) {
+            std::fprintf(stderr, "cannot save --campaign-dir %s: %s\n",
+                         campaign_dir.c_str(), error.c_str());
+            return 1;
+        }
+    } else if (!out_path.empty()) {
         orchestrator.writeJsonl(out_file);
         out_file.flush();
         if (!out_file) {

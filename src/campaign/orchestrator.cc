@@ -61,6 +61,22 @@ shardPolicyName(ShardPolicy policy)
     return "?";
 }
 
+bool
+applyAblationVariant(const std::string &name,
+                     core::FuzzerOptions &fopts)
+{
+    for (const AblationVariant &variant : kAblationMatrix) {
+        if (name != variant.name)
+            continue;
+        fopts.derived_training = variant.derived_training;
+        fopts.coverage_feedback = variant.coverage_feedback;
+        fopts.use_liveness = variant.use_liveness;
+        fopts.training_reduction = variant.training_reduction;
+        return true;
+    }
+    return false;
+}
+
 CampaignOrchestrator::CampaignOrchestrator(
     const CampaignOptions &options)
     : options_(options),
@@ -107,13 +123,12 @@ CampaignOrchestrator::provision()
             }
             break;
           case ShardPolicy::AblationMatrix: {
-            const auto &variant =
-                kAblationMatrix[w % std::size(kAblationMatrix)];
-            shard.variant = variant.name;
-            fopts.derived_training = variant.derived_training;
-            fopts.coverage_feedback = variant.coverage_feedback;
-            fopts.use_liveness = variant.use_liveness;
-            fopts.training_reduction = variant.training_reduction;
+            shard.variant =
+                kAblationMatrix[w % std::size(kAblationMatrix)].name;
+            // One switch table for campaign execution and replay
+            // reconstruction alike.
+            bool known = applyAblationVariant(shard.variant, fopts);
+            dv_assert(known);
             break;
           }
         }
@@ -200,6 +215,208 @@ CampaignOrchestrator::preloadCorpus(
     }
     preloaded_ += admitted;
     return admitted;
+}
+
+CampaignCheckpoint
+CampaignOrchestrator::makeCheckpoint() const
+{
+    dv_assert(ran_);
+    CampaignCheckpoint cp;
+    cp.master_seed = options_.master_seed;
+    cp.iterations_done = done_;
+    cp.epochs_done = epoch_;
+    cp.steals = steals_;
+    cp.preloaded = preloaded_;
+    cp.steal_rng = steal_rng_.state();
+    cp.preloaded_ids.assign(preloaded_ids_.begin(),
+                            preloaded_ids_.end());
+
+    // groups_ is keyed by config name, so iteration order — and the
+    // serialized snapshot — is deterministic.
+    for (const auto &[name, group] : groups_) {
+        CoverageGroupSnap snap;
+        snap.config = name;
+        const ift::TaintCoverage &shape = group_shapes_.at(name);
+        for (size_t m = 0; m < group->moduleCount(); ++m) {
+            CoverageGroupSnap::Module module;
+            module.name =
+                shape.moduleName(static_cast<uint16_t>(m));
+            module.slots = group->moduleSlots(m);
+            module.words.resize(group->moduleWords(m));
+            for (size_t w = 0; w < module.words.size(); ++w)
+                module.words[w] = group->word(m, w);
+            snap.modules.push_back(std::move(module));
+        }
+        cp.groups.push_back(std::move(snap));
+    }
+
+    for (const Shard &shard : shards_) {
+        ShardSnap snap;
+        snap.next_batch = shard.next_batch;
+        snap.stolen.assign(shard.stolen.begin(),
+                           shard.stolen.end());
+        snap.pending_inject = shard.pending_inject;
+        cp.shards.push_back(std::move(snap));
+    }
+
+    cp.ledger = ledger_.entries();
+    return cp;
+}
+
+bool
+CampaignOrchestrator::restoreCheckpoint(const CampaignCheckpoint &cp,
+                                        std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    dv_assert(!ran_);
+    if (cp.master_seed != options_.master_seed) {
+        return fail("checkpoint master seed " +
+                    std::to_string(cp.master_seed) +
+                    " does not match campaign master seed " +
+                    std::to_string(options_.master_seed));
+    }
+    if (cp.shards.size() != shards_.size()) {
+        return fail("checkpoint has " +
+                    std::to_string(cp.shards.size()) +
+                    " shards, campaign has " +
+                    std::to_string(shards_.size()));
+    }
+    // Validate every group against this fleet's shapes before
+    // touching any state: a mismatched snapshot must not
+    // half-restore the campaign.
+    for (const CoverageGroupSnap &snap : cp.groups) {
+        auto it = groups_.find(snap.config);
+        if (it == groups_.end()) {
+            return fail("checkpoint coverage group \"" +
+                        snap.config +
+                        "\" has no matching config in this "
+                        "campaign");
+        }
+        const GlobalCoverage &group = *it->second;
+        const ift::TaintCoverage &shape =
+            group_shapes_.at(snap.config);
+        if (snap.modules.size() != group.moduleCount())
+            return fail("module count mismatch in coverage group \"" +
+                        snap.config + "\"");
+        for (size_t m = 0; m < snap.modules.size(); ++m) {
+            const CoverageGroupSnap::Module &module =
+                snap.modules[m];
+            if (module.name !=
+                    shape.moduleName(static_cast<uint16_t>(m)) ||
+                module.slots != group.moduleSlots(m) ||
+                module.words.size() != group.moduleWords(m)) {
+                return fail("module shape mismatch at \"" +
+                            module.name + "\" in coverage group \"" +
+                            snap.config + "\"");
+            }
+        }
+    }
+
+    uint64_t restored_points = 0;
+    for (const CoverageGroupSnap &snap : cp.groups) {
+        GlobalCoverage &group = *groups_.at(snap.config);
+        const uint64_t before = group.points();
+        for (size_t m = 0; m < snap.modules.size(); ++m) {
+            for (size_t w = 0; w < snap.modules[m].words.size();
+                 ++w) {
+                // Slot-range validity was checked by the snapshot
+                // loader; shapes were checked above.
+                bool ok = group.restoreWord(
+                    m, w, snap.modules[m].words[w]);
+                dv_assert(ok);
+            }
+        }
+        restored_points += group.points() - before;
+    }
+
+    for (size_t w = 0; w < shards_.size(); ++w) {
+        Shard &shard = shards_[w];
+        shard.next_batch = cp.shards[w].next_batch;
+        shard.stolen.clear();
+        for (const auto &[author, seq] : cp.shards[w].stolen)
+            shard.stolen.insert({author, seq});
+        shard.pending_inject = cp.shards[w].pending_inject;
+    }
+
+    ledger_.restore(cp.ledger);
+    steal_rng_.setState(cp.steal_rng);
+    steals_ = cp.steals;
+    preloaded_ = cp.preloaded;
+    // Preloaded identities keep their special steal-eligibility
+    // (stealable by namesake shards) across the resume.
+    preloaded_ids_.clear();
+    for (const auto &[author, seq] : cp.preloaded_ids)
+        preloaded_ids_.insert({author, seq});
+    done_base_ = done_ = cp.iterations_done;
+    epoch_base_ = epoch_ = cp.epochs_done;
+
+    stats_.coverage_preloaded = restored_points;
+    stats_.bugs_restored = ledger_.distinct();
+    stats_.reports_restored = ledger_.totalReports();
+    return true;
+}
+
+uint64_t
+CampaignOrchestrator::restoreCorpus(
+    const std::vector<CorpusEntry> &entries)
+{
+    dv_assert(!ran_);
+    uint64_t admitted = 0;
+    for (const CorpusEntry &entry : entries)
+        admitted += corpus_.offer(entry) ? 1 : 0;
+    return admitted;
+}
+
+SharedCorpus::MinimizeStats
+CampaignOrchestrator::minimizeCorpus()
+{
+    dv_assert(ran_);
+    // Coverage oracle: replay each entry on an executor running the
+    // entry's own config (its coverage map is expendable after the
+    // campaign). Entries from configs absent in this fleet cannot be
+    // evaluated — keep them by reporting a unique sentinel tuple, so
+    // minimization never drops what it cannot judge.
+    std::map<std::string, core::Fuzzer *> by_config;
+    for (size_t w = 0; w < shards_.size(); ++w)
+        by_config.try_emplace(shards_[w].config_name,
+                              executors_[w].get());
+    // Tuples from different configs live in disjoint module-id
+    // ranges, so a SmallBOOM point can never subsume the
+    // equal-numbered XiangShan point. The 1024-wide stripes (and
+    // the 0xffff unknown-config sentinel) bound how many configs
+    // and modules the namespacing can hold.
+    std::map<std::string, uint16_t> config_base;
+    dv_assert(by_config.size() < 64);
+    for (const auto &[name, fz] : by_config) {
+        dv_assert(fz->coverage().moduleCount() < 1024);
+        config_base.emplace(
+            name, static_cast<uint16_t>(config_base.size() * 1024));
+    }
+    uint32_t unknown = 0;
+    auto eval = [&](const CorpusEntry &entry)
+        -> std::vector<ift::CoveragePoint> {
+        auto it = by_config.find(entry.config);
+        if (it == by_config.end()) {
+            return {ift::CoveragePoint{
+                static_cast<uint16_t>(0xffff), unknown++}};
+        }
+        std::vector<ift::CoveragePoint> tuples =
+            it->second->replayCase(entry.tc).coverage;
+        const uint16_t base = config_base.at(entry.config);
+        for (ift::CoveragePoint &point : tuples)
+            point.module_id =
+                static_cast<uint16_t>(point.module_id + base);
+        return tuples;
+    };
+
+    SharedCorpus::MinimizeStats stats = corpus_.minimize(eval);
+    stats_.corpus_minimized += stats.dropped();
+    stats_.corpus_size = corpus_.size();
+    return stats;
 }
 
 std::vector<uint64_t>
@@ -418,8 +635,11 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
                 shard.trigger_agg[k].attempts +=
                     res.triggers[k].attempts;
             }
-            for (const core::BugReport &bug : res.bugs)
-                ledger_.record(bug, w, epoch);
+            for (size_t b = 0; b < res.bugs.size(); ++b) {
+                ledger_.record(res.bugs[b], w, epoch,
+                               res.bug_cases[b],
+                               shard.config_name, shard.variant);
+            }
             for (core::TestCase &tc : slot.res.leftover_inject)
                 shard.pending_inject.push_back(std::move(tc));
             // Union, not sum: two batches rediscovering the same
@@ -526,8 +746,12 @@ CampaignOrchestrator::run()
     ran_ = true;
 
     const double begin = nowSeconds();
-    uint64_t done = 0;
-    uint64_t epoch = 0;
+    // A restored checkpoint advances the cursors: planQuotas() and
+    // ledger provenance continue from the saved campaign, and
+    // --iters budgets count the restored iterations, so "resume with
+    // a larger budget" extends the original run.
+    uint64_t done = done_base_;
+    uint64_t epoch = epoch_base_;
 
     for (;;) {
         if (options_.total_iterations != 0 &&
@@ -548,10 +772,12 @@ CampaignOrchestrator::run()
         // Fig-7-style epoch-resolution growth sample. The counter
         // fields are barrier state, so they are reproducible; only
         // wall_seconds and the scheduler occupancy pair are
-        // machine-dependent.
+        // machine-dependent. Epoch/iteration axes are this run's own
+        // (a resumed log restarts both at 0; cumulative state like
+        // coverage and distinct bugs includes what was restored).
         EpochSample sample;
-        sample.epoch = epoch;
-        sample.iterations = done;
+        sample.epoch = epoch - epoch_base_;
+        sample.iterations = done - done_base_;
         for (const auto &[name, group] : groups_)
             sample.coverage_points += group->points();
         sample.distinct_bugs = ledger_.distinct();
@@ -564,7 +790,9 @@ CampaignOrchestrator::run()
         ++epoch;
     }
 
-    stats_.epochs = epoch;
+    done_ = done;
+    epoch_ = epoch;
+    stats_.epochs = epoch - epoch_base_;
     finalizeStats(nowSeconds() - begin);
     return stats_;
 }

@@ -45,6 +45,7 @@
 #include "campaign/coverage_map.hh"
 #include "campaign/ledger.hh"
 #include "campaign/scheduler.hh"
+#include "campaign/snapshot.hh"
 #include "campaign/stats.hh"
 #include "core/fuzzer.hh"
 #include "uarch/config.hh"
@@ -60,6 +61,17 @@ enum class ShardPolicy : uint8_t {
 };
 
 const char *shardPolicyName(ShardPolicy policy);
+
+/**
+ * Apply the named ablation variant's switches ("full",
+ * "dejavuzz-star", "dejavuzz-minus", "no-liveness", "no-reduction")
+ * to @p fopts — the same table the AblationMatrix policy cycles.
+ * Returns false (leaving @p fopts untouched) for unknown names, so
+ * replay tooling can rebuild a bug's exact fuzzer configuration from
+ * its recorded variant string.
+ */
+bool applyAblationVariant(const std::string &name,
+                          core::FuzzerOptions &fopts);
 
 struct CampaignOptions
 {
@@ -118,6 +130,47 @@ class CampaignOrchestrator
      * mutation mode). Returns the number admitted.
      */
     uint64_t preloadCorpus(const std::vector<CorpusEntry> &entries);
+
+    /**
+     * Capture the complete barrier state after run() — coverage
+     * groups, shard continuations, steal Rng, cursors and the bug
+     * ledger with reproducers — for campaign-directory persistence
+     * (snapshot.hh). Pair with corpus().saveTo().
+     */
+    CampaignCheckpoint makeCheckpoint() const;
+
+    /**
+     * Reinstall a checkpoint before run(), continuing the saved
+     * campaign: coverage novelty gates stay monotone (restored
+     * points are never "rediscovered"), batch indices and epoch/
+     * iteration cursors resume where the saved run stopped, and the
+     * restored ledger keeps accumulating hits. With the same master
+     * seed, options and corpus (restoreCorpus), the resumed run is
+     * bit-identical to an uninterrupted one. The checkpoint must
+     * match this campaign's fleet (worker count, config groups and
+     * module shapes, master seed); mismatches fail with a
+     * diagnostic in @p error and leave the campaign untouched.
+     */
+    bool restoreCheckpoint(const CampaignCheckpoint &cp,
+                           std::string *error = nullptr);
+
+    /**
+     * Re-admit a saved corpus verbatim for an exact checkpoint
+     * resume. Unlike preloadCorpus(), identities are not marked as
+     * preloaded (the restored shards' stolen sets already encode
+     * what was injected) and batch counters are left to the
+     * checkpoint. Returns the number of entries retained.
+     */
+    uint64_t restoreCorpus(const std::vector<CorpusEntry> &entries);
+
+    /**
+     * Distill the corpus after run(): drop content-duplicate entries
+     * and entries whose replayed coverage is subsumed by the kept
+     * set (SharedCorpus::minimize, with the campaign's own executors
+     * as the coverage oracle). Updates the corpus_size /
+     * corpus_minimized stats the JSONL summary reports.
+     */
+    SharedCorpus::MinimizeStats minimizeCorpus();
 
     const CampaignStats &stats() const { return stats_; }
     const BugLedger &ledger() const { return ledger_; }
@@ -208,6 +261,13 @@ class CampaignOrchestrator
     Rng steal_rng_;
     uint64_t steals_ = 0;
     uint64_t preloaded_ = 0;
+    /** Cursors a checkpoint restore advances: run() continues
+     *  counting iterations/epochs from here. */
+    uint64_t done_base_ = 0;
+    uint64_t epoch_base_ = 0;
+    /** Final cursor values, captured for makeCheckpoint(). */
+    uint64_t done_ = 0;
+    uint64_t epoch_ = 0;
     uint64_t stolen_before_ = 0;   ///< sched_->stolen() at epoch start
     uint64_t epoch_stolen_ = 0;    ///< batches stolen this epoch
     uint64_t epoch_idle_ns_ = 0;   ///< idle (non-busy) ns this epoch

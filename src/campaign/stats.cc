@@ -129,6 +129,10 @@ writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
        << ",\"epochs\":" << stats.epochs
        << ",\"corpus_size\":" << stats.corpus_size
        << ",\"corpus_preloaded\":" << stats.corpus_preloaded
+       << ",\"corpus_minimized\":" << stats.corpus_minimized
+       << ",\"coverage_preloaded\":" << stats.coverage_preloaded
+       << ",\"bugs_restored\":" << stats.bugs_restored
+       << ",\"reports_restored\":" << stats.reports_restored
        << ",\"steals\":" << stats.steals
        << ",\"sched\":\""
        << (stats.stealing ? "steal" : "barrier")

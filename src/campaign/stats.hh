@@ -80,6 +80,11 @@ struct CampaignStats
     uint64_t steals = 0;          ///< cross-worker injections
     uint64_t corpus_size = 0;
     uint64_t corpus_preloaded = 0; ///< entries admitted via preload
+    uint64_t corpus_minimized = 0; ///< entries dropped by --minimize
+    /** Checkpoint-resume provenance (0 on fresh campaigns). */
+    uint64_t coverage_preloaded = 0; ///< points restored from snapshot
+    uint64_t bugs_restored = 0;      ///< distinct ledger records restored
+    uint64_t reports_restored = 0;   ///< bug hits restored with them
     uint64_t batch_iterations = 0; ///< scheduler grain (--batch)
     uint64_t batches = 0;          ///< batches planned and executed
     uint64_t batches_stolen = 0;   ///< executed by a non-owner thread

@@ -158,6 +158,10 @@ Fuzzer::iterate(Phase1 &phase1, Phase2 &phase2, Phase3 &phase3)
                 stats_.first_bug_seconds = elapsedSeconds();
             }
             stats_.bugs.push_back(std::move(report));
+            // The active case IS the reproducer: replayCase() on a
+            // copy of it re-derives the identical leak verdict.
+            if (capture_bug_cases_)
+                bug_cases_.push_back(current_);
         }
     }
 
@@ -252,7 +256,10 @@ Fuzzer::runBatch(const BatchSpec &spec)
     const auto triggers_before = trigger_stats_;
     const uint64_t baseline_points = spec.baseline->points();
 
+    bug_cases_.clear();
+    capture_bug_cases_ = true;
     run(spec.iterations);
+    capture_bug_cases_ = false;
 
     BatchResult result;
     result.iterations = stats_.iterations - before.iterations;
@@ -285,6 +292,8 @@ Fuzzer::runBatch(const BatchSpec &spec)
     result.bugs.assign(stats_.bugs.begin() +
                            static_cast<ptrdiff_t>(bugs_before),
                        stats_.bugs.end());
+    result.bug_cases = std::move(bug_cases_);
+    bug_cases_.clear();
     // Rewrite executor-cumulative iteration provenance into the
     // shard-logical numbering the campaign reports.
     for (BugReport &bug : result.bugs) {
@@ -295,6 +304,32 @@ Fuzzer::runBatch(const BatchSpec &spec)
                                   injected_.end());
     injected_.clear();
     return result;
+}
+
+Fuzzer::ReplayOutcome
+Fuzzer::replayCase(const TestCase &tc)
+{
+    RunSlice slice(*this);
+    // Measure against an empty map so outcome.coverage is the case's
+    // own tuple set — the same yardstick whoever replays it.
+    coverage_.resetSamples();
+    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
+    Phase3 phase3(sim_, options_.sim, gen_);
+
+    ReplayOutcome outcome;
+    stats_.simulations += 4; // value + diff passes, both instances
+    Phase2Result explored = phase2.run(tc);
+    outcome.window_ok = explored.window_ok;
+    outcome.taint_propagated = explored.taint_propagated;
+    if (explored.window_ok && explored.taint_propagated) {
+        stats_.simulations += 2; // sanitized differential run
+        Phase3Result verdict =
+            phase3.run(tc, explored, options_.use_liveness);
+        if (verdict.leak && verdict.report.has_value())
+            outcome.report = *verdict.report;
+    }
+    outcome.coverage = coverage_.tuples();
+    return outcome;
 }
 
 } // namespace dejavuzz::core

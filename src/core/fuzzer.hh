@@ -112,6 +112,9 @@ class Fuzzer
         /** Bug reports; iteration fields are shard-logical
          *  (iter_base-relative), not executor-cumulative. */
         std::vector<BugReport> bugs;
+        /** The exact test case that produced bugs[i] — the
+         *  deterministic reproducer replayCase() re-executes. */
+        std::vector<TestCase> bug_cases;
         /** Injected seeds the batch did not get around to adopting
          *  (re-queued by the orchestrator for the next batch). */
         std::vector<TestCase> leftover_inject;
@@ -126,6 +129,34 @@ class Fuzzer
      * accumulating across batches and remain executor-local.
      */
     BatchResult runBatch(const BatchSpec &spec);
+
+    /** Outcome of one replayCase() evaluation. */
+    struct ReplayOutcome
+    {
+        bool window_ok = false;
+        bool taint_propagated = false;
+        /** The leak verdict, when Phase 3 confirmed one. */
+        std::optional<BugReport> report;
+        /** Coverage tuples this case alone produced (measured
+         *  against an empty map). */
+        std::vector<ift::CoveragePoint> coverage;
+    };
+
+    /**
+     * Re-execute one completed test case through the Phase-2/Phase-3
+     * pipeline, exactly as iterate() evaluates it, and report whether
+     * it still leaks. Deterministic: the outcome is a pure function
+     * of (config, sim options, use_liveness, tc) — the contract that
+     * turns a saved bug reproducer into a regression check
+     * (dejavuzz-replay) and an entry's coverage set into the corpus
+     * minimization oracle.
+     *
+     * Destructive on the instance's accumulated coverage map (it is
+     * reset so the case's own tuples are measurable); intended for
+     * throwaway replay/minimization instances, or for campaign
+     * executors after their campaign has finished.
+     */
+    ReplayOutcome replayCase(const TestCase &tc);
 
     const FuzzerStats &stats() const { return stats_; }
     const ift::TaintCoverage &coverage() const { return coverage_; }
@@ -216,6 +247,12 @@ class Fuzzer
     bool in_run_ = false;
 
     std::deque<TestCase> injected_;
+    /** Reproducer capture, active only inside runBatch(): the batch
+     *  path drains bug_cases_ into its BatchResult, and standalone
+     *  run()/runUntilFirstBug() users (benches, examples) never pay
+     *  for per-report test-case copies they would never read. */
+    bool capture_bug_cases_ = false;
+    std::vector<TestCase> bug_cases_;
     InterestingHook on_interesting_;
 };
 

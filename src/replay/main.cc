@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The `dejavuzz-replay` CLI: turn a saved campaign directory into a
+ * deterministic regression suite.
+ *
+ *   dejavuzz-replay DIR                # replay every ledger bug
+ *   dejavuzz-replay DIR --require-bugs # also fail on an empty ledger
+ *
+ * Each bug recorded in DIR's checkpoint is re-executed through the
+ * Phase-2/Phase-3 pipeline from its saved reproducer test case; the
+ * run succeeds only when 100% of signatures reproduce bit-identically
+ * (and, under --require-bugs, the ledger is non-empty — the mode CI
+ * regression gates use, so a silently-empty campaign cannot pass).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "replay/replay.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s CAMPAIGN_DIR [options]\n"
+        "\n"
+        "  --require-bugs   fail when the ledger is empty (CI gate)\n"
+        "  --quiet          only print the final summary line\n"
+        "  --help           this text\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    bool require_bugs = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--require-bugs") {
+            require_bugs = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else if (dir.empty()) {
+            dir = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    dejavuzz::replay::ReplaySummary summary;
+    std::string error;
+    if (!dejavuzz::replay::replayCampaignDir(dir, summary, &error)) {
+        std::fprintf(stderr, "dejavuzz-replay: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (!quiet) {
+        for (const auto &bug : summary.bugs) {
+            std::fprintf(stderr, "  [%s] %s (%s, %s)%s%s\n",
+                         bug.reproduced ? "ok" : "FAIL",
+                         bug.key.c_str(), bug.config.c_str(),
+                         bug.variant.c_str(),
+                         bug.reproduced ? "" : " -> ",
+                         bug.reproduced ? "" : bug.observed.c_str());
+        }
+    }
+    std::fprintf(stderr, "replay: %zu/%zu ledger bugs reproduced\n",
+                 summary.reproduced(), summary.total());
+
+    if (require_bugs && summary.total() == 0) {
+        std::fprintf(stderr,
+                     "replay: ledger is empty but --require-bugs "
+                     "was given\n");
+        return 1;
+    }
+    return summary.allReproduced() ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+#include "replay/replay.hh"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "campaign/campaign_dir.hh"
+#include "campaign/orchestrator.hh"
+#include "core/fuzzer.hh"
+#include "uarch/config.hh"
+
+namespace dejavuzz::replay {
+
+namespace {
+
+/** Resolve a persisted core config name. */
+bool
+configByName(const std::string &name, uarch::CoreConfig &out)
+{
+    const uarch::CoreConfig boom = uarch::smallBoomConfig();
+    if (name == boom.name) {
+        out = boom;
+        return true;
+    }
+    const uarch::CoreConfig xs = uarch::xiangshanMinimalConfig();
+    if (name == xs.name) {
+        out = xs;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+size_t
+ReplaySummary::reproduced() const
+{
+    size_t n = 0;
+    for (const BugReplay &bug : bugs)
+        n += bug.reproduced ? 1 : 0;
+    return n;
+}
+
+ReplaySummary
+replayLedger(const std::vector<campaign::BugRecord> &ledger)
+{
+    ReplaySummary summary;
+    // One simulator per (config, variant) pair actually present in
+    // the ledger; reused across its records.
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<core::Fuzzer>>
+        fuzzers;
+
+    for (const campaign::BugRecord &record : ledger) {
+        BugReplay result;
+        result.key = record.report.key();
+        result.config = record.config;
+        result.variant = record.variant;
+
+        uarch::CoreConfig config;
+        if (!configByName(record.config, config)) {
+            result.observed =
+                "unknown core config \"" + record.config + "\"";
+            summary.bugs.push_back(std::move(result));
+            continue;
+        }
+        core::FuzzerOptions fopts;
+        if (!campaign::applyAblationVariant(record.variant, fopts)) {
+            result.observed =
+                "unknown ablation variant \"" + record.variant +
+                "\"";
+            summary.bugs.push_back(std::move(result));
+            continue;
+        }
+        fopts.record_coverage_curve = false;
+
+        auto key = std::make_pair(record.config, record.variant);
+        auto it = fuzzers.find(key);
+        if (it == fuzzers.end()) {
+            it = fuzzers
+                     .emplace(key, std::make_unique<core::Fuzzer>(
+                                       config, fopts))
+                     .first;
+        }
+
+        core::Fuzzer::ReplayOutcome outcome =
+            it->second->replayCase(record.repro);
+        if (!outcome.report.has_value()) {
+            result.observed = outcome.window_ok
+                                  ? "no-leak"
+                                  : "window-not-triggered";
+        } else {
+            result.observed = outcome.report->key();
+            result.reproduced = result.observed == result.key;
+        }
+        summary.bugs.push_back(std::move(result));
+    }
+    return summary;
+}
+
+bool
+replayCampaignDir(const std::string &dir, ReplaySummary &out,
+                  std::string *error)
+{
+    // Reproducers live in the snapshot; the corpus artifact is
+    // neither read nor required to replay a ledger.
+    campaign::CampaignMeta meta;
+    campaign::CampaignCheckpoint checkpoint;
+    if (!campaign::loadCampaignSnapshot(dir, meta, checkpoint,
+                                        error)) {
+        return false;
+    }
+    out = replayLedger(checkpoint.ledger);
+    return true;
+}
+
+} // namespace dejavuzz::replay

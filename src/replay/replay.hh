@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic bug replay: re-execute a campaign's ledger as a
+ * regression suite.
+ *
+ * Every ledger record carries its first reporter's exact test case
+ * plus the config/variant it ran under. replayLedger() rebuilds that
+ * fuzzer configuration per record, pushes the reproducer through
+ * core::Fuzzer::replayCase (the same Phase-2/Phase-3 pipeline the
+ * campaign evaluated it with) and checks that the identical bug
+ * signature comes back — the SpecDoctor-style replay confirmation
+ * the paper's evaluation methodology relies on, packaged as the
+ * `dejavuzz-replay` CLI over a `--campaign-dir`.
+ */
+
+#ifndef DEJAVUZZ_REPLAY_REPLAY_HH
+#define DEJAVUZZ_REPLAY_REPLAY_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/ledger.hh"
+
+namespace dejavuzz::replay {
+
+/** Outcome of replaying one ledger record. */
+struct BugReplay
+{
+    std::string key;      ///< the ledger signature being reproduced
+    std::string config;   ///< core config the bug was found on
+    std::string variant;  ///< ablation variant it was found under
+    bool reproduced = false;
+    /** What the replay produced: the observed signature, "no-leak"
+     *  when Phase 3 found nothing, or a diagnostic for records whose
+     *  config/variant this build cannot reconstruct. */
+    std::string observed;
+};
+
+/** Aggregate replay outcome. */
+struct ReplaySummary
+{
+    std::vector<BugReplay> bugs; ///< one per ledger record, in order
+
+    size_t total() const { return bugs.size(); }
+    size_t reproduced() const;
+    bool allReproduced() const { return reproduced() == total(); }
+};
+
+/**
+ * Replay every record of @p ledger. Fuzzer instances are cached per
+ * (config, variant), so replaying a full campaign builds at most a
+ * handful of simulators. Records never fail the call itself — a
+ * non-reproducing bug is a result, not an error.
+ */
+ReplaySummary replayLedger(const std::vector<campaign::BugRecord> &ledger);
+
+/**
+ * Load the checkpoint of @p dir (a `--campaign-dir`) and replay its
+ * ledger. Returns false on a missing/corrupt directory (diagnostic
+ * in @p error when non-null).
+ */
+bool replayCampaignDir(const std::string &dir, ReplaySummary &out,
+                       std::string *error = nullptr);
+
+} // namespace dejavuzz::replay
+
+#endif // DEJAVUZZ_REPLAY_REPLAY_HH

@@ -229,6 +229,14 @@ parseCampaignLog(std::istream &is, const std::string &name,
             fields.u64("corpus_size", row.corpus_size);
             fields.u64("corpus_preloaded", row.corpus_preloaded,
                        /*required=*/false);
+            fields.u64("corpus_minimized", row.corpus_minimized,
+                       /*required=*/false);
+            fields.u64("coverage_preloaded", row.coverage_preloaded,
+                       /*required=*/false);
+            fields.u64("bugs_restored", row.bugs_restored,
+                       /*required=*/false);
+            fields.u64("reports_restored", row.reports_restored,
+                       /*required=*/false);
             fields.u64("steals", row.steals);
             fields.str("sched", row.sched, /*required=*/false);
             fields.u64("batch", row.batch, /*required=*/false);
@@ -280,9 +288,16 @@ validateCampaignLog(const CampaignLog &log)
           "summary.simulations");
     check(sum(&WorkerRow::windows) == s.windows,
           "per-worker windows do not sum to summary.windows");
-    check(sum(&WorkerRow::bugs) == s.total_reports,
-          "per-worker bug reports do not sum to "
-          "summary.total_reports");
+    // A resumed campaign's workers report only the resumed half;
+    // the restored hits make up the difference (0 on fresh runs).
+    check(sum(&WorkerRow::bugs) + s.reports_restored ==
+              s.total_reports,
+          "per-worker bug reports plus summary.reports_restored do "
+          "not sum to summary.total_reports");
+    check(s.reports_restored <= s.total_reports,
+          "summary.reports_restored exceeds summary.total_reports");
+    check(s.bugs_restored <= s.distinct_bugs,
+          "summary.bugs_restored exceeds summary.distinct_bugs");
 
     uint64_t trigger_windows = 0;
     for (const auto &row : log.triggers)

@@ -85,6 +85,12 @@ struct SummaryRow
     uint64_t epochs = 0;
     uint64_t corpus_size = 0;
     uint64_t corpus_preloaded = 0; ///< optional; 0 for older logs
+    /** Campaign-directory fields; optional, 0 for older logs. */
+    uint64_t corpus_minimized = 0;   ///< entries dropped by --minimize
+    uint64_t coverage_preloaded = 0; ///< points restored from snapshot
+    uint64_t bugs_restored = 0;      ///< distinct records restored
+    uint64_t reports_restored = 0;   ///< restored bug hits (excluded
+                                     ///< from per-worker sums)
     uint64_t steals = 0;
     /** Scheduler fields; optional, absent in pre-scheduler logs. */
     std::string sched;             ///< "steal" | "barrier" | ""

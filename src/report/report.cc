@@ -63,7 +63,9 @@ overviewTable(const std::vector<CampaignLog> &logs)
     table.header = {"campaign", "policy", "workers", "master_seed",
                     "iterations", "wall_s", "iters_per_s",
                     "coverage_points", "distinct_bugs",
-                    "corpus_size", "corpus_preloaded", "steals"};
+                    "corpus_size", "corpus_preloaded",
+                    "corpus_minimized", "coverage_preloaded",
+                    "bugs_restored", "steals"};
     for (const auto &log : logs) {
         const SummaryRow &s = log.summary;
         table.rows.push_back({log.name, s.policy,
@@ -76,6 +78,9 @@ overviewTable(const std::vector<CampaignLog> &logs)
                               fmtU64(s.distinct_bugs),
                               fmtU64(s.corpus_size),
                               fmtU64(s.corpus_preloaded),
+                              fmtU64(s.corpus_minimized),
+                              fmtU64(s.coverage_preloaded),
+                              fmtU64(s.bugs_restored),
                               fmtU64(s.steals)});
     }
     return table;

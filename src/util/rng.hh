@@ -133,6 +133,25 @@ class Rng
         return Rng(streamSeed(s_[0] ^ rotl(s_[2], 17), stream));
     }
 
+    /** Raw engine state, for checkpoint/resume persistence. */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return s_;
+    }
+
+    /**
+     * Restore a state captured by state(). The all-zero state is a
+     * Xoshiro fixed point (the stream would emit zeros forever) and
+     * can never be produced by reseed(), so it is rejected.
+     */
+    void
+    setState(const std::array<uint64_t, 4> &state)
+    {
+        dv_assert(state[0] | state[1] | state[2] | state[3]);
+        s_ = state;
+    }
+
   private:
     static constexpr uint64_t
     rotl(uint64_t x, int k)

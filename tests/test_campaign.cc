@@ -10,14 +10,19 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
 
+#include "campaign/campaign_dir.hh"
 #include "campaign/corpus.hh"
 #include "campaign/coverage_map.hh"
+#include "campaign/io_util.hh"
 #include "campaign/ledger.hh"
 #include "campaign/orchestrator.hh"
+#include "campaign/snapshot.hh"
 #include "core/fuzzer.hh"
 #include "uarch/config.hh"
 #include "uarch/core.hh"
@@ -698,6 +703,461 @@ TEST(Scheduler, BatchAccountingIsCoherent)
     for (const auto &sample : stats.epoch_curve)
         epoch_stolen += sample.batches_stolen;
     EXPECT_EQ(epoch_stolen, stats.batches_stolen);
+}
+
+// --- Checkpoint save -> resume ------------------------------------------
+
+/** Ledger + corpus + fleet-coverage equality — the state a resumed
+ *  campaign must share with an uninterrupted one. */
+void
+expectSameCampaignState(const CampaignOrchestrator &a,
+                        const CampaignOrchestrator &b)
+{
+    auto ea = a.ledger().entries();
+    auto eb = b.ledger().entries();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].report.key(), eb[i].report.key());
+        EXPECT_EQ(ea[i].worker, eb[i].worker);
+        EXPECT_EQ(ea[i].epoch, eb[i].epoch);
+        EXPECT_EQ(ea[i].hits, eb[i].hits);
+        EXPECT_EQ(ea[i].report.iteration, eb[i].report.iteration);
+        EXPECT_EQ(campaign::hashTestCase(ea[i].repro),
+                  campaign::hashTestCase(eb[i].repro))
+            << "reproducer mismatch for " << ea[i].report.key();
+    }
+
+    auto ka = a.corpus().snapshotKeys();
+    auto kb = b.corpus().snapshotKeys();
+    ASSERT_EQ(ka.size(), kb.size());
+    for (size_t i = 0; i < ka.size(); ++i) {
+        EXPECT_EQ(ka[i].gain, kb[i].gain);
+        EXPECT_EQ(ka[i].worker, kb[i].worker);
+        EXPECT_EQ(ka[i].seq, kb[i].seq);
+        EXPECT_EQ(ka[i].config, kb[i].config);
+    }
+
+    EXPECT_EQ(a.stats().coverage_points, b.stats().coverage_points);
+    EXPECT_EQ(a.stats().steals, b.stats().steals);
+}
+
+TEST(Campaign, CheckpointResumeMatchesUninterruptedRun)
+{
+    // The tentpole property: run 1500 iterations straight through,
+    // versus 750 iterations -> checkpoint through the binary
+    // snapshot + corpus formats -> resume to 1500 with the same
+    // master seed. Ledger (keys, provenance, hit counts,
+    // reproducers), corpus identities and fleet coverage must be
+    // bit-identical.
+    CampaignOrchestrator uninterrupted(smallCampaign(2, 1500));
+    uninterrupted.run();
+    ASSERT_GT(uninterrupted.ledger().distinct(), 0u);
+
+    CampaignOrchestrator first(smallCampaign(2, 750));
+    first.run();
+
+    std::stringstream snap_file(std::ios::in | std::ios::out |
+                                std::ios::binary);
+    ASSERT_TRUE(campaign::saveCheckpoint(snap_file,
+                                         first.makeCheckpoint()));
+    campaign::CampaignCheckpoint checkpoint;
+    std::string error;
+    ASSERT_TRUE(
+        campaign::loadCheckpoint(snap_file, checkpoint, &error))
+        << error;
+    EXPECT_EQ(checkpoint.iterations_done, 750u);
+
+    std::stringstream corpus_file(std::ios::in | std::ios::out |
+                                  std::ios::binary);
+    ASSERT_TRUE(first.corpus().saveTo(corpus_file, 7));
+    campaign::CorpusFile corpus;
+    ASSERT_TRUE(SharedCorpus::loadFrom(corpus_file, corpus, &error))
+        << error;
+
+    CampaignOrchestrator resumed(smallCampaign(2, 1500));
+    ASSERT_TRUE(resumed.restoreCheckpoint(checkpoint, &error))
+        << error;
+    resumed.restoreCorpus(corpus.entries);
+    CampaignStats stats = resumed.run();
+
+    expectSameCampaignState(uninterrupted, resumed);
+
+    // The resumed log accounts only its own half, with the restored
+    // provenance carried in the summary fields.
+    EXPECT_EQ(stats.iterations, 750u);
+    EXPECT_EQ(stats.bugs_restored, checkpoint.ledger.size());
+    uint64_t restored_hits = 0;
+    for (const auto &record : checkpoint.ledger)
+        restored_hits += record.hits;
+    EXPECT_EQ(stats.reports_restored, restored_hits);
+    EXPECT_GT(stats.coverage_preloaded, 0u);
+    EXPECT_EQ(stats.coverage_preloaded,
+              first.stats().coverage_points);
+}
+
+TEST(Campaign, CheckpointResumePreservesPreloadedEligibility)
+{
+    // Preloaded corpus entries are stealable by namesake shards; a
+    // checkpoint must carry that eligibility set, or a resumed
+    // campaign's steal choices diverge from the uninterrupted run.
+    CampaignOrchestrator donor(smallCampaign(2, 500));
+    donor.run();
+    ASSERT_GT(donor.corpus().size(), 0u);
+    const auto donated = donor.corpus().snapshotSorted();
+
+    CampaignOptions options = smallCampaign(2, 1500);
+    options.master_seed = 21;
+    CampaignOrchestrator uninterrupted(options);
+    uninterrupted.preloadCorpus(donated);
+    uninterrupted.run();
+
+    CampaignOptions half = options;
+    half.total_iterations = 750;
+    CampaignOrchestrator first(half);
+    first.preloadCorpus(donated);
+    first.run();
+
+    std::stringstream snap(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    ASSERT_TRUE(campaign::saveCheckpoint(snap,
+                                         first.makeCheckpoint()));
+    campaign::CampaignCheckpoint checkpoint;
+    std::string error;
+    ASSERT_TRUE(campaign::loadCheckpoint(snap, checkpoint, &error))
+        << error;
+    EXPECT_EQ(checkpoint.preloaded_ids.size(), donated.size());
+
+    CampaignOrchestrator resumed(options);
+    ASSERT_TRUE(resumed.restoreCheckpoint(checkpoint, &error))
+        << error;
+    resumed.restoreCorpus(first.corpus().snapshotSorted());
+    resumed.run();
+
+    expectSameCampaignState(uninterrupted, resumed);
+}
+
+TEST(Campaign, MinimizedResumeIsSelfDeterministic)
+{
+    // Minimizing before the save drops corpus entries, so the
+    // resumed run may legitimately explore differently than an
+    // uninterrupted one (steal selection sees a smaller corpus) —
+    // but the minimized directory itself must still resume
+    // deterministically: two resumes from the same artifacts are
+    // bit-identical.
+    CampaignOrchestrator first(smallCampaign(2, 750));
+    first.run();
+    first.minimizeCorpus();
+    const campaign::CampaignCheckpoint cp = first.makeCheckpoint();
+    const auto entries = first.corpus().snapshotSorted();
+
+    auto resume = [&]() {
+        auto orchestrator = std::make_unique<CampaignOrchestrator>(
+            smallCampaign(2, 1500));
+        std::string error;
+        EXPECT_TRUE(orchestrator->restoreCheckpoint(cp, &error))
+            << error;
+        orchestrator->restoreCorpus(entries);
+        orchestrator->run();
+        return orchestrator;
+    };
+    auto a = resume();
+    auto b = resume();
+    expectSameCampaignState(*a, *b);
+    EXPECT_GT(a->ledger().distinct(), 0u);
+}
+
+TEST(Campaign, CheckpointRejectsMismatchedFleet)
+{
+    CampaignOrchestrator first(smallCampaign(2, 500));
+    first.run();
+    const campaign::CampaignCheckpoint cp = first.makeCheckpoint();
+
+    std::string error;
+    // Wrong worker count.
+    CampaignOrchestrator three(smallCampaign(3, 500));
+    EXPECT_FALSE(three.restoreCheckpoint(cp, &error));
+    EXPECT_FALSE(error.empty());
+    // Wrong master seed.
+    CampaignOptions other_seed = smallCampaign(2, 500);
+    other_seed.master_seed = 99;
+    CampaignOrchestrator reseeded(other_seed);
+    EXPECT_FALSE(reseeded.restoreCheckpoint(cp, &error));
+    // Wrong config group.
+    CampaignOptions other_core = smallCampaign(2, 500);
+    other_core.master_seed = 7;
+    other_core.base_config = uarch::xiangshanMinimalConfig();
+    CampaignOrchestrator recored(other_core);
+    EXPECT_FALSE(recored.restoreCheckpoint(cp, &error));
+}
+
+// --- Corpus minimization ------------------------------------------------
+
+TEST(Corpus, MinimizeDropsContentDuplicates)
+{
+    SharedCorpus corpus(2, 8);
+    CorpusEntry original = syntheticEntry(9, 0, 0);
+    // Same content under a different identity: a content duplicate.
+    CorpusEntry duplicate = original;
+    duplicate.gain = 5;
+    duplicate.worker = 1;
+    duplicate.seq = 3;
+    CorpusEntry distinct = syntheticEntry(7, 0, 1);
+    corpus.offer(original);
+    corpus.offer(duplicate);
+    corpus.offer(distinct);
+    ASSERT_EQ(corpus.size(), 3u);
+    ASSERT_EQ(campaign::hashTestCase(original.tc),
+              campaign::hashTestCase(duplicate.tc));
+    ASSERT_NE(campaign::hashTestCase(original.tc),
+              campaign::hashTestCase(distinct.tc));
+
+    const SharedCorpus::MinimizeStats stats = corpus.minimize();
+    EXPECT_EQ(stats.before, 3u);
+    EXPECT_EQ(stats.kept, 2u);
+    EXPECT_EQ(stats.duplicates, 1u);
+    EXPECT_EQ(stats.subsumed, 0u);
+
+    // The canonical-first (highest-gain) twin survives.
+    const auto remaining = corpus.snapshotSorted();
+    ASSERT_EQ(remaining.size(), 2u);
+    EXPECT_EQ(remaining[0].gain, 9u);
+    EXPECT_EQ(remaining[0].worker, 0u);
+}
+
+TEST(Campaign, MinimizePreservesCoverageUnion)
+{
+    CampaignOptions options = smallCampaign(2, 1000);
+    CampaignOrchestrator orchestrator(options);
+    orchestrator.run();
+    ASSERT_GT(orchestrator.corpus().size(), 0u);
+
+    // Reference oracle: each entry's standalone coverage set, from
+    // an independent fuzzer of the same (only) config.
+    core::FuzzerOptions fopts;
+    fopts.record_coverage_curve = false;
+    core::Fuzzer oracle(uarch::smallBoomConfig(), fopts);
+    auto coverageUnion = [&](const std::vector<CorpusEntry> &entries) {
+        std::set<std::pair<uint16_t, uint32_t>> covered;
+        for (const CorpusEntry &entry : entries) {
+            for (const auto &point :
+                 oracle.replayCase(entry.tc).coverage) {
+                covered.insert({point.module_id, point.index});
+            }
+        }
+        return covered;
+    };
+
+    const auto before_entries = orchestrator.corpus().snapshotSorted();
+    const auto before_union = coverageUnion(before_entries);
+
+    const SharedCorpus::MinimizeStats stats =
+        orchestrator.minimizeCorpus();
+    EXPECT_EQ(stats.before, before_entries.size());
+    EXPECT_EQ(stats.kept, orchestrator.corpus().size());
+    EXPECT_EQ(stats.kept + stats.dropped(), stats.before);
+
+    // The distilled corpus still covers every point the full corpus
+    // covered — minimization may drop entries, never coverage.
+    const auto after_union =
+        coverageUnion(orchestrator.corpus().snapshotSorted());
+    EXPECT_EQ(after_union, before_union);
+
+    EXPECT_EQ(orchestrator.stats().corpus_minimized,
+              stats.dropped());
+    EXPECT_EQ(orchestrator.stats().corpus_size, stats.kept);
+}
+
+// --- Campaign directory meta --------------------------------------------
+
+TEST(CampaignDir, MetaRoundTripsAndDetectsMismatches)
+{
+    CampaignOptions options = smallCampaign(2, 750);
+    const campaign::CampaignMeta meta =
+        campaign::metaFromOptions(options);
+
+    std::stringstream file;
+    campaign::writeMeta(file, meta);
+    campaign::CampaignMeta loaded;
+    std::string error;
+    ASSERT_TRUE(campaign::readMeta(file, loaded, &error)) << error;
+    EXPECT_TRUE(campaign::metaMismatches(loaded, meta).empty());
+
+    // Every drifted configuration field is called out by name.
+    CampaignOptions drifted = options;
+    drifted.workers = 4;
+    drifted.master_seed = 8;
+    drifted.batch_iterations = 64;
+    const auto mismatches = campaign::metaMismatches(
+        loaded, campaign::metaFromOptions(drifted));
+    ASSERT_EQ(mismatches.size(), 3u);
+    EXPECT_NE(mismatches[0].find("master_seed"), std::string::npos);
+    EXPECT_NE(mismatches[1].find("workers"), std::string::npos);
+    EXPECT_NE(mismatches[2].find("batch"), std::string::npos);
+
+    // Garbage meta fails cleanly.
+    std::stringstream bad("{\"meta_version\":1}");
+    EXPECT_FALSE(campaign::readMeta(bad, loaded, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(CampaignDir, SaveLoadRoundTrip)
+{
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) /
+         "dvz_campaign_dir")
+            .string();
+    std::filesystem::remove_all(dir);
+    EXPECT_FALSE(campaign::campaignDirExists(dir));
+
+    CampaignOptions options = smallCampaign(2, 750);
+    CampaignOrchestrator orchestrator(options);
+    orchestrator.run();
+    std::string error;
+    ASSERT_TRUE(campaign::saveCampaignDir(dir, orchestrator, options,
+                                          &error))
+        << error;
+    ASSERT_TRUE(campaign::campaignDirExists(dir));
+
+    campaign::LoadedCampaignDir loaded;
+    ASSERT_TRUE(campaign::loadCampaignDir(dir, loaded, &error))
+        << error;
+    EXPECT_TRUE(campaign::metaMismatches(
+                    loaded.meta, campaign::metaFromOptions(options))
+                    .empty());
+    EXPECT_EQ(loaded.corpus.entries.size(),
+              orchestrator.corpus().size());
+    EXPECT_EQ(loaded.checkpoint.iterations_done, 750u);
+    EXPECT_EQ(loaded.checkpoint.ledger.size(),
+              orchestrator.ledger().distinct());
+
+    std::filesystem::remove_all(dir);
+}
+
+// --- Corruption robustness ----------------------------------------------
+
+/**
+ * Randomized corruption harness: mutate valid bytes (bit flips and
+ * truncations) and require every load attempt to return cleanly —
+ * false with a diagnostic, or true when the flip happened to land in
+ * a don't-care payload byte. Crashing or hanging fails the test.
+ */
+template <typename LoadFn>
+void
+corruptionFuzz(const std::string &valid, uint64_t seed,
+               const LoadFn &load)
+{
+    Rng rng(seed);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string bytes = valid;
+        const unsigned mode = static_cast<unsigned>(rng.below(3));
+        if (mode == 0) {
+            bytes.resize(rng.below(bytes.size()));
+        } else {
+            const unsigned flips = 1 + rng.below(mode == 1 ? 1 : 8);
+            for (unsigned f = 0; f < flips; ++f) {
+                const size_t pos = rng.below(bytes.size());
+                bytes[pos] = static_cast<char>(
+                    static_cast<uint8_t>(bytes[pos]) ^
+                    (uint8_t{1} << rng.below(8)));
+            }
+        }
+        std::stringstream stream(bytes, std::ios::in |
+                                            std::ios::binary);
+        std::string error;
+        const bool ok = load(stream, error);
+        if (!ok) {
+            EXPECT_FALSE(error.empty())
+                << "failed load must carry a diagnostic";
+        }
+    }
+}
+
+TEST(CorpusIo, RandomCorruptionNeverCrashesTheLoader)
+{
+    CampaignOrchestrator orchestrator(smallCampaign(2, 750));
+    orchestrator.run();
+    ASSERT_GT(orchestrator.corpus().size(), 0u);
+    std::stringstream file(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    ASSERT_TRUE(orchestrator.corpus().saveTo(file, 7));
+
+    corruptionFuzz(file.str(), 0xc0bb5,
+                   [](std::istream &is, std::string &error) {
+                       campaign::CorpusFile out;
+                       return SharedCorpus::loadFrom(is, out,
+                                                     &error);
+                   });
+}
+
+TEST(Snapshot, RandomCorruptionNeverCrashesTheLoader)
+{
+    CampaignOrchestrator orchestrator(smallCampaign(2, 750));
+    orchestrator.run();
+    ASSERT_GT(orchestrator.ledger().distinct(), 0u);
+    std::stringstream file(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    ASSERT_TRUE(campaign::saveCheckpoint(
+        file, orchestrator.makeCheckpoint()));
+
+    corruptionFuzz(file.str(), 0x54a95,
+                   [](std::istream &is, std::string &error) {
+                       campaign::CampaignCheckpoint out;
+                       return campaign::loadCheckpoint(is, out,
+                                                       &error);
+                   });
+}
+
+TEST(Snapshot, CheckpointSurvivesBinaryRoundTripExactly)
+{
+    CampaignOrchestrator orchestrator(smallCampaign(2, 750));
+    orchestrator.run();
+    const campaign::CampaignCheckpoint original =
+        orchestrator.makeCheckpoint();
+
+    std::stringstream file(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    ASSERT_TRUE(campaign::saveCheckpoint(file, original));
+    campaign::CampaignCheckpoint loaded;
+    std::string error;
+    ASSERT_TRUE(campaign::loadCheckpoint(file, loaded, &error))
+        << error;
+
+    EXPECT_EQ(loaded.master_seed, original.master_seed);
+    EXPECT_EQ(loaded.iterations_done, original.iterations_done);
+    EXPECT_EQ(loaded.epochs_done, original.epochs_done);
+    EXPECT_EQ(loaded.steals, original.steals);
+    EXPECT_EQ(loaded.steal_rng, original.steal_rng);
+    ASSERT_EQ(loaded.groups.size(), original.groups.size());
+    for (size_t g = 0; g < loaded.groups.size(); ++g) {
+        EXPECT_EQ(loaded.groups[g].config,
+                  original.groups[g].config);
+        ASSERT_EQ(loaded.groups[g].modules.size(),
+                  original.groups[g].modules.size());
+        for (size_t m = 0; m < loaded.groups[g].modules.size();
+             ++m) {
+            EXPECT_EQ(loaded.groups[g].modules[m].words,
+                      original.groups[g].modules[m].words);
+        }
+    }
+    ASSERT_EQ(loaded.shards.size(), original.shards.size());
+    for (size_t s = 0; s < loaded.shards.size(); ++s) {
+        EXPECT_EQ(loaded.shards[s].next_batch,
+                  original.shards[s].next_batch);
+        EXPECT_EQ(loaded.shards[s].stolen,
+                  original.shards[s].stolen);
+        EXPECT_EQ(loaded.shards[s].pending_inject.size(),
+                  original.shards[s].pending_inject.size());
+    }
+    ASSERT_EQ(loaded.ledger.size(), original.ledger.size());
+    for (size_t b = 0; b < loaded.ledger.size(); ++b) {
+        EXPECT_EQ(loaded.ledger[b].report.key(),
+                  original.ledger[b].report.key());
+        EXPECT_EQ(loaded.ledger[b].hits, original.ledger[b].hits);
+        EXPECT_EQ(loaded.ledger[b].config,
+                  original.ledger[b].config);
+        EXPECT_EQ(campaign::hashTestCase(loaded.ledger[b].repro),
+                  campaign::hashTestCase(original.ledger[b].repro));
+    }
 }
 
 TEST(Campaign, SingleWorkerResumeInjectsSavedSeeds)

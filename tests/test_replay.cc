@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The dejavuzz-replay regression harness, end to end: every bug a
+ * campaign's ledger records must re-trigger with the identical
+ * signature when its saved reproducer is pushed back through the
+ * Phase-2/Phase-3 pipeline — directly from a checkpoint, and through
+ * a full campaign-directory save/load round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "campaign/campaign_dir.hh"
+#include "campaign/orchestrator.hh"
+#include "campaign/snapshot.hh"
+#include "core/fuzzer.hh"
+#include "replay/replay.hh"
+#include "uarch/config.hh"
+
+namespace dejavuzz {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignOrchestrator;
+
+CampaignOptions
+smallCampaign(unsigned workers, uint64_t iters)
+{
+    CampaignOptions options;
+    options.workers = workers;
+    options.master_seed = 7;
+    options.total_iterations = iters;
+    options.epoch_iterations = 125;
+    options.base_config = uarch::smallBoomConfig();
+    return options;
+}
+
+TEST(Replay, EveryLedgerBugReproducesFromItsSavedCase)
+{
+    CampaignOrchestrator orchestrator(smallCampaign(2, 1000));
+    orchestrator.run();
+    ASSERT_GT(orchestrator.ledger().distinct(), 0u)
+        << "campaign found no bugs; nothing to replay";
+
+    const campaign::CampaignCheckpoint cp =
+        orchestrator.makeCheckpoint();
+    ASSERT_EQ(cp.ledger.size(), orchestrator.ledger().distinct());
+
+    const replay::ReplaySummary summary =
+        replay::replayLedger(cp.ledger);
+    ASSERT_EQ(summary.total(), cp.ledger.size());
+    for (const replay::BugReplay &bug : summary.bugs) {
+        EXPECT_TRUE(bug.reproduced)
+            << bug.key << " did not reproduce: " << bug.observed;
+    }
+    EXPECT_TRUE(summary.allReproduced());
+}
+
+TEST(Replay, ReplaysAcrossConfigsAndVariants)
+{
+    // Sweep + ablation fleets record per-bug config/variant
+    // provenance; replay must rebuild the right simulator for each.
+    CampaignOptions options = smallCampaign(4, 1500);
+    options.policy = campaign::ShardPolicy::ConfigSweep;
+    CampaignOrchestrator orchestrator(options);
+    orchestrator.run();
+    ASSERT_GT(orchestrator.ledger().distinct(), 0u);
+
+    const replay::ReplaySummary summary =
+        replay::replayLedger(orchestrator.makeCheckpoint().ledger);
+    EXPECT_TRUE(summary.allReproduced());
+    for (const replay::BugReplay &bug : summary.bugs)
+        EXPECT_FALSE(bug.config.empty());
+}
+
+TEST(Replay, UnknownConfigIsReportedNotCrashed)
+{
+    CampaignOrchestrator orchestrator(smallCampaign(1, 500));
+    orchestrator.run();
+    campaign::CampaignCheckpoint cp = orchestrator.makeCheckpoint();
+    ASSERT_GT(cp.ledger.size(), 0u);
+    cp.ledger[0].config = "NoSuchCore";
+
+    const replay::ReplaySummary summary =
+        replay::replayLedger(cp.ledger);
+    EXPECT_FALSE(summary.bugs[0].reproduced);
+    EXPECT_NE(summary.bugs[0].observed.find("NoSuchCore"),
+              std::string::npos);
+}
+
+TEST(Replay, CampaignDirRoundTripReplaysFully)
+{
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) /
+         "dvz_replay_dir")
+            .string();
+    std::filesystem::remove_all(dir);
+
+    CampaignOptions options = smallCampaign(2, 1000);
+    CampaignOrchestrator orchestrator(options);
+    orchestrator.run();
+    ASSERT_GT(orchestrator.ledger().distinct(), 0u);
+
+    std::string error;
+    ASSERT_TRUE(campaign::saveCampaignDir(dir, orchestrator, options,
+                                          &error))
+        << error;
+    ASSERT_TRUE(campaign::campaignDirExists(dir));
+
+    replay::ReplaySummary summary;
+    ASSERT_TRUE(replay::replayCampaignDir(dir, summary, &error))
+        << error;
+    EXPECT_EQ(summary.total(), orchestrator.ledger().distinct());
+    EXPECT_TRUE(summary.allReproduced());
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Replay, MissingDirectoryFailsCleanly)
+{
+    replay::ReplaySummary summary;
+    std::string error;
+    EXPECT_FALSE(replay::replayCampaignDir(
+        "/nonexistent/dvz-campaign", summary, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace dejavuzz

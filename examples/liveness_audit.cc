@@ -63,7 +63,7 @@ main()
         const char *verdict =
             live > 0 ? "EXPLOITABLE" : "dead (filtered)";
         std::printf("%-10s %-10s %-9s %-6zu %-6zu %s\n",
-                    sink.module.c_str(), sink.name.c_str(),
+                    sink.module().c_str(), sink.name().c_str(),
                     sink.annotated ? "yes" : "no", tainted, live,
                     verdict);
     }

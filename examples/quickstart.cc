@@ -98,7 +98,7 @@ main()
         size_t dead = sink.taintedEntries() - live;
         if (live + dead > 0) {
             std::printf("  %-10s %-10s live=%zu dead=%zu\n",
-                        sink.module.c_str(), sink.name.c_str(), live,
+                        sink.module().c_str(), sink.name().c_str(), live,
                         dead);
         }
     }

@@ -405,7 +405,9 @@ CampaignOrchestrator::minimizeCorpus()
                 static_cast<uint16_t>(0xffff), unknown++}};
         }
         std::vector<ift::CoveragePoint> tuples =
-            it->second->replayCase(entry.tc).coverage;
+            it->second
+                ->replayCase(entry.tc, /*collect_coverage_tuples=*/true)
+                .coverage;
         const uint16_t base = config_base.at(entry.config);
         for (ift::CoveragePoint &point : tuples)
             point.module_id =

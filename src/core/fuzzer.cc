@@ -133,8 +133,8 @@ Fuzzer::iterate(Phase1 &phase1, Phase2 &phase2, Phase3 &phase3)
 
     // --- Phase 2: differential exploration --------------------------
     ++stats_.phase2_runs;
-    stats_.simulations += 4; // value + diff passes, both instances
-    Phase2Result explored = phase2.run(current_);
+    const Phase2Result &explored = phase2.run(current_);
+    stats_.simulations += explored.dual.sim_passes;
 
     if (explored.window_ok && explored.taint_propagated &&
         explored.new_coverage > 0 && on_interesting_) {
@@ -147,9 +147,9 @@ Fuzzer::iterate(Phase1 &phase1, Phase2 &phase2, Phase3 &phase3)
     } else if (explored.taint_propagated) {
         // --- Phase 3: leakage analysis -------------------------------
         ++stats_.phase3_runs;
-        stats_.simulations += 2; // sanitized differential run
         Phase3Result verdict =
             phase3.run(current_, explored, options_.use_liveness);
+        stats_.simulations += verdict.simulations;
         if (verdict.leak && verdict.report.has_value()) {
             BugReport report = *verdict.report;
             report.iteration = stats_.iterations;
@@ -307,7 +307,7 @@ Fuzzer::runBatch(const BatchSpec &spec)
 }
 
 Fuzzer::ReplayOutcome
-Fuzzer::replayCase(const TestCase &tc)
+Fuzzer::replayCase(const TestCase &tc, bool collect_coverage_tuples)
 {
     RunSlice slice(*this);
     // Measure against an empty map so outcome.coverage is the case's
@@ -317,18 +317,20 @@ Fuzzer::replayCase(const TestCase &tc)
     Phase3 phase3(sim_, options_.sim, gen_);
 
     ReplayOutcome outcome;
-    stats_.simulations += 4; // value + diff passes, both instances
-    Phase2Result explored = phase2.run(tc);
+    const Phase2Result &explored = phase2.run(tc);
+    stats_.simulations += explored.dual.sim_passes;
     outcome.window_ok = explored.window_ok;
     outcome.taint_propagated = explored.taint_propagated;
     if (explored.window_ok && explored.taint_propagated) {
-        stats_.simulations += 2; // sanitized differential run
         Phase3Result verdict =
             phase3.run(tc, explored, options_.use_liveness);
+        stats_.simulations += verdict.simulations;
         if (verdict.leak && verdict.report.has_value())
             outcome.report = *verdict.report;
     }
-    outcome.coverage = coverage_.tuples();
+    outcome.coverage_points = coverage_.points();
+    if (collect_coverage_tuples)
+        outcome.coverage = coverage_.tuples();
     return outcome;
 }
 

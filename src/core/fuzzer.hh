@@ -137,8 +137,12 @@ class Fuzzer
         bool taint_propagated = false;
         /** The leak verdict, when Phase 3 confirmed one. */
         std::optional<BugReport> report;
-        /** Coverage tuples this case alone produced (measured
-         *  against an empty map). */
+        /** Number of coverage points this case alone produced
+         *  (measured against an empty map). Always filled. */
+        uint64_t coverage_points = 0;
+        /** The tuples themselves — materialized only when
+         *  replayCase() is asked for them (corpus minimization);
+         *  plain replay/regression callers skip the copy. */
         std::vector<ift::CoveragePoint> coverage;
     };
 
@@ -155,8 +159,13 @@ class Fuzzer
      * reset so the case's own tuples are measurable); intended for
      * throwaway replay/minimization instances, or for campaign
      * executors after their campaign has finished.
+     *
+     * @p collect_coverage_tuples materializes the case's tuple set
+     * into ReplayOutcome::coverage; by default only the count is
+     * reported (the minimization oracle is the only tuple consumer).
      */
-    ReplayOutcome replayCase(const TestCase &tc);
+    ReplayOutcome replayCase(const TestCase &tc,
+                             bool collect_coverage_tuples = false);
 
     const FuzzerStats &stats() const { return stats_; }
     const ift::TaintCoverage &coverage() const { return coverage_; }

@@ -1,7 +1,6 @@
 #include "core/phases.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "util/logging.hh"
 
@@ -88,10 +87,10 @@ unsigned
 Phase1::run(TestCase &tc, bool &triggered, bool reduce)
 {
     unsigned sims = 0;
-    DutResult result = sim_->runSingle(tc.schedule, tc.data, options_);
+    sim_->runSingle(tc.schedule, tc.data, options_, result_);
     ++sims;
     triggered =
-        result.completed && checkWindow(result.trace, tc).triggered;
+        result_.completed && checkWindow(result_.trace, tc).triggered;
     if (!triggered || !reduce)
         return sims;
 
@@ -105,10 +104,10 @@ Phase1::run(TestCase &tc, bool &triggered, bool reduce)
                 swapmem::PacketKind::Transient)
                 continue;
             swapmem::SwapSchedule reduced = tc.schedule.without(i);
-            DutResult retry = sim_->runSingle(reduced, tc.data,
-                                              options_);
+            sim_->runSingle(reduced, tc.data, options_, result_);
             ++sims;
-            if (retry.completed && checkWindow(retry.trace, tc).triggered) {
+            if (result_.completed &&
+                checkWindow(result_.trace, tc).triggered) {
                 tc.schedule = std::move(reduced);
                 progress = true;
                 break;
@@ -118,14 +117,18 @@ Phase1::run(TestCase &tc, bool &triggered, bool reduce)
     return sims;
 }
 
-Phase2Result
+const Phase2Result &
 Phase2::run(const TestCase &tc)
 {
-    Phase2Result result;
+    Phase2Result &result = result_;
+    result.window_ok = false;
+    result.taint_propagated = false;
+    result.new_coverage = 0;
+    result.window = WindowCheck{};
     harness::SimOptions options = options_;
     options.taint_log = true;
     options.sinks = true;
-    result.dual = sim_->runDual(tc.schedule, tc.data, options);
+    sim_->runDual(tc.schedule, tc.data, options, result.dual);
 
     result.window = checkWindow(result.dual.dut0.trace, tc);
     result.window_ok = result.dual.dut0.completed &&
@@ -205,15 +208,22 @@ diffSinks(const std::vector<ift::SinkSnapshot> &orig,
           bool use_liveness, std::set<std::string> &live_out,
           size_t &encoded, size_t &live_encoded)
 {
-    std::map<std::string, const ift::SinkSnapshot *> sanitized_index;
-    for (const auto &sink : sanitized)
-        sanitized_index[sink.module + "." + sink.name] = &sink;
-
-    for (const auto &sink : orig) {
-        std::string key = sink.module + "." + sink.name;
-        auto it = sanitized_index.find(key);
-        const ift::SinkSnapshot *base =
-            it != sanitized_index.end() ? it->second : nullptr;
+    for (size_t si = 0; si < orig.size(); ++si) {
+        const ift::SinkSnapshot &sink = orig[si];
+        // Both snapshot lists come from the same per-config-stable
+        // enumSinks sequence, so the id match is positional in the
+        // common case; fall back to a scan over the (≈15-entry) list.
+        const ift::SinkSnapshot *base = nullptr;
+        if (si < sanitized.size() && sanitized[si].id == sink.id) {
+            base = &sanitized[si];
+        } else {
+            for (const auto &cand : sanitized) {
+                if (cand.id == sink.id) {
+                    base = &cand;
+                    break;
+                }
+            }
+        }
         for (size_t i = 0; i < sink.taint.size(); ++i) {
             bool orig_tainted = sink.taint[i] != 0;
             bool base_tainted = base != nullptr &&
@@ -227,7 +237,7 @@ diffSinks(const std::vector<ift::SinkSnapshot> &orig,
                 live = true;
             if (live) {
                 ++live_encoded;
-                live_out.insert(sink.module);
+                live_out.insert(sink.module());
             }
         }
     }
@@ -261,11 +271,12 @@ Phase3::run(const TestCase &tc, const Phase2Result &phase2,
     options.taint_log = false;
     options.sinks = true;
     swapmem::SwapSchedule sanitized = gen_->sanitizedSchedule(tc);
-    DualResult base = sim_->runDual(sanitized, tc.data, options);
+    sim_->runDual(sanitized, tc.data, options, base_);
+    result.simulations = base_.sim_passes;
 
     // Step 3.2: tainted-sink liveness analysis.
     std::set<std::string> live_components;
-    diffSinks(phase2.dual.dut0.sinks, base.dut0.sinks, use_liveness,
+    diffSinks(phase2.dual.dut0.sinks, base_.dut0.sinks, use_liveness,
               live_components, result.encoded_sinks,
               result.live_encoded_sinks);
 

@@ -61,6 +61,8 @@ class Phase1
   private:
     harness::DualSim *sim_;
     harness::SimOptions options_;
+    /** Pooled result buffer, reused across run() calls. */
+    harness::DutResult result_;
 };
 
 /** Phase-2 result for one differential run. */
@@ -84,13 +86,19 @@ class Phase2
           module_ids_(module_ids)
     {}
 
-    Phase2Result run(const TestCase &tc);
+    /**
+     * Evaluate one differential run. The returned reference points at
+     * a pooled member (its buffers are reused on the next call); it
+     * stays valid until the next run() on this driver.
+     */
+    const Phase2Result &run(const TestCase &tc);
 
   private:
     harness::DualSim *sim_;
     harness::SimOptions options_;
     ift::TaintCoverage *coverage_;
     std::array<uint16_t, uarch::kModCount> module_ids_;
+    Phase2Result result_;
 };
 
 /** Phase-3 verdict. */
@@ -101,6 +109,8 @@ struct Phase3Result
     /** Candidate counts for the liveness evaluation benches. */
     size_t encoded_sinks = 0;
     size_t live_encoded_sinks = 0;
+    /** Full core simulations the analysis spent (sanitized dual). */
+    unsigned simulations = 0;
 };
 
 /** Phase-3 driver: constant time + sanitization + liveness. */
@@ -123,6 +133,8 @@ class Phase3
     harness::DualSim *sim_;
     harness::SimOptions options_;
     const StimGen *gen_;
+    /** Pooled sanitized-run buffer, reused across run() calls. */
+    harness::DualResult base_;
 };
 
 /**
@@ -135,7 +147,10 @@ constantTimeViolations(const harness::DualResult &dual);
 /**
  * Encode sanitization + liveness: sinks tainted in @p orig but not in
  * @p sanitized were written by the encoding block; keep those whose
- * entries are architecturally live.
+ * entries are architecturally live. Sinks are matched by interned
+ * SinkId (positionally in the common case — both snapshots come from
+ * the same per-config-stable enumSinks sequence), so the per-call
+ * string map of the seed implementation is gone.
  */
 void diffSinks(const std::vector<ift::SinkSnapshot> &orig,
                const std::vector<ift::SinkSnapshot> &sanitized,

@@ -4,12 +4,31 @@
  *
  * Two identical DUT instances execute the same swap schedule with
  * different secrets. diffIFT needs each instance's control-signal
- * values compared against the sibling's; because taint never feeds
- * back into values, the harness runs a value pass first (recording
- * every control-signal evaluation per cycle) and then a diff pass in
- * which each instance's taint gates consult the sibling's recorded
- * trace for the same cycle. CellIFT / FN / Off modes need no sibling
- * information and run in a single pass.
+ * values compared against the sibling's for the same cycle; because
+ * taint never feeds back into architectural values, the control
+ * trace an instance records is independent of how its taint gates
+ * resolve, which admits two equivalent evaluation strategies:
+ *
+ *  - **Lockstep co-simulation** (default): both instances advance in
+ *    one interleaved loop. Each cycle, instance 0 ticks first as a
+ *    *record sub-tick* — gates optimistically closed, control trace
+ *    recorded — then instance 1 runs its *taint sub-tick*, gating
+ *    against instance 0's just-recorded trace. If the two traces for
+ *    the cycle differ positionally, instance 0's closed-gate
+ *    assumption was wrong and the harness rolls it back to the last
+ *    checkpoint (pooled Core copy + memory undo log), replays the
+ *    confirmed-convergent cycles, and redoes the divergent cycle
+ *    against instance 1's trace. DiffIFT costs ~2 core simulations.
+ *
+ *  - **Legacy 4-pass** (SimOptions::lockstep_diff = false): a value
+ *    pass per instance records the control traces, then a diff pass
+ *    per instance replays against the sibling's trace. 4 full core
+ *    simulations; kept as the bit-identical equivalence baseline.
+ *
+ * CellIFT / FN / Off modes need no sibling information and run in a
+ * single pass per instance. All per-run state (cores, memories,
+ * trace stores, result buffers) is pooled inside DualSim, so the
+ * steady-state iteration loop performs no allocation.
  */
 
 #ifndef DEJAVUZZ_HARNESS_DUALSIM_HH
@@ -36,6 +55,20 @@ struct SimOptions
     ift::IftMode mode = ift::IftMode::Off;
     bool taint_log = false;
     bool sinks = false;
+    /**
+     * Evaluate DiffIFT by lockstep co-simulation (2 passes) instead
+     * of the legacy 4-pass value/diff pipeline. The two strategies
+     * produce bit-identical DutResults (CI-enforced); this switch
+     * exists for the equivalence suite and perf baselines.
+     */
+    bool lockstep_diff = true;
+    /**
+     * Checkpoint cadence of the lockstep redo protocol while
+     * execution is convergent, in cycles. Purely a time/space
+     * trade-off — results are bit-identical for any value ≥ 1. The
+     * equivalence suite sweeps it to stress the rollback/replay path.
+     */
+    uint64_t lockstep_checkpoint_interval = 32;
     uint64_t packet_cycle_budget = 1500;
     uint64_t total_cycle_budget = 20000;
 };
@@ -55,6 +88,25 @@ struct DutResult
     uint64_t state_hash = 0;
     /** Cycle at which each packet started executing. */
     std::vector<uint64_t> packet_start;
+
+    /**
+     * Clear for reuse, keeping every vector's capacity. `sinks` is
+     * deliberately left alone: the sink writer overwrites it in place
+     * (or the harness clears it when sinks are disabled).
+     */
+    void
+    reset()
+    {
+        trace.clear();
+        taint_log.clear();
+        completed = false;
+        budget_exceeded = false;
+        cycles = 0;
+        contention = uarch::ContentionCounters{};
+        timing_hash = 0;
+        state_hash = 0;
+        packet_start.clear();
+    }
 };
 
 /** Result of a dual (differential) run. */
@@ -62,6 +114,8 @@ struct DualResult
 {
     DutResult dut0; ///< original secret
     DutResult dut1; ///< flipped secret
+    /** Full core simulations this run cost (2 lockstep, 4 legacy). */
+    unsigned sim_passes = 0;
 };
 
 class DualSim
@@ -71,41 +125,139 @@ class DualSim
 
     /**
      * Single-instance run with IFT off: the cheap mode Phase 1 uses
-     * for window-trigger evaluation and training reduction.
+     * for window-trigger evaluation and training reduction. Writes
+     * into @p out, reusing its buffers.
      */
+    void runSingle(const swapmem::SwapSchedule &schedule,
+                   const StimulusData &data, const SimOptions &options,
+                   DutResult &out);
+
+    /** By-value convenience wrapper around the pooled overload. */
     DutResult runSingle(const swapmem::SwapSchedule &schedule,
                         const StimulusData &data,
                         const SimOptions &options = {});
 
-    /** Full differential run (both instances). */
+    /**
+     * Full differential run (both instances). Writes into @p out,
+     * reusing its buffers: the hot path for the phase drivers.
+     */
+    void runDual(const swapmem::SwapSchedule &schedule,
+                 const StimulusData &data, const SimOptions &options,
+                 DualResult &out);
+
+    /** By-value convenience wrapper around the pooled overload. */
     DualResult runDual(const swapmem::SwapSchedule &schedule,
                        const StimulusData &data,
                        const SimOptions &options);
 
   private:
-    /** Recorded control traces of one instance, one slot per cycle. */
+    /**
+     * Recorded control traces of one instance, one slot per cycle,
+     * preallocated from SimOptions::total_cycle_budget and reused
+     * across runs (each per-cycle trace keeps its record capacity).
+     */
     struct TraceStore
     {
         std::vector<ift::ControlTrace> per_cycle;
+        /** Cycles recorded this run (recording is contiguous from 0). */
+        uint64_t used = 0;
+
         void
-        reset(size_t cycles)
+        prepare(uint64_t budget)
         {
-            if (per_cycle.size() < cycles)
-                per_cycle.resize(cycles);
-            for (auto &trace : per_cycle)
-                trace.clear();
+            if (per_cycle.size() < budget)
+                per_cycle.resize(budget);
+            used = 0;
         }
+
+        /** Recording slot for @p cycle (cleared; marks it used). */
+        ift::ControlTrace *
+        slot(uint64_t cycle)
+        {
+            ift::ControlTrace &trace = per_cycle[cycle];
+            trace.clear();
+            used = cycle + 1;
+            return &trace;
+        }
+
+        /** Sibling view of @p cycle; see dualsim.cc for the tail
+         *  hysteresis semantics. */
+        const ift::ControlTrace *viewAt(uint64_t cycle) const;
     };
 
-    DutResult runOne(const swapmem::SwapSchedule &schedule,
-                     const StimulusData &data, const SimOptions &options,
-                     bool flipped_secret, ift::IftMode mode,
-                     TraceStore *record, const TraceStore *sibling);
+    /** Pooled per-instance simulation resources. */
+    struct Lane
+    {
+        explicit Lane(const uarch::CoreConfig &config) : core(config) {}
+        uarch::Core core;
+        swapmem::Memory mem;
+    };
+
+    /** Per-run driver state of one instance. */
+    struct LaneRun
+    {
+        LaneRun(Lane &lane_in, DutResult &result_in,
+                const swapmem::SwapSchedule &schedule)
+            : lane(lane_in), result(result_in), runtime(schedule)
+        {}
+        Lane &lane;
+        DutResult &result;
+        swapmem::SwapRuntime runtime;
+        uint64_t packet_cycles = 0;
+        bool started = false; ///< false: schedule was empty at start
+        bool done = false;
+    };
+
+    /** Rollback marks for the lockstep checkpoint protocol. */
+    struct LaneMarks
+    {
+        uint64_t cycle = 0;
+        uint64_t packet_cycles = 0;
+        /** Secret protection at the checkpoint: packet advances flip
+         *  it (SwapRuntime::loadCurrent) and the byte-level undo log
+         *  does not cover it. */
+        swapmem::SecretProt secret_prot = swapmem::SecretProt::Open;
+        bool completed = false;
+        bool budget_exceeded = false;
+        bool done = false;
+        size_t commits = 0;
+        size_t squashes = 0;
+        size_t rob_io = 0;
+        size_t taint_cycles = 0;
+        size_t packet_starts = 0;
+    };
+
+    void startLane(LaneRun &lr, const StimulusData &data,
+                   const SimOptions &options, bool flipped_secret);
+    void laneTick(LaneRun &lr, const SimOptions &options,
+                  ift::IftMode mode, ift::ControlTrace *mine,
+                  const ift::ControlTrace *other);
+    void finishLane(LaneRun &lr, const SimOptions &options);
+
+    void runOne(const swapmem::SwapSchedule &schedule,
+                const StimulusData &data, const SimOptions &options,
+                bool flipped_secret, ift::IftMode mode,
+                TraceStore *record, const TraceStore *sibling,
+                Lane &lane, DutResult &out);
+
+    void runDualFourPass(const swapmem::SwapSchedule &schedule,
+                         const StimulusData &data,
+                         const SimOptions &options, DualResult &out);
+    void runDualLockstep(const swapmem::SwapSchedule &schedule,
+                         const StimulusData &data,
+                         const SimOptions &options, DualResult &out);
 
     void buildMemory(swapmem::Memory &mem, const StimulusData &data,
                      bool flipped_secret) const;
 
     uarch::CoreConfig cfg_;
+    Lane lane0_;
+    Lane lane1_;
+    /** Checkpoint target for the lockstep redo protocol (pooled so
+     *  the per-checkpoint copy reuses vector storage). */
+    uarch::Core ckpt_core_;
+    /** Discarded value-pass results of the legacy 4-pass path. */
+    DutResult scratch_result_;
     TraceStore store_a_;
     TraceStore store_b_;
 };

@@ -9,6 +9,11 @@
  * contents are architecturally reachable. A tainted sink entry whose
  * liveness bit is low (e.g. stale data in a Line Fill Buffer after the
  * MSHR invalidated it) is NOT exploitable and must not be reported.
+ *
+ * Sink identity is interned (sinkid.hh): a snapshot carries a dense
+ * `SinkId` instead of module/name strings, and snapshot buffers are
+ * filled through `SinkWriter` so the per-iteration loop reuses the
+ * same vectors instead of reallocating them every simulation.
  */
 
 #ifndef DEJAVUZZ_IFT_LIVENESS_HH
@@ -18,16 +23,22 @@
 #include <string>
 #include <vector>
 
+#include "ift/sinkid.hh"
+
 namespace dejavuzz::ift {
 
 /** End-of-simulation snapshot of one sink array. */
 struct SinkSnapshot
 {
-    std::string module;          ///< owning RTL module
-    std::string name;            ///< array name
+    SinkId id = kInvalidSinkId;  ///< interned (module, name) identity
     bool annotated = false;      ///< has a liveness_mask annotation
     std::vector<uint64_t> taint; ///< per-entry taint mask
     std::vector<uint8_t> live;   ///< per-entry liveness bit
+
+    const std::string &module() const { return sinkModule(id); }
+    const std::string &name() const { return sinkName(id); }
+    /** "module.name" display label. */
+    const std::string &label() const { return sinkLabel(id); }
 
     /** Entries whose taint is non-zero. */
     size_t
@@ -50,6 +61,38 @@ struct SinkSnapshot
         }
         return n;
     }
+};
+
+/**
+ * Overwriting cursor over a snapshot buffer. Reuses the existing
+ * elements (and thereby their taint/live vector capacity) in place of
+ * clear-and-push_back, so a pooled `DutResult` never reallocates its
+ * sink buffers once warm. Call finish() to drop any stale tail.
+ */
+class SinkWriter
+{
+  public:
+    explicit SinkWriter(std::vector<SinkSnapshot> &out) : out_(&out) {}
+
+    /** Next snapshot slot, reset to @p id / @p annotated. The caller
+     *  must (re)assign the taint/live vectors in full. */
+    SinkSnapshot &
+    next(SinkId id, bool annotated)
+    {
+        if (used_ == out_->size())
+            out_->emplace_back();
+        SinkSnapshot &sink = (*out_)[used_++];
+        sink.id = id;
+        sink.annotated = annotated;
+        return sink;
+    }
+
+    /** Truncate the buffer to the written prefix. */
+    void finish() { out_->resize(used_); }
+
+  private:
+    std::vector<SinkSnapshot> *out_;
+    size_t used_ = 0;
 };
 
 /** Verdict of the tainted-sink liveness analysis. */
@@ -77,12 +120,11 @@ analyzeSinks(const std::vector<SinkSnapshot> &sinks, bool use_annotations)
             continue;
         size_t live = use_annotations ? sink.liveTaintedEntries()
                                       : tainted;
-        std::string label = sink.module + "." + sink.name;
         if (live > 0) {
             verdict.exploitable = true;
-            verdict.live_sinks.push_back(std::move(label));
+            verdict.live_sinks.push_back(sink.label());
         } else {
-            verdict.dead_sinks.push_back(std::move(label));
+            verdict.dead_sinks.push_back(sink.label());
         }
     }
     return verdict;

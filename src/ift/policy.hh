@@ -104,8 +104,14 @@ class TaintCtx
           case IftMode::CellIFT:
             return true;
           case IftMode::DiffIFT: {
+            // No sibling trace: gates stay closed. This is load-
+            // bearing for both strategies — the legacy value pass
+            // discards its taint results, but the lockstep record
+            // sub-tick KEEPS them whenever the cycle's traces turn
+            // out equal (equal traces <=> every gate closed), so
+            // "closed" is the exact resolution, not a placeholder.
             if (other_ == nullptr)
-                return false; // pass 1: result is discarded anyway
+                return false;
             if (cursor_ >= other_->size()) {
                 ++cursor_;
                 return true; // structural divergence

@@ -1,0 +1,99 @@
+#include "ift/sinkid.hh"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/logging.hh"
+
+namespace dejavuzz::ift {
+
+namespace {
+
+struct SinkEntry
+{
+    std::string module;
+    std::string name;
+    std::string label;
+};
+
+// A deque keeps entry addresses stable across appends, so readers
+// holding only the shared lock can safely return references that
+// outlive the lock.
+struct SinkTable
+{
+    std::shared_mutex mutex;
+    std::deque<SinkEntry> entries;
+};
+
+SinkTable &
+table()
+{
+    static SinkTable instance;
+    return instance;
+}
+
+const SinkEntry &
+entryOf(SinkId id)
+{
+    SinkTable &tab = table();
+    std::shared_lock lock(tab.mutex);
+    dv_assert(id < tab.entries.size());
+    return tab.entries[id];
+}
+
+} // namespace
+
+SinkId
+internSink(std::string_view module, std::string_view name)
+{
+    SinkTable &tab = table();
+    {
+        std::shared_lock lock(tab.mutex);
+        for (size_t i = 0; i < tab.entries.size(); ++i) {
+            if (tab.entries[i].module == module &&
+                tab.entries[i].name == name)
+                return static_cast<SinkId>(i);
+        }
+    }
+    std::unique_lock lock(tab.mutex);
+    for (size_t i = 0; i < tab.entries.size(); ++i) {
+        if (tab.entries[i].module == module &&
+            tab.entries[i].name == name)
+            return static_cast<SinkId>(i);
+    }
+    SinkEntry entry;
+    entry.module = module;
+    entry.name = name;
+    entry.label = entry.module + "." + entry.name;
+    tab.entries.push_back(std::move(entry));
+    return static_cast<SinkId>(tab.entries.size() - 1);
+}
+
+const std::string &
+sinkModule(SinkId id)
+{
+    return entryOf(id).module;
+}
+
+const std::string &
+sinkName(SinkId id)
+{
+    return entryOf(id).name;
+}
+
+const std::string &
+sinkLabel(SinkId id)
+{
+    return entryOf(id).label;
+}
+
+size_t
+sinkTableSize()
+{
+    SinkTable &tab = table();
+    std::shared_lock lock(tab.mutex);
+    return tab.entries.size();
+}
+
+} // namespace dejavuzz::ift

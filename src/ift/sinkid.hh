@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Interned sink identities.
+ *
+ * A sink is identified by its (module, array-name) pair. The
+ * per-iteration hot path used to carry those as `std::string` members
+ * of every `SinkSnapshot` and key `std::map`s with freshly
+ * concatenated labels; interning collapses the identity to a dense
+ * `uint32_t` so snapshots copy two words, comparisons are integer
+ * compares, and indexes are flat arrays. Strings survive only in the
+ * global table, resolved on the cold reporting paths.
+ */
+
+#ifndef DEJAVUZZ_IFT_SINKID_HH
+#define DEJAVUZZ_IFT_SINKID_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dejavuzz::ift {
+
+/** Dense interned identity of one sink array. */
+using SinkId = uint32_t;
+
+constexpr SinkId kInvalidSinkId = 0xffff'ffffu;
+
+/**
+ * Intern a (module, name) pair, returning its stable id. Repeated
+ * calls with the same pair return the same id. Thread-safe: campaign
+ * executors snapshot sinks concurrently, but call sites cache the
+ * returned id so the lock is only ever taken on first use.
+ */
+SinkId internSink(std::string_view module, std::string_view name);
+
+/** Module string of an interned sink. */
+const std::string &sinkModule(SinkId id);
+
+/** Array-name string of an interned sink. */
+const std::string &sinkName(SinkId id);
+
+/** "module.name" display label of an interned sink. */
+const std::string &sinkLabel(SinkId id);
+
+/** Number of interned sinks; ids are dense in [0, sinkTableSize()). */
+size_t sinkTableSize();
+
+} // namespace dejavuzz::ift
+
+#endif // DEJAVUZZ_IFT_SINKID_HH

@@ -1,5 +1,6 @@
 #include "swapmem/memory.hh"
 
+#include <bit>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -12,6 +13,23 @@ Memory::Memory()
 {
     data_.assign(kMemBytes, 0);
     taint_.assign(kMemBytes, 0);
+}
+
+void
+Memory::reset()
+{
+    uint64_t dirty = dirty_pages_;
+    while (dirty != 0) {
+        unsigned page = static_cast<unsigned>(std::countr_zero(dirty));
+        dirty &= dirty - 1;
+        uint64_t base = static_cast<uint64_t>(page) * kPageBytes;
+        std::memset(&data_[base], 0, kPageBytes);
+        std::memset(&taint_[base], 0, kPageBytes);
+    }
+    dirty_pages_ = 0;
+    secret_prot_ = SecretProt::Open;
+    undo_active_ = false;
+    undo_.clear();
 }
 
 uint8_t
@@ -29,6 +47,7 @@ Memory::setByte(uint64_t addr, uint8_t value, bool tainted)
         undo_.push_back(UndoRec{static_cast<uint32_t>(addr),
                                 data_[addr], taint_[addr]});
     }
+    dirty_pages_ |= 1ULL << (addr / kPageBytes);
     data_[addr] = value;
     taint_[addr] = tainted ? 1 : 0;
 }

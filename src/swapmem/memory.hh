@@ -37,6 +37,15 @@ class Memory
   public:
     Memory();
 
+    /**
+     * Restore the pristine all-zero image, reusing the allocation.
+     * Only pages dirtied since construction (or the previous reset)
+     * are cleared, so a pooled Memory resets in proportion to the
+     * previous run's write footprint rather than the image size.
+     * Bit-identical to a freshly constructed Memory.
+     */
+    void reset();
+
     // --- raw byte access (no permission checks) ------------------------
     uint8_t byte(uint64_t addr) const;
     void setByte(uint64_t addr, uint8_t value, bool tainted);
@@ -91,6 +100,10 @@ class Memory
     SecretProt secret_prot_ = SecretProt::Open;
     bool undo_active_ = false;
     std::vector<UndoRec> undo_;
+    /** One bit per page with any write since the last reset. */
+    uint64_t dirty_pages_ = 0;
+    static_assert(kMemBytes / kPageBytes <= 64,
+                  "dirty-page mask is a single 64-bit word");
 };
 
 } // namespace dejavuzz::swapmem

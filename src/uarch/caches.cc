@@ -13,6 +13,16 @@ ICache::ICache(unsigned lines, unsigned miss_latency)
     tags_.resize(lines);
 }
 
+void
+ICache::reset()
+{
+    tags_.assign(tags_.size(), Line{});
+    refill_remaining_ = 0;
+    refill_line_ = 0;
+    refill_taint_ = false;
+    busy_cycles = 0;
+}
+
 size_t
 ICache::indexOf(uint64_t line) const
 {
@@ -89,19 +99,16 @@ ICache::taintBits() const
 }
 
 void
-ICache::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+ICache::appendSinks(ift::SinkWriter &out) const
 {
-    ift::SinkSnapshot sink;
-    sink.module = "icache";
-    sink.name = "tags";
-    sink.annotated = true;
+    static const ift::SinkId kId = ift::internSink("icache", "tags");
+    ift::SinkSnapshot &sink = out.next(kId, true);
     sink.taint.resize(tags_.size());
     sink.live.resize(tags_.size());
     for (size_t i = 0; i < tags_.size(); ++i) {
         sink.taint[i] = tags_[i].taint;
         sink.live[i] = tags_[i].valid ? 1 : 0;
     }
-    out.push_back(std::move(sink));
 }
 
 // --- DCache ------------------------------------------------------------
@@ -116,6 +123,16 @@ DCache::DCache(unsigned lines, unsigned mshrs, unsigned lfbs,
     mshrs_.resize(mshrs);
     lfbs_.resize(lfbs);
     lfb_owner_valid_.assign(lfbs, 0);
+}
+
+void
+DCache::reset()
+{
+    tags_.assign(tags_.size(), Line{});
+    mshrs_.assign(mshrs_.size(), MshrEntry{});
+    lfbs_.assign(lfbs_.size(), LfbEntry{});
+    std::fill(lfb_owner_valid_.begin(), lfb_owner_valid_.end(), 0);
+    busy_cycles = 0;
 }
 
 size_t
@@ -324,35 +341,30 @@ DCache::lfbTaintBits() const
 }
 
 void
-DCache::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+DCache::appendSinks(ift::SinkWriter &out) const
 {
     {
-        ift::SinkSnapshot sink;
-        sink.module = "dcache";
-        sink.name = "lines";
-        sink.annotated = true;
+        static const ift::SinkId kId =
+            ift::internSink("dcache", "lines");
+        ift::SinkSnapshot &sink = out.next(kId, true);
         sink.taint.resize(tags_.size());
         sink.live.resize(tags_.size());
         for (size_t i = 0; i < tags_.size(); ++i) {
             sink.taint[i] = tags_[i].taint;
             sink.live[i] = tags_[i].valid ? 1 : 0;
         }
-        out.push_back(std::move(sink));
     }
     {
         // (* liveness_mask = "mshr_valid_vec" *) reg lb [..] - the
         // paper's own example annotation.
-        ift::SinkSnapshot sink;
-        sink.module = "lfb";
-        sink.name = "lb";
-        sink.annotated = true;
+        static const ift::SinkId kId = ift::internSink("lfb", "lb");
+        ift::SinkSnapshot &sink = out.next(kId, true);
         sink.taint.resize(lfbs_.size());
         sink.live.resize(lfbs_.size());
         for (size_t i = 0; i < lfbs_.size(); ++i) {
             sink.taint[i] = lfbs_[i].data.t;
             sink.live[i] = lfb_owner_valid_[i];
         }
-        out.push_back(std::move(sink));
     }
 }
 
@@ -361,6 +373,13 @@ DCache::appendSinks(std::vector<ift::SinkSnapshot> &out) const
 Tlb::Tlb(unsigned entries, const char *name) : name_(name)
 {
     slots_.resize(entries);
+}
+
+void
+Tlb::reset()
+{
+    slots_.assign(slots_.size(), Slot{});
+    next_victim_ = 0;
 }
 
 bool
@@ -426,19 +445,17 @@ Tlb::taintBits() const
 }
 
 void
-Tlb::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+Tlb::appendSinks(ift::SinkWriter &out) const
 {
-    ift::SinkSnapshot sink;
-    sink.module = name_;
-    sink.name = "entries";
-    sink.annotated = true;
+    if (sink_id_ == ift::kInvalidSinkId)
+        sink_id_ = ift::internSink(name_, "entries");
+    ift::SinkSnapshot &sink = out.next(sink_id_, true);
     sink.taint.resize(slots_.size());
     sink.live.resize(slots_.size());
     for (size_t i = 0; i < slots_.size(); ++i) {
         sink.taint[i] = slots_[i].vpn.t;
         sink.live[i] = slots_[i].valid ? 1 : 0;
     }
-    out.push_back(std::move(sink));
 }
 
 } // namespace dejavuzz::uarch

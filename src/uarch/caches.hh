@@ -39,6 +39,9 @@ class ICache
   public:
     explicit ICache(unsigned lines, unsigned miss_latency);
 
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
+
     /** Tag lookup only (contents come from backing memory). */
     bool hit(uint64_t addr) const;
 
@@ -63,7 +66,7 @@ class ICache
     uint64_t taintBits() const;
     size_t lines() const { return tags_.size(); }
 
-    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+    void appendSinks(ift::SinkWriter &out) const;
 
     /** Cycles the refill engine was busy (timing attribution). */
     uint64_t busy_cycles = 0;
@@ -116,6 +119,9 @@ class DCache
     DCache(unsigned lines, unsigned mshrs, unsigned lfbs,
            unsigned hit_latency, unsigned miss_latency);
 
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
+
     bool hit(uint64_t addr) const;
     unsigned hitLatency() const { return hit_latency_; }
 
@@ -165,7 +171,7 @@ class DCache
     uint32_t lfbTaintedRegCount() const;
     uint64_t lfbTaintBits() const;
 
-    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+    void appendSinks(ift::SinkWriter &out) const;
 
     uint64_t busy_cycles = 0;
 
@@ -192,6 +198,9 @@ class Tlb
   public:
     Tlb(unsigned entries, const char *name);
 
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
+
     bool hit(uint64_t vpn) const;
     void insert(TV vpn);
     void flush();
@@ -201,7 +210,7 @@ class Tlb
     uint64_t taintBits() const;
     size_t entries() const { return slots_.size(); }
 
-    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+    void appendSinks(ift::SinkWriter &out) const;
 
   private:
     struct Slot
@@ -212,6 +221,8 @@ class Tlb
     std::vector<Slot> slots_;
     const char *name_;
     size_t next_victim_ = 0;
+    /** Interned sink id, cached on first appendSinks. */
+    mutable ift::SinkId sink_id_ = ift::kInvalidSinkId;
 };
 
 } // namespace dejavuzz::uarch

@@ -55,16 +55,30 @@ Core::Core(const CoreConfig &config)
       dtlb(config.dtlb_entries, "dtlb"),
       l2tlb(config.l2tlb_entries, "l2tlb")
 {
-    rob.resize(cfg.rob_entries);
+    dv_assert(cfg.prf_entries > 64);
+    reset();
+}
+
+void
+Core::reset()
+{
+    priv = isa::Priv::U;
+    contention = ContentionCounters{};
+
+    fetchq.clear();
+    rob.assign(cfg.rob_entries, RobEntry{});
+    rob_head = 0;
+    rob_count = 0;
+    rename_taint.fill(0);
     prf.assign(cfg.prf_entries, TV{});
     prf_busy.assign(cfg.prf_entries, 0);
     prf_alloc.assign(cfg.prf_entries, 0);
-    lq.resize(cfg.lq_entries);
-    sq.resize(cfg.sq_entries);
+    prf_free.clear();
+    lq.assign(cfg.lq_entries, LqEntry{});
+    sq.assign(cfg.sq_entries, SqEntry{});
     load_wait.assign(256, 0);
     // Identity-map the 64 architectural registers (32 int + 32 fp)
     // onto the first physical registers; the rest go to the free list.
-    dv_assert(cfg.prf_entries > 64);
     for (unsigned i = 0; i < 64; ++i) {
         rename_map[i] = static_cast<uint16_t>(i);
         prf_alloc[i] = 1;
@@ -72,6 +86,39 @@ Core::Core(const CoreConfig &config)
     for (unsigned i = cfg.prf_entries; i-- > 64;)
         prf_free.push_back(static_cast<uint16_t>(i));
     pc = ift::clean(swapmem::kSwapBase);
+
+    bht.reset();
+    btb.reset();
+    faubtb.reset();
+    ras.reset();
+    loop.reset();
+    indpred.reset();
+    icache_.reset();
+    dcache.reset();
+    dtlb.reset();
+    l2tlb.reset();
+
+    fdiv_busy_until = 0;
+    div_busy_until = 0;
+    fdiv_latch = TV{};
+    rob_tail_taint_ = TV{};
+
+    cycle_ = 0;
+    seq_counter_ = 1;
+    alu_used_ = 0;
+    mem_used_ = 0;
+    wb_used_ = 0;
+    wb_pipeline_claimed_ = false;
+    trap_pending_ = false;
+    trap_countdown_ = 0;
+    trap_cause_ = isa::ExcCause::None;
+    trap_pc_ = 0;
+    trap_taint_ = TV{};
+    trap_open_cycle_ = 0;
+    decode_blocked_ = false;
+    btb_correction_ = BtbCorrection{};
+    enq_this_cycle_ = 0;
+    commit_this_cycle_ = 0;
 }
 
 unsigned
@@ -1370,26 +1417,26 @@ Core::cachedDataHash(const swapmem::Memory &mem) const
 void
 Core::enumSinks(std::vector<ift::SinkSnapshot> &out) const
 {
+    // The writer overwrites the buffer in place: a pooled DutResult's
+    // sink vectors are reused across iterations without reallocating.
+    ift::SinkWriter writer(out);
+
     // Physical register file: liveness = currently allocated.
     {
-        ift::SinkSnapshot sink;
-        sink.module = "prf";
-        sink.name = "regs";
-        sink.annotated = true;
+        static const ift::SinkId kId = ift::internSink("prf", "regs");
+        ift::SinkSnapshot &sink = writer.next(kId, true);
         sink.taint.resize(prf.size());
         sink.live.resize(prf.size());
         for (size_t i = 0; i < prf.size(); ++i) {
             sink.taint[i] = prf[i].t;
             sink.live[i] = prf_alloc[i];
         }
-        out.push_back(std::move(sink));
     }
     // RoB entry metadata: liveness = entry valid.
     {
-        ift::SinkSnapshot sink;
-        sink.module = "rob";
-        sink.name = "entries";
-        sink.annotated = true;
+        static const ift::SinkId kId =
+            ift::internSink("rob", "entries");
+        ift::SinkSnapshot &sink = writer.next(kId, true);
         sink.taint.resize(rob.size());
         sink.live.resize(rob.size());
         for (size_t i = 0; i < rob.size(); ++i) {
@@ -1397,56 +1444,48 @@ Core::enumSinks(std::vector<ift::SinkSnapshot> &out) const
                 rob[i].meta.t | rob[i].result.t | rob[i].addr.t;
             sink.live[i] = rob[i].valid ? 1 : 0;
         }
-        out.push_back(std::move(sink));
     }
     // Load/store queues.
     {
-        ift::SinkSnapshot sink;
-        sink.module = "lq";
-        sink.name = "entries";
-        sink.annotated = true;
+        static const ift::SinkId kId = ift::internSink("lq", "entries");
+        ift::SinkSnapshot &sink = writer.next(kId, true);
         sink.taint.resize(lq.size());
         sink.live.resize(lq.size());
         for (size_t i = 0; i < lq.size(); ++i) {
             sink.taint[i] = lq[i].addr.t;
             sink.live[i] = lq[i].valid ? 1 : 0;
         }
-        out.push_back(std::move(sink));
     }
     {
-        ift::SinkSnapshot sink;
-        sink.module = "sq";
-        sink.name = "entries";
-        sink.annotated = true;
+        static const ift::SinkId kId = ift::internSink("sq", "entries");
+        ift::SinkSnapshot &sink = writer.next(kId, true);
         sink.taint.resize(sq.size());
         sink.live.resize(sq.size());
         for (size_t i = 0; i < sq.size(); ++i) {
             sink.taint[i] = sq[i].addr.t | sq[i].data.t;
             sink.live[i] = sq[i].valid ? 1 : 0;
         }
-        out.push_back(std::move(sink));
     }
     // FP divide operand latch: live while the divider is busy.
     {
-        ift::SinkSnapshot sink;
-        sink.module = "fpu";
-        sink.name = "fdiv_latch";
-        sink.annotated = true;
-        sink.taint.push_back(fdiv_latch.t);
-        sink.live.push_back(cycle_ < fdiv_busy_until ? 1 : 0);
-        out.push_back(std::move(sink));
+        static const ift::SinkId kId =
+            ift::internSink("fpu", "fdiv_latch");
+        ift::SinkSnapshot &sink = writer.next(kId, true);
+        sink.taint.assign(1, fdiv_latch.t);
+        sink.live.assign(1, cycle_ < fdiv_busy_until ? 1 : 0);
     }
-    bht.appendSinks(out);
-    btb.appendSinks(out, "btb");
+    bht.appendSinks(writer);
+    btb.appendSinks(writer, "btb");
     if (faubtb.entries() > 0)
-        faubtb.appendSinks(out, "faubtb");
-    ras.appendSinks(out);
-    loop.appendSinks(out);
-    indpred.appendSinks(out);
-    icache_.appendSinks(out);
-    dcache.appendSinks(out);
-    dtlb.appendSinks(out);
-    l2tlb.appendSinks(out);
+        faubtb.appendSinks(writer, "faubtb");
+    ras.appendSinks(writer);
+    loop.appendSinks(writer);
+    indpred.appendSinks(writer);
+    icache_.appendSinks(writer);
+    dcache.appendSinks(writer);
+    dtlb.appendSinks(writer);
+    l2tlb.appendSinks(writer);
+    writer.finish();
 }
 
 Core::Inventory

@@ -13,8 +13,9 @@
  *
  * Every stateful structure carries taint shadows updated through the
  * CellIFT/diffIFT policy kernels, and the core is a value type: the
- * differential harness snapshots it by copy for the two-pass diffIFT
- * evaluation. No member may point into the core itself.
+ * differential harness checkpoints it by copy-assignment for the
+ * lockstep diffIFT redo protocol. No member may point into the core
+ * itself.
  */
 
 #ifndef DEJAVUZZ_UARCH_CORE_HH
@@ -161,6 +162,15 @@ class Core
   public:
     explicit Core(const CoreConfig &config);
 
+    /**
+     * Restore the freshly-constructed state while keeping every
+     * vector's storage: a pooled Core resets without allocating and
+     * is bit-identical to a newly constructed one (asserted by the
+     * reset-reuse tests). The differential harness reuses two pooled
+     * cores across all of a campaign's iterations.
+     */
+    void reset();
+
     /** Flush the pipeline and begin fetching at @p entry. */
     void startSequence(uint64_t entry);
     /** Swap-runtime icache flush (fence.i analog). */
@@ -214,7 +224,9 @@ class Core
     };
     Inventory inventory() const;
 
-    const CoreConfig cfg;
+    /** Configuration (stable after construction; non-const so the
+     *  lockstep harness can checkpoint a Core by copy-assignment). */
+    CoreConfig cfg;
     ContentionCounters contention;
 
     // --- architectural state (exposed for tests/harness) ----------------

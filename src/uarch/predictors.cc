@@ -12,14 +12,12 @@ hashTv(uint64_t hash, const TV &tv)
     return fnv1a(hash, tv.v);
 }
 
-ift::SinkSnapshot
-makeSink(const char *module, const char *name, size_t entries)
+ift::SinkSnapshot &
+nextSink(ift::SinkWriter &out, ift::SinkId id, size_t entries)
 {
-    ift::SinkSnapshot sink;
-    sink.module = module;
-    sink.name = name;
-    sink.taint.resize(entries, 0);
-    sink.live.resize(entries, 1);
+    ift::SinkSnapshot &sink = out.next(id, true);
+    sink.taint.assign(entries, 0);
+    sink.live.assign(entries, 1);
     return sink;
 }
 
@@ -30,7 +28,14 @@ makeSink(const char *module, const char *name, size_t entries)
 Bht::Bht(unsigned entries)
 {
     dv_assert(isPow2(entries));
-    counters_.assign(entries, TV{1, 0}); // weakly not-taken
+    counters_.resize(entries);
+    reset();
+}
+
+void
+Bht::reset()
+{
+    counters_.assign(counters_.size(), TV{1, 0}); // weakly not-taken
 }
 
 size_t
@@ -85,13 +90,12 @@ Bht::taintBits() const
 }
 
 void
-Bht::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+Bht::appendSinks(ift::SinkWriter &out) const
 {
-    auto sink = makeSink("bht", "counters", counters_.size());
-    sink.annotated = true;
+    static const ift::SinkId kId = ift::internSink("bht", "counters");
+    auto &sink = nextSink(out, kId, counters_.size());
     for (size_t i = 0; i < counters_.size(); ++i)
         sink.taint[i] = counters_[i].t;
-    out.push_back(std::move(sink));
 }
 
 // --- Btb ---------------------------------------------------------------
@@ -100,6 +104,12 @@ Btb::Btb(unsigned entries)
 {
     dv_assert(entries == 0 || isPow2(entries));
     slots_.resize(entries);
+}
+
+void
+Btb::reset()
+{
+    slots_.assign(slots_.size(), Slot{});
 }
 
 size_t
@@ -172,24 +182,33 @@ Btb::taintBits() const
 }
 
 void
-Btb::appendSinks(std::vector<ift::SinkSnapshot> &out,
-                 const char *name) const
+Btb::appendSinks(ift::SinkWriter &out, const char *name) const
 {
-    auto sink = makeSink(name, "targets", slots_.size());
-    sink.annotated = true;
+    if (sink_id_ == ift::kInvalidSinkId)
+        sink_id_ = ift::internSink(name, "targets");
+    auto &sink = nextSink(out, sink_id_, slots_.size());
     for (size_t i = 0; i < slots_.size(); ++i) {
         sink.taint[i] = slots_[i].target.t;
         sink.live[i] = slots_[i].valid ? 1 : 0;
     }
-    out.push_back(std::move(sink));
 }
 
 // --- Ras ---------------------------------------------------------------
 
 Ras::Ras(unsigned entries)
 {
-    spec_.assign(entries, TV{});
-    committed_.assign(entries, TV{});
+    spec_.resize(entries);
+    committed_.resize(entries);
+    reset();
+}
+
+void
+Ras::reset()
+{
+    spec_.assign(spec_.size(), TV{});
+    committed_.assign(committed_.size(), TV{});
+    spec_tos_ = -1;
+    committed_tos_ = -1;
 }
 
 void
@@ -274,17 +293,16 @@ Ras::taintBits() const
 }
 
 void
-Ras::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+Ras::appendSinks(ift::SinkWriter &out) const
 {
-    auto sink = makeSink("ras", "stack", spec_.size());
-    sink.annotated = true;
+    static const ift::SinkId kId = ift::internSink("ras", "stack");
+    auto &sink = nextSink(out, kId, spec_.size());
     for (size_t i = 0; i < spec_.size(); ++i) {
         sink.taint[i] = spec_[i].t;
         // Entries at or below the TOS will be consumed by future
         // returns => live; entries above the TOS are dead.
         sink.live[i] = (static_cast<int>(i) <= spec_tos_) ? 1 : 0;
     }
-    out.push_back(std::move(sink));
 }
 
 // --- LoopPred ----------------------------------------------------------
@@ -293,6 +311,12 @@ LoopPred::LoopPred(unsigned entries)
 {
     dv_assert(entries == 0 || isPow2(entries));
     slots_.resize(entries);
+}
+
+void
+LoopPred::reset()
+{
+    slots_.assign(slots_.size(), Slot{});
 }
 
 size_t
@@ -373,17 +397,16 @@ LoopPred::taintBits() const
 }
 
 void
-LoopPred::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+LoopPred::appendSinks(ift::SinkWriter &out) const
 {
     if (slots_.empty())
         return;
-    auto sink = makeSink("loop", "slots", slots_.size());
-    sink.annotated = true;
+    static const ift::SinkId kId = ift::internSink("loop", "slots");
+    auto &sink = nextSink(out, kId, slots_.size());
     for (size_t i = 0; i < slots_.size(); ++i) {
         sink.taint[i] = slots_[i].taint ? 1 : 0;
         sink.live[i] = slots_[i].valid ? 1 : 0;
     }
-    out.push_back(std::move(sink));
 }
 
 // --- IndPred -----------------------------------------------------------
@@ -392,6 +415,12 @@ IndPred::IndPred(unsigned entries)
 {
     dv_assert(entries == 0 || isPow2(entries));
     slots_.resize(entries);
+}
+
+void
+IndPred::reset()
+{
+    slots_.assign(slots_.size(), Slot{});
 }
 
 size_t
@@ -454,15 +483,14 @@ IndPred::taintBits() const
 }
 
 void
-IndPred::appendSinks(std::vector<ift::SinkSnapshot> &out) const
+IndPred::appendSinks(ift::SinkWriter &out) const
 {
-    auto sink = makeSink("indpred", "targets", slots_.size());
-    sink.annotated = true;
+    static const ift::SinkId kId = ift::internSink("indpred", "targets");
+    auto &sink = nextSink(out, kId, slots_.size());
     for (size_t i = 0; i < slots_.size(); ++i) {
         sink.taint[i] = slots_[i].target.t;
         sink.live[i] = slots_[i].valid ? 1 : 0;
     }
-    out.push_back(std::move(sink));
 }
 
 } // namespace dejavuzz::uarch

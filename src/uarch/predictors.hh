@@ -33,6 +33,9 @@ class Bht
   public:
     explicit Bht(unsigned entries);
 
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
+
     bool predictTaken(uint64_t pc) const;
     void update(uint64_t pc, bool taken, bool taint);
 
@@ -47,7 +50,7 @@ class Bht
 
   public:
     /** liveness: counters are always architecturally reachable. */
-    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+    void appendSinks(ift::SinkWriter &out) const;
 };
 
 /** Direct-mapped branch target buffer (tagged). */
@@ -55,6 +58,9 @@ class Btb
 {
   public:
     explicit Btb(unsigned entries);
+
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
 
     /** Returns true on hit; fills @p target. */
     bool lookup(uint64_t pc, TV &target) const;
@@ -66,8 +72,7 @@ class Btb
     uint64_t taintBits() const;
     size_t entries() const { return slots_.size(); }
 
-    void appendSinks(std::vector<ift::SinkSnapshot> &out,
-                     const char *name) const;
+    void appendSinks(ift::SinkWriter &out, const char *name) const;
 
   private:
     struct Slot
@@ -78,6 +83,8 @@ class Btb
     };
     size_t indexOf(uint64_t pc) const;
     std::vector<Slot> slots_;
+    /** Interned sink id, cached on first appendSinks (per name). */
+    mutable ift::SinkId sink_id_ = ift::kInvalidSinkId;
 };
 
 /** Return address stack with committed/speculative copies. */
@@ -85,6 +92,9 @@ class Ras
 {
   public:
     explicit Ras(unsigned entries);
+
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
 
     /** Speculative push at fetch (calls). */
     void push(TV ret_addr);
@@ -110,7 +120,7 @@ class Ras
     uint64_t taintBits() const;
     size_t entries() const { return spec_.size(); }
 
-    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+    void appendSinks(ift::SinkWriter &out) const;
 
   private:
     std::vector<TV> spec_;
@@ -124,6 +134,9 @@ class LoopPred
 {
   public:
     explicit LoopPred(unsigned entries);
+
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
 
     bool enabled() const { return !slots_.empty(); }
 
@@ -139,7 +152,7 @@ class LoopPred
     uint64_t taintBits() const;
     size_t entries() const { return slots_.size(); }
 
-    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+    void appendSinks(ift::SinkWriter &out) const;
 
   private:
     struct Slot
@@ -161,6 +174,9 @@ class IndPred
   public:
     explicit IndPred(unsigned entries);
 
+    /** Restore the freshly-constructed state, keeping the storage. */
+    void reset();
+
     bool lookup(uint64_t pc, TV &target) const;
     void update(uint64_t pc, TV target);
 
@@ -169,7 +185,7 @@ class IndPred
     uint64_t taintBits() const;
     size_t entries() const { return slots_.size(); }
 
-    void appendSinks(std::vector<ift::SinkSnapshot> &out) const;
+    void appendSinks(ift::SinkWriter &out) const;
 
   private:
     struct Slot

@@ -104,7 +104,7 @@ TEST(PlantedBugs, B1AddressTruncationSamplesSecret)
         // look for a live tainted d-cache line beyond the secret's own.
         size_t live_tainted = 0;
         for (const auto &sink : result.dut0.sinks) {
-            if (sink.module == "dcache")
+            if (sink.module() == "dcache")
                 live_tainted = sink.liveTaintedEntries();
         }
         return live_tainted;
@@ -179,7 +179,7 @@ TEST(PlantedBugs, B2RasPartialRestoreLeavesCorruption)
         auto result = sim.runDual(schedule, data, options);
         size_t live_tainted = 0;
         for (const auto &sink : result.dut0.sinks) {
-            if (sink.module == "ras")
+            if (sink.module() == "ras")
                 live_tainted = sink.liveTaintedEntries();
         }
         return live_tainted;
@@ -449,7 +449,7 @@ TEST(PlantedBugs, MeltdownForwardingSwitch)
         auto result = sim.runDual(schedule, stimWith(5), options);
         size_t live_tainted = 0;
         for (const auto &sink : result.dut0.sinks) {
-            if (sink.module == "dcache")
+            if (sink.module() == "dcache")
                 live_tainted = sink.liveTaintedEntries();
         }
         return live_tainted;

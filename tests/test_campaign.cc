@@ -940,7 +940,10 @@ TEST(Campaign, MinimizePreservesCoverageUnion)
         std::set<std::pair<uint16_t, uint32_t>> covered;
         for (const CorpusEntry &entry : entries) {
             for (const auto &point :
-                 oracle.replayCase(entry.tc).coverage) {
+                 oracle
+                     .replayCase(entry.tc,
+                                 /*collect_coverage_tuples=*/true)
+                     .coverage) {
                 covered.insert({point.module_id, point.index});
             }
         }
@@ -949,6 +952,9 @@ TEST(Campaign, MinimizePreservesCoverageUnion)
 
     const auto before_entries = orchestrator.corpus().snapshotSorted();
     const auto before_union = coverageUnion(before_entries);
+    // A vacuously-empty union would make the preservation check
+    // meaningless (e.g. if the oracle stopped materializing tuples).
+    ASSERT_FALSE(before_union.empty());
 
     const SharedCorpus::MinimizeStats stats =
         orchestrator.minimizeCorpus();

@@ -313,7 +313,7 @@ TEST(CoreSmoke, SpectreV1TaintsDCacheUnderDiffIft)
     // AND the secret-indexed encode line.
     size_t dcache_live_tainted = 0;
     for (const auto &sink : result.dut0.sinks) {
-        if (sink.module == "dcache")
+        if (sink.module() == "dcache")
             dcache_live_tainted = sink.liveTaintedEntries();
     }
     EXPECT_GE(dcache_live_tainted, 2u);

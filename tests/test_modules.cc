@@ -257,10 +257,12 @@ TEST(Caches, LfbRetainsStaleTaintWithDeadLiveness)
     EXPECT_TRUE(dcache.hit(0x1000));
     // The paper's liveness example: LFB data tainted, owner invalid.
     std::vector<ift::SinkSnapshot> sinks;
-    dcache.appendSinks(sinks);
+    ift::SinkWriter writer(sinks);
+    dcache.appendSinks(writer);
+    writer.finish();
     bool found = false;
     for (const auto &sink : sinks) {
-        if (sink.module != "lfb")
+        if (sink.module() != "lfb")
             continue;
         found = true;
         EXPECT_GT(sink.taintedEntries(), 0u);

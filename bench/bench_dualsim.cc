@@ -15,6 +15,7 @@
 #include "bench/poc_suite.hh"
 #include "harness/dualsim.hh"
 #include "uarch/config.hh"
+#include "util/logging.hh"
 
 using namespace dejavuzz;
 
@@ -81,4 +82,17 @@ BENCHMARK(BM_DiffIFTFourPassTaintLog)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): quiet the inform() digest before the
+// runner does anything (--benchmark_list_tests must print only the
+// benchmark names).
+int
+main(int argc, char **argv)
+{
+    dejavuzz::setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

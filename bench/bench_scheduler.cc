@@ -20,6 +20,7 @@
 
 #include "campaign/orchestrator.hh"
 #include "uarch/config.hh"
+#include "util/logging.hh"
 
 using namespace dejavuzz;
 
@@ -93,4 +94,17 @@ BENCHMARK(BM_SkewedEpochStealing)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): quiet the inform() digest before the
+// runner does anything (--benchmark_list_tests must print only the
+// benchmark names).
+int
+main(int argc, char **argv)
+{
+    dejavuzz::setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a DejaVuzz --trace-out file.
+
+Checks that the file is well-formed Chrome trace-event JSON, that
+every complete ("X") event nests properly within its track (Perfetto
+renders overlapping non-nested spans as garbage), and optionally that
+a set of span names is present:
+
+    check_trace.py trace.json --require batch phase1 phase2 phase3
+
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_nesting(track, events):
+    """Spans on one track must form a proper nesting forest: sorted
+    by begin time, each span either starts after the enclosing span
+    ends or ends before it does."""
+    spans = sorted(
+        ((e["ts"], e["ts"] + e["dur"], e["name"]) for e in events),
+        key=lambda s: (s[0], -s[1]),
+    )
+    stack = []
+    for begin, end, name in spans:
+        while stack and begin >= stack[-1][1]:
+            stack.pop()
+        if stack and end > stack[-1][1]:
+            fail(
+                f"track {track}: span '{name}' [{begin}, {end}] "
+                f"overlaps '{stack[-1][2]}' "
+                f"[{stack[-1][0]}, {stack[-1][1]}] without nesting"
+            )
+        stack.append((begin, end, name))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=[],
+        metavar="NAME",
+        help="span names that must appear at least once",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing top-level traceEvents array")
+    events = doc["traceEvents"]
+
+    tracks = {}
+    names = set()
+    for e in events:
+        for key in ("ph", "pid", "tid"):
+            if key not in e:
+                fail(f"event missing '{key}': {e}")
+        if e["ph"] == "M":
+            continue
+        if e["ph"] != "X":
+            fail(f"unexpected event phase '{e['ph']}': {e}")
+        for key in ("name", "ts", "dur"):
+            if key not in e:
+                fail(f"X event missing '{key}': {e}")
+        if e["dur"] < 0:
+            fail(f"negative duration: {e}")
+        names.add(e["name"])
+        tracks.setdefault(e["tid"], []).append(e)
+
+    for track, track_events in sorted(tracks.items()):
+        check_nesting(track, track_events)
+
+    missing = [n for n in args.require if n not in names]
+    if missing:
+        fail(
+            f"required span(s) absent: {', '.join(missing)} "
+            f"(present: {', '.join(sorted(names)) or 'none'})"
+        )
+
+    n_spans = sum(len(v) for v in tracks.values())
+    print(
+        f"check_trace: OK — {n_spans} spans on {len(tracks)} "
+        f"track(s), names: {', '.join(sorted(names)) or 'none'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

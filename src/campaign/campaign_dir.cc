@@ -325,7 +325,7 @@ saveCampaignDir(const std::string &dir,
         std::ofstream log(log_tmp, std::ios::out | std::ios::trunc);
         if (!log)
             return fail("cannot open " + log_tmp + " for writing");
-        orchestrator.writeJsonl(log);
+        orchestrator.writeJsonlWithHeartbeats(log);
         log.flush();
         if (!log)
             return fail("write to " + log_tmp + " failed");

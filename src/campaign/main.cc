@@ -34,6 +34,7 @@
 
 #include "campaign/campaign_dir.hh"
 #include "campaign/orchestrator.hh"
+#include "obs/telemetry.hh"
 #include "uarch/config.hh"
 
 namespace {
@@ -79,6 +80,12 @@ usage(const char *argv0)
         "with a matching configuration\n"
         "  --minimize         distill the corpus before saving "
         "(drop content duplicates and coverage-subsumed entries)\n"
+        "  --trace-out PATH   write a Chrome trace-event JSON of "
+        "the run (open in Perfetto; docs/observability.md)\n"
+        "  --heartbeat-sec S  append a telemetry heartbeat record "
+        "to the JSONL log every S seconds (observable live with\n"
+        "                     tail -f; one final record is always "
+        "written at campaign end)\n"
         "  --quiet            suppress the stderr digest\n"
         "  --help             this text\n",
         argv0);
@@ -117,6 +124,7 @@ main(int argc, char **argv)
     std::string corpus_in_path;
     std::string corpus_out_path;
     std::string campaign_dir;
+    std::string trace_out_path;
     bool minimize = false;
     bool quiet = false;
 
@@ -206,6 +214,13 @@ main(int argc, char **argv)
             corpus_out_path = value();
         } else if (arg == "--campaign-dir") {
             campaign_dir = value();
+        } else if (arg == "--trace-out") {
+            trace_out_path = value();
+        } else if (arg == "--heartbeat-sec") {
+            if (!parseDouble(value(), options.heartbeat_sec) ||
+                options.heartbeat_sec < 0.0) {
+                bad();
+            }
         } else if (arg == "--minimize") {
             minimize = true;
         } else if (arg == "--quiet") {
@@ -331,6 +346,34 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    std::ofstream trace_file;
+    if (!trace_out_path.empty()) {
+        trace_file.open(trace_out_path,
+                        std::ios::out | std::ios::trunc);
+        if (!trace_file) {
+            std::fprintf(stderr,
+                         "cannot open --trace-out %s for writing\n",
+                         trace_out_path.c_str());
+            return 1;
+        }
+        dejavuzz::obs::enableTrace(true);
+    }
+
+    // Heartbeats stream live into the JSONL destination so a running
+    // campaign is observable with `tail -f`. The campaign-dir live
+    // stream is opened only right before run() (below): the resume
+    // no-op path must not truncate a saved campaign.jsonl. The
+    // pointer is wired now because the orchestrator copies its
+    // options at construction.
+    std::ofstream live_log;
+    if (options.heartbeat_sec > 0.0) {
+        if (!campaign_dir.empty())
+            options.heartbeat_out = &live_log;
+        else if (!out_path.empty())
+            options.heartbeat_out = &out_file;
+        else
+            options.heartbeat_out = &std::cout;
+    }
 
     CampaignOrchestrator orchestrator(options);
     if (resuming) {
@@ -398,6 +441,18 @@ main(int argc, char **argv)
         }
     }
 
+    if (options.heartbeat_sec > 0.0 && !campaign_dir.empty()) {
+        const dejavuzz::campaign::CampaignDirPaths paths =
+            dejavuzz::campaign::campaignDirPaths(campaign_dir);
+        live_log.open(paths.log, std::ios::out | std::ios::trunc);
+        if (!live_log) {
+            std::fprintf(stderr,
+                         "cannot open %s for heartbeat streaming\n",
+                         paths.log.c_str());
+            return 1;
+        }
+    }
+
     CampaignStats stats = orchestrator.run();
 
     if (minimize) {
@@ -413,7 +468,23 @@ main(int argc, char **argv)
         stats = orchestrator.stats(); // refresh corpus_size
     }
 
+    if (!trace_out_path.empty()) {
+        dejavuzz::obs::writeChromeTrace(
+            trace_file, dejavuzz::obs::takeTraceEvents());
+        trace_file.flush();
+        if (!trace_file) {
+            std::fprintf(stderr, "write to --trace-out %s failed\n",
+                         trace_out_path.c_str());
+            return 1;
+        }
+    }
+
     if (!campaign_dir.empty()) {
+        // The live heartbeat stream is replaced wholesale by
+        // saveCampaignDir's tmp+rename (which re-emits the retained
+        // heartbeats ahead of the full log); close it first.
+        if (live_log.is_open())
+            live_log.close();
         std::string error;
         if (!dejavuzz::campaign::saveCampaignDir(
                 campaign_dir, orchestrator, options, &error)) {

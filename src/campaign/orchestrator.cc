@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/heartbeat.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dejavuzz::campaign {
@@ -483,6 +485,10 @@ CampaignOrchestrator::planQuotas(uint64_t done) const
 void
 CampaignOrchestrator::executorLoop(unsigned t)
 {
+    // Trace track 0 is the main thread; executors take 1..N. When
+    // there is a single shard, executorLoop(0) runs on the main
+    // thread and its batches land on the "worker 0" track too.
+    obs::setThreadTrack(t + 1);
     core::Fuzzer &fz = *executors_[t];
     double busy = 0.0;
     for (;;) {
@@ -521,12 +527,19 @@ CampaignOrchestrator::executorLoop(unsigned t)
 
         const double begin = nowSeconds();
         SlotResult slot;
-        slot.res = fz.runBatch(spec);
-        // Publish the batch's discoveries with lock-free atomic ORs
-        // (commutative, so barrier state is timing-free); keep the
-        // full map for the barrier-ordered per-shard fold.
-        shard.group->mergeFrom(fz.coverage());
-        slot.cov = fz.coverage();
+        {
+            obs::ScopedSpan batch_span(obs::Hist::BatchNs, task.shard,
+                                       task.index);
+            slot.res = fz.runBatch(spec);
+            // Publish the batch's discoveries with lock-free atomic
+            // ORs (commutative, so barrier state is timing-free);
+            // keep the full map for the barrier-ordered per-shard
+            // fold.
+            shard.group->mergeFrom(fz.coverage());
+            slot.cov = fz.coverage();
+        }
+        obs::counterAdd(obs::Ctr::Batches);
+        obs::drainThreadSpans();
         slot.seconds = nowSeconds() - begin;
         busy += slot.seconds;
         fz.setInterestingHook(nullptr);
@@ -747,6 +760,21 @@ CampaignOrchestrator::run()
     dv_assert(!ran_);
     ran_ = true;
 
+    // Heartbeats stream live to heartbeat_out and are retained for
+    // writeJsonlWithHeartbeats(); the emitter's destructor (after
+    // finalizeStats) flushes one final record so even runs shorter
+    // than the interval produce a heartbeat.
+    heartbeat_lines_.clear();
+    obs::HeartbeatEmitter heartbeat(
+        options_.heartbeat_sec, [this](const std::string &line) {
+            heartbeat_lines_.push_back(line);
+            if (options_.heartbeat_out != nullptr) {
+                *options_.heartbeat_out << line << '\n';
+                options_.heartbeat_out->flush();
+            }
+        });
+    obs::gaugeSet(obs::Gauge::Workers, options_.workers);
+
     const double begin = nowSeconds();
     // A restored checkpoint advances the cursors: planQuotas() and
     // ledger provenance continue from the saved campaign, and
@@ -789,6 +817,12 @@ CampaignOrchestrator::run()
         sample.wall_seconds = nowSeconds() - begin;
         stats_.epoch_curve.push_back(sample);
 
+        obs::gaugeSet(obs::Gauge::CoveragePoints,
+                      sample.coverage_points);
+        obs::gaugeSet(obs::Gauge::DistinctBugs, sample.distinct_bugs);
+        obs::gaugeSet(obs::Gauge::CorpusSize, sample.corpus_size);
+        obs::gaugeSet(obs::Gauge::Epochs, sample.epoch + 1);
+
         ++epoch;
     }
 
@@ -805,6 +839,16 @@ CampaignOrchestrator::writeJsonl(std::ostream &os) const
     writeCampaignJsonl(os, stats_, ledger_,
                        shardPolicyName(options_.policy),
                        options_.master_seed);
+}
+
+void
+CampaignOrchestrator::writeJsonlWithHeartbeats(std::ostream &os) const
+{
+    // Heartbeats first: that is the order a live campaign.jsonl
+    // carries (records streamed during the run, full log at the end).
+    for (const std::string &line : heartbeat_lines_)
+        os << line << '\n';
+    writeJsonl(os);
 }
 
 } // namespace dejavuzz::campaign

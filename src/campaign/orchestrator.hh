@@ -110,6 +110,19 @@ struct CampaignOptions
     /** Base fuzzer options; per-worker seed/ablation fields are
      *  overridden by the shard policy. */
     core::FuzzerOptions fuzzer;
+
+    /**
+     * Heartbeat interval in seconds (0 = no heartbeats). When
+     * positive, run() snapshots the telemetry registry every
+     * heartbeat_sec seconds (plus once at campaign end), streams
+     * each record to @ref heartbeat_out, and retains the lines for
+     * writeJsonlWithHeartbeats(). Heartbeats are observational: they
+     * never perturb campaign outcomes.
+     */
+    double heartbeat_sec = 0.0;
+    /** Live sink for heartbeat lines (flushed per record; may be
+     *  null: lines are still retained for the final log). */
+    std::ostream *heartbeat_out = nullptr;
 };
 
 class CampaignOrchestrator
@@ -176,8 +189,14 @@ class CampaignOrchestrator
     const BugLedger &ledger() const { return ledger_; }
     const SharedCorpus &corpus() const { return corpus_; }
 
-    /** Emit the campaign JSONL log (stats + deduplicated bugs). */
+    /** Emit the campaign JSONL log (stats + deduplicated bugs).
+     *  Deliberately heartbeat-free: this is the bit-reproducible
+     *  view equivalence tests compare. */
     void writeJsonl(std::ostream &os) const;
+
+    /** writeJsonl() preceded by the heartbeat records captured
+     *  during run() — the full campaign.jsonl a live log carries. */
+    void writeJsonlWithHeartbeats(std::ostream &os) const;
 
   private:
     /** Shard-logical state: the unit of provenance and policy. The
@@ -275,6 +294,8 @@ class CampaignOrchestrator
      *  every current shard, including the one sharing the author's
      *  worker number (that shard never actually generated them). */
     std::set<std::pair<unsigned, uint64_t>> preloaded_ids_;
+    /** Heartbeat lines captured during run(), in emission order. */
+    std::vector<std::string> heartbeat_lines_;
     bool ran_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "campaign/scheduler.hh"
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dejavuzz::campaign {
@@ -19,6 +20,7 @@ WorkStealingScheduler::push(unsigned worker, BatchTask task)
     std::lock_guard<std::mutex> lock(dq.mu);
     dq.tasks.push_back(std::move(task));
     dq.size.store(dq.tasks.size(), std::memory_order_relaxed);
+    obs::histRecord(obs::Hist::DequeDepth, dq.tasks.size());
 }
 
 bool
@@ -39,6 +41,8 @@ bool
 WorkStealingScheduler::steal(unsigned thief, BatchTask &out)
 {
     dv_assert(thief < deques_.size());
+    obs::counterAdd(obs::Ctr::StealAttempts);
+    uint64_t scanned = 0;
     // Retry until a pop succeeds or a scan finds everything empty.
     // A scan can lose a race (the hinted victim drains before we
     // lock it), but work is never *added* mid-epoch, so an all-empty
@@ -49,6 +53,7 @@ WorkStealingScheduler::steal(unsigned thief, BatchTask &out)
         for (unsigned w = 0; w < deques_.size(); ++w) {
             if (w == thief || kinds_[w] != kinds_[thief])
                 continue;
+            ++scanned;
             size_t load = deques_[w].size.load(
                 std::memory_order_relaxed);
             if (load > best_load) {
@@ -56,8 +61,10 @@ WorkStealingScheduler::steal(unsigned thief, BatchTask &out)
                 victim = w;
             }
         }
-        if (victim == deques_.size())
+        if (victim == deques_.size()) {
+            obs::histRecord(obs::Hist::VictimScan, scanned);
             return false;
+        }
         Deque &dq = deques_[victim];
         std::lock_guard<std::mutex> lock(dq.mu);
         if (dq.tasks.empty())
@@ -66,6 +73,8 @@ WorkStealingScheduler::steal(unsigned thief, BatchTask &out)
         dq.tasks.pop_back();
         dq.size.store(dq.tasks.size(), std::memory_order_relaxed);
         stolen_.fetch_add(1, std::memory_order_relaxed);
+        obs::counterAdd(obs::Ctr::StealHits);
+        obs::histRecord(obs::Hist::VictimScan, scanned);
         return true;
     }
 }

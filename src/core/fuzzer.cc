@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dejavuzz::core {
@@ -81,6 +82,7 @@ void
 Fuzzer::iterate(Phase1 &phase1, Phase2 &phase2, Phase3 &phase3)
 {
     ++stats_.iterations;
+    obs::counterAdd(obs::Ctr::Iterations);
 
     if (!active_) {
         // Adopt a stolen corpus seed before generating from scratch:

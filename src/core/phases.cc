@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dejavuzz::core {
@@ -86,6 +87,7 @@ checkWindow(const uarch::TraceLog &trace, const TestCase &tc)
 unsigned
 Phase1::run(TestCase &tc, bool &triggered, bool reduce)
 {
+    obs::ScopedSpan span(obs::Hist::Phase1Ns);
     unsigned sims = 0;
     sim_->runSingle(tc.schedule, tc.data, options_, result_);
     ++sims;
@@ -120,6 +122,7 @@ Phase1::run(TestCase &tc, bool &triggered, bool reduce)
 const Phase2Result &
 Phase2::run(const TestCase &tc)
 {
+    obs::ScopedSpan span(obs::Hist::Phase2Ns);
     Phase2Result &result = result_;
     result.window_ok = false;
     result.taint_propagated = false;
@@ -247,6 +250,7 @@ Phase3Result
 Phase3::run(const TestCase &tc, const Phase2Result &phase2,
             bool use_liveness)
 {
+    obs::ScopedSpan span(obs::Hist::Phase3Ns);
     Phase3Result result;
 
     // Step 3.1: window constant-time execution analysis.

@@ -1,5 +1,6 @@
 #include "harness/dualsim.hh"
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dejavuzz::harness {
@@ -119,8 +120,10 @@ DualSim::laneTick(LaneRun &lr, const SimOptions &options,
                                       &lr.result.trace);
     ++lr.packet_cycles;
 
-    if (options.taint_log)
+    if (options.taint_log) {
+        obs::SampledSpan taint_span(obs::Hist::ModuleTaintNs);
         lr.lane.core.appendTaintLog(lr.result.taint_log);
+    }
 
     bool force_advance =
         lr.packet_cycles >= options.packet_cycle_budget;
@@ -185,6 +188,7 @@ DualSim::runSingle(const SwapSchedule &schedule,
 {
     runOne(schedule, data, options, false, ift::IftMode::Off, nullptr,
            nullptr, lane0_, out);
+    obs::counterAdd(obs::Ctr::Simulations);
 }
 
 DutResult
@@ -296,9 +300,13 @@ DualSim::runDualLockstep(const SwapSchedule &schedule,
         uint64_t cycle = l0.lane.core.cycle(); // == lane 1's cycle
         bool hot = diverged_once &&
                    cycle - last_divergence <= kDivergenceHotWindow;
+        if (hot)
+            obs::counterAdd(obs::Ctr::HotCycles);
         if (!ckpt_valid || hot ||
-            cycle - marks.cycle >= options.lockstep_checkpoint_interval)
+            cycle - marks.cycle >= options.lockstep_checkpoint_interval) {
             takeCheckpoint();
+            obs::counterAdd(obs::Ctr::Checkpoints);
+        }
 
         // Record sub-tick: lane 0 with closed gates, trace recorded.
         ift::ControlTrace *rec0 = store_a_.slot(cycle);
@@ -310,6 +318,10 @@ DualSim::runDualLockstep(const SwapSchedule &schedule,
         laneTick(l1, options, ift::IftMode::DiffIFT, rec1, rec0);
 
         if (!gatesAllClosed(*rec0, *rec1)) {
+            obs::ScopedSpan rollback_span(obs::Hist::RollbackNs);
+            obs::counterAdd(obs::Ctr::Rollbacks);
+            obs::counterAdd(obs::Ctr::RedoCycles,
+                            cycle - marks.cycle + 1);
             diverged_once = true;
             last_divergence = cycle;
             rollbackToCheckpoint();
@@ -360,12 +372,14 @@ DualSim::runDual(const SwapSchedule &schedule, const StimulusData &data,
         runOne(schedule, data, options, true, options.mode, nullptr,
                nullptr, lane1_, out.dut1);
         out.sim_passes = 2;
+        obs::counterAdd(obs::Ctr::Simulations, out.sim_passes);
         return;
       case ift::IftMode::DiffIFT:
         if (options.lockstep_diff)
             runDualLockstep(schedule, data, options, out);
         else
             runDualFourPass(schedule, data, options, out);
+        obs::counterAdd(obs::Ctr::Simulations, out.sim_passes);
         return;
     }
     out.sim_passes = 0;

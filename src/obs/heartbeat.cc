@@ -1,0 +1,107 @@
+#include "obs/heartbeat.hh"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dejavuzz::obs {
+
+namespace {
+
+void
+appendField(std::string &out, const char *key, uint64_t value)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRIu64, key, value);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+formatHeartbeatRecord(uint64_t seq, double wall_seconds,
+                      const TelemetrySnapshot &snap)
+{
+    std::string out = "{\"type\":\"heartbeat\"";
+    char buf[96];
+    appendField(out, "seq", seq);
+    std::snprintf(buf, sizeof(buf), ",\"wall_seconds\":%.6f",
+                  wall_seconds);
+    out += buf;
+
+    for (unsigned i = 0; i < kNumCtrs; ++i)
+        appendField(out, ctrName(static_cast<Ctr>(i)),
+                    snap.counters[i]);
+    for (unsigned i = 0; i < kNumGauges; ++i)
+        appendField(out, gaugeName(static_cast<Gauge>(i)),
+                    snap.gauges[i]);
+    for (unsigned i = 0; i < kNumHists; ++i) {
+        const char *name = histName(static_cast<Hist>(i));
+        char key[64];
+        std::snprintf(key, sizeof(key), "%s_count", name);
+        appendField(out, key, snap.hists[i].count);
+        std::snprintf(key, sizeof(key), "%s_sum", name);
+        appendField(out, key, snap.hists[i].sum);
+    }
+
+    const HistSnapshot &batch = snap.hist(Hist::BatchNs);
+    appendField(out, "batch_p50_ns", batch.quantileLow(0.5));
+    appendField(out, "batch_p99_ns", batch.quantileLow(0.99));
+    out += "}";
+    return out;
+}
+
+HeartbeatEmitter::HeartbeatEmitter(double interval_sec, Sink sink)
+    : sink_(std::move(sink))
+{
+    if (interval_sec <= 0.0 || !sink_) {
+        stopped_ = true;
+        return;
+    }
+    thread_ = std::thread([this, interval_sec] { loop(interval_sec); });
+}
+
+HeartbeatEmitter::~HeartbeatEmitter()
+{
+    stop();
+}
+
+void
+HeartbeatEmitter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    emitOnce();
+}
+
+void
+HeartbeatEmitter::loop(double interval_sec)
+{
+    const auto interval = std::chrono::duration<double>(interval_sec);
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (cv_.wait_for(lock, interval, [this] { return stopping_; }))
+            return;
+        lock.unlock();
+        emitOnce();
+        lock.lock();
+    }
+}
+
+void
+HeartbeatEmitter::emitOnce()
+{
+    // Never called concurrently: the timer thread is the only caller
+    // while running, and stop() joins it before the final emit.
+    sink_(formatHeartbeatRecord(seq_++, nowNs() / 1e9, snapshot()));
+}
+
+} // namespace dejavuzz::obs

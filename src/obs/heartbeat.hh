@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Periodic heartbeat records: a flat-JSON serialization of the
+ * telemetry registry appended to campaign.jsonl while a campaign is
+ * running, so a live run is observable with `tail -f`.
+ *
+ * Schema (one line per record, documented in docs/campaign-format.md):
+ * "type":"heartbeat", a strictly increasing "seq", a monotonic
+ * "wall_seconds", every cumulative counter, every gauge, per-histogram
+ * "<name>_count"/"<name>_sum" pairs, and batch-latency p50/p99
+ * estimates.  Counters, histogram totals, wall_seconds, and seq are
+ * cumulative: the report validator rejects logs where any of them
+ * decreases across consecutive heartbeats.
+ */
+
+#ifndef DEJAVUZZ_OBS_HEARTBEAT_HH
+#define DEJAVUZZ_OBS_HEARTBEAT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/telemetry.hh"
+
+namespace dejavuzz::obs {
+
+/**
+ * Format one heartbeat line (no trailing newline) from @p snap.
+ * @p wall_seconds is monotonic seconds since process start.
+ */
+std::string formatHeartbeatRecord(uint64_t seq, double wall_seconds,
+                                  const TelemetrySnapshot &snap);
+
+/**
+ * Background emitter: every @p interval_sec seconds, snapshot the
+ * registry and hand the formatted line to @p sink.  stop() (or the
+ * destructor) emits one final record before joining, so even runs
+ * shorter than the interval produce at least one heartbeat.
+ *
+ * Inactive (emits nothing, starts no thread) when @p interval_sec
+ * is not positive or @p sink is empty.
+ */
+class HeartbeatEmitter
+{
+  public:
+    using Sink = std::function<void(const std::string &line)>;
+
+    HeartbeatEmitter(double interval_sec, Sink sink);
+    ~HeartbeatEmitter();
+
+    HeartbeatEmitter(const HeartbeatEmitter &) = delete;
+    HeartbeatEmitter &operator=(const HeartbeatEmitter &) = delete;
+
+    /** Emit the final record and join the timer thread (idempotent). */
+    void stop();
+
+  private:
+    void loop(double interval_sec);
+    void emitOnce();
+
+    Sink sink_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool stopped_ = false;
+    uint64_t seq_ = 0;
+    std::thread thread_;
+};
+
+} // namespace dejavuzz::obs
+
+#endif // DEJAVUZZ_OBS_HEARTBEAT_HH

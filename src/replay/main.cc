@@ -15,8 +15,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/telemetry.hh"
 #include "replay/replay.hh"
 
 namespace {
@@ -28,6 +30,9 @@ usage(const char *argv0)
         "usage: %s CAMPAIGN_DIR [options]\n"
         "\n"
         "  --require-bugs   fail when the ledger is empty (CI gate)\n"
+        "  --trace-out PATH write a Chrome trace-event JSON of the\n"
+        "                   replay (one span per bug; open in "
+        "Perfetto)\n"
         "  --quiet          only print the final summary line\n"
         "  --help           this text\n",
         argv0);
@@ -39,6 +44,7 @@ int
 main(int argc, char **argv)
 {
     std::string dir;
+    std::string trace_out_path;
     bool require_bugs = false;
     bool quiet = false;
 
@@ -49,6 +55,12 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--require-bugs") {
             require_bugs = true;
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace-out needs a value\n");
+                return 2;
+            }
+            trace_out_path = argv[++i];
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -69,6 +81,19 @@ main(int argc, char **argv)
         return 2;
     }
 
+    std::ofstream trace_file;
+    if (!trace_out_path.empty()) {
+        trace_file.open(trace_out_path,
+                        std::ios::out | std::ios::trunc);
+        if (!trace_file) {
+            std::fprintf(stderr,
+                         "cannot open --trace-out %s for writing\n",
+                         trace_out_path.c_str());
+            return 1;
+        }
+        dejavuzz::obs::enableTrace(true);
+    }
+
     dejavuzz::replay::ReplaySummary summary;
     std::string error;
     if (!dejavuzz::replay::replayCampaignDir(dir, summary, &error)) {
@@ -76,12 +101,23 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (!trace_out_path.empty()) {
+        dejavuzz::obs::writeChromeTrace(
+            trace_file, dejavuzz::obs::takeTraceEvents());
+        trace_file.flush();
+        if (!trace_file) {
+            std::fprintf(stderr, "write to --trace-out %s failed\n",
+                         trace_out_path.c_str());
+            return 1;
+        }
+    }
+
     if (!quiet) {
         for (const auto &bug : summary.bugs) {
-            std::fprintf(stderr, "  [%s] %s (%s, %s)%s%s\n",
+            std::fprintf(stderr, "  [%s] %s (%s, %s, %.3fs)%s%s\n",
                          bug.reproduced ? "ok" : "FAIL",
                          bug.key.c_str(), bug.config.c_str(),
-                         bug.variant.c_str(),
+                         bug.variant.c_str(), bug.seconds,
                          bug.reproduced ? "" : " -> ",
                          bug.reproduced ? "" : bug.observed.c_str());
         }

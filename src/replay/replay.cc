@@ -7,6 +7,7 @@
 #include "campaign/campaign_dir.hh"
 #include "campaign/orchestrator.hh"
 #include "core/fuzzer.hh"
+#include "obs/telemetry.hh"
 #include "uarch/config.hh"
 
 namespace dejavuzz::replay {
@@ -83,8 +84,13 @@ replayLedger(const std::vector<campaign::BugRecord> &ledger)
                      .first;
         }
 
-        core::Fuzzer::ReplayOutcome outcome =
-            it->second->replayCase(record.repro);
+        const uint64_t begin = obs::nowNs();
+        core::Fuzzer::ReplayOutcome outcome;
+        {
+            obs::ScopedSpan span(obs::Hist::ReplayNs);
+            outcome = it->second->replayCase(record.repro);
+        }
+        result.seconds = (obs::nowNs() - begin) / 1e9;
         if (!outcome.report.has_value()) {
             result.observed = outcome.window_ok
                                   ? "no-leak"

@@ -29,6 +29,7 @@ struct BugReplay
     std::string key;      ///< the ledger signature being reproduced
     std::string config;   ///< core config the bug was found on
     std::string variant;  ///< ablation variant it was found under
+    double seconds = 0.0; ///< replay wall time of this record
     bool reproduced = false;
     /** What the replay produced: the observed signature, "no-leak"
      *  when Phase 3 found nothing, or a diagnostic for records whose

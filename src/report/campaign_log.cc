@@ -214,6 +214,30 @@ parseCampaignLog(std::istream &is, const std::string &name,
             if (!fields.ok())
                 return fail(field_error);
             out.bugs.push_back(std::move(row));
+        } else if (type == "heartbeat") {
+            HeartbeatRow row;
+            fields.u64("seq", row.seq);
+            fields.f64("wall_seconds", row.wall_seconds);
+            for (unsigned i = 0; i < obs::kNumCtrs; ++i)
+                fields.u64(obs::ctrName(static_cast<obs::Ctr>(i)),
+                           row.counters[i]);
+            for (unsigned i = 0; i < obs::kNumGauges; ++i)
+                fields.u64(obs::gaugeName(static_cast<obs::Gauge>(i)),
+                           row.gauges[i]);
+            for (unsigned i = 0; i < obs::kNumHists; ++i) {
+                const std::string name =
+                    obs::histName(static_cast<obs::Hist>(i));
+                fields.u64((name + "_count").c_str(),
+                           row.hist_count[i]);
+                fields.u64((name + "_sum").c_str(), row.hist_sum[i]);
+            }
+            fields.u64("batch_p50_ns", row.batch_p50_ns,
+                       /*required=*/false);
+            fields.u64("batch_p99_ns", row.batch_p99_ns,
+                       /*required=*/false);
+            if (!fields.ok())
+                return fail(field_error);
+            out.heartbeats.push_back(row);
         } else if (type == "summary") {
             SummaryRow row;
             fields.u64("workers", row.workers);
@@ -343,6 +367,42 @@ validateCampaignLog(const CampaignLog &log)
         check(last.distinct_bugs == s.distinct_bugs,
               "final epoch distinct_bugs does not match "
               "summary.distinct_bugs");
+    }
+
+    // Heartbeats are cumulative snapshots: seq strictly increases,
+    // and wall_seconds, every counter and every histogram total is
+    // non-decreasing in emission order. Gauges (corpus size etc.)
+    // are last-value samples and legitimately fluctuate.
+    for (size_t i = 0; i < log.heartbeats.size(); ++i) {
+        const HeartbeatRow &hb = log.heartbeats[i];
+        check(hb.counter(obs::Ctr::StealHits) <=
+                  hb.counter(obs::Ctr::StealAttempts),
+              "heartbeat steal_hits exceeds steal_attempts");
+        if (i == 0)
+            continue;
+        const HeartbeatRow &prev = log.heartbeats[i - 1];
+        check(hb.seq > prev.seq,
+              "heartbeat seq values are not strictly increasing");
+        check(hb.wall_seconds >= prev.wall_seconds,
+              "heartbeat wall_seconds regresses");
+        for (unsigned c = 0; c < obs::kNumCtrs; ++c) {
+            check(hb.counters[c] >= prev.counters[c],
+                  std::string("heartbeat counter \"") +
+                      obs::ctrName(static_cast<obs::Ctr>(c)) +
+                      "\" decreases");
+        }
+        for (unsigned h = 0; h < obs::kNumHists; ++h) {
+            const char *name =
+                obs::histName(static_cast<obs::Hist>(h));
+            check(hb.hist_count[h] >= prev.hist_count[h],
+                  std::string("heartbeat histogram \"") + name +
+                      "\" count decreases");
+            check(hb.hist_sum[h] >= prev.hist_sum[h],
+                  std::string("heartbeat histogram \"") + name +
+                      "\" sum decreases");
+        }
+        if (problems.size() > 16)
+            break; // a corrupt log flood helps nobody
     }
     return problems;
 }

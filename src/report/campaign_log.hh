@@ -15,10 +15,13 @@
 #ifndef DEJAVUZZ_REPORT_CAMPAIGN_LOG_HH
 #define DEJAVUZZ_REPORT_CAMPAIGN_LOG_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "obs/telemetry.hh"
 
 namespace dejavuzz::report {
 
@@ -70,6 +73,40 @@ struct BugRow
     uint64_t hits = 0;
 };
 
+/**
+ * `type:"heartbeat"` — a periodic telemetry snapshot streamed while
+ * the campaign ran (docs/campaign-format.md). Field sets are keyed
+ * by the obs registry enums so the parser stays in lockstep with the
+ * writer. seq, wall_seconds, every counter and every histogram
+ * count/sum are cumulative: the validator rejects logs where any of
+ * them decreases across consecutive heartbeats. Gauges are
+ * last-value samples and may fluctuate.
+ */
+struct HeartbeatRow
+{
+    uint64_t seq = 0;
+    double wall_seconds = 0.0;
+    std::array<uint64_t, obs::kNumCtrs> counters{};
+    std::array<uint64_t, obs::kNumGauges> gauges{};
+    std::array<uint64_t, obs::kNumHists> hist_count{};
+    std::array<uint64_t, obs::kNumHists> hist_sum{};
+    uint64_t batch_p50_ns = 0; ///< optional; 0 for older logs
+    uint64_t batch_p99_ns = 0; ///< optional; 0 for older logs
+
+    uint64_t counter(obs::Ctr c) const
+    {
+        return counters[static_cast<unsigned>(c)];
+    }
+    uint64_t histCount(obs::Hist h) const
+    {
+        return hist_count[static_cast<unsigned>(h)];
+    }
+    uint64_t histSum(obs::Hist h) const
+    {
+        return hist_sum[static_cast<unsigned>(h)];
+    }
+};
+
 /** `type:"summary"` — campaign totals (exactly one per log). */
 struct SummaryRow
 {
@@ -110,6 +147,7 @@ struct CampaignLog
     std::vector<TriggerRow> triggers;
     std::vector<EpochRow> epochs;
     std::vector<BugRow> bugs;
+    std::vector<HeartbeatRow> heartbeats;
     SummaryRow summary;
 
     /** Wall seconds of the first epoch whose distinct_bugs > 0, or

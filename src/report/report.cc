@@ -123,6 +123,58 @@ schedulerTable(const std::vector<CampaignLog> &logs)
 }
 
 ReportTable
+heartbeatTimingTable(const std::vector<CampaignLog> &logs)
+{
+    // Timing breakdown from the final heartbeat of each log: where
+    // the campaign's cycles went (phase spans, the moduleTaintStats
+    // share of Phase 2, rollback cost) and how occupied the worker
+    // fleet was. Logs without heartbeat records contribute no rows
+    // (an all-empty table is skipped by the renderers).
+    ReportTable table;
+    table.title = "Timing breakdown (heartbeats)";
+    table.header = {"campaign", "wall_s", "occupancy_pct",
+                    "phase1_s", "phase2_s", "phase3_s",
+                    "module_taint_s", "module_taint_pct_phase2",
+                    "rollbacks", "rollback_s", "steal_hit_pct"};
+    auto pct = [](double num, double den) -> std::string {
+        if (den <= 0.0)
+            return "n/a";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f%%",
+                      100.0 * num / den);
+        return buf;
+    };
+    for (const auto &log : logs) {
+        if (log.heartbeats.empty())
+            continue;
+        const HeartbeatRow &hb = log.heartbeats.back();
+        auto seconds = [&](obs::Hist h) {
+            return static_cast<double>(hb.histSum(h)) / 1e9;
+        };
+        const double batch_s = seconds(obs::Hist::BatchNs);
+        const double phase2_s = seconds(obs::Hist::Phase2Ns);
+        const double taint_s = seconds(obs::Hist::ModuleTaintNs);
+        const uint64_t workers =
+            hb.gauges[static_cast<unsigned>(obs::Gauge::Workers)];
+        const double fleet_s =
+            hb.wall_seconds * static_cast<double>(workers);
+        table.rows.push_back(
+            {log.name, fmtF64(hb.wall_seconds),
+             pct(batch_s, fleet_s),
+             fmtF64(seconds(obs::Hist::Phase1Ns)), fmtF64(phase2_s),
+             fmtF64(seconds(obs::Hist::Phase3Ns)), fmtF64(taint_s),
+             pct(taint_s, phase2_s),
+             fmtU64(hb.counter(obs::Ctr::Rollbacks)),
+             fmtF64(seconds(obs::Hist::RollbackNs)),
+             pct(static_cast<double>(
+                     hb.counter(obs::Ctr::StealHits)),
+                 static_cast<double>(
+                     hb.counter(obs::Ctr::StealAttempts)))});
+    }
+    return table;
+}
+
+ReportTable
 configTable(const std::vector<CampaignLog> &logs)
 {
     ReportTable table;
@@ -383,6 +435,7 @@ buildComparisonTables(const std::vector<CampaignLog> &logs)
     std::vector<ReportTable> tables;
     tables.push_back(overviewTable(logs));
     tables.push_back(schedulerTable(logs));
+    tables.push_back(heartbeatTimingTable(logs));
     tables.push_back(configTable(logs));
     tables.push_back(triggerTable(logs));
     tables.push_back(bugMatrixTable(logs));

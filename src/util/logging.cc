@@ -1,19 +1,44 @@
 #include "util/logging.hh"
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 
 namespace dejavuzz {
 
 namespace {
+
 std::atomic<bool> g_quiet{false};
 
+/** One mutex for every stderr report: concurrent workers' lines
+ *  must never interleave mid-line. */
+std::mutex g_report_mutex;
+
+/** Monotonic seconds since process start, for the line prefix. */
+double
+uptimeSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration<double>(clock::now() - epoch)
+        .count();
+}
+
+/**
+ * Format the whole line into one buffer and write it with a single
+ * fprintf under the mutex: prefix, body and newline always land on
+ * stderr as one unit, whatever thread races us.
+ */
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s", prefix);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    char body[4096];
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    const double now = uptimeSeconds();
+    std::lock_guard<std::mutex> lock(g_report_mutex);
+    std::fprintf(stderr, "[%10.6f] %s%s\n", now, prefix, body);
 }
+
 } // namespace
 
 void
@@ -31,24 +56,26 @@ isQuiet()
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    char prefix[1024];
+    std::snprintf(prefix, sizeof(prefix), "panic: %s:%d: ", file,
+                  line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreport(prefix, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    char prefix[1024];
+    std::snprintf(prefix, sizeof(prefix), "fatal: %s:%d: ", file,
+                  line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreport(prefix, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
     std::exit(1);
 }
 

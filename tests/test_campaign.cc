@@ -24,6 +24,7 @@
 #include "campaign/orchestrator.hh"
 #include "campaign/snapshot.hh"
 #include "core/fuzzer.hh"
+#include "obs/telemetry.hh"
 #include "uarch/config.hh"
 #include "uarch/core.hh"
 #include "util/rng.hh"
@@ -624,6 +625,38 @@ TEST(Scheduler, StealingMatchesNoStealBitIdentical)
     EXPECT_EQ(sb.batches_stolen, 0u);
     EXPECT_EQ(sa.batches, sb.batches);
     EXPECT_LE(sa.batches_stolen, sa.batches);
+}
+
+TEST(Scheduler, TelemetryDoesNotPerturbDeterminism)
+{
+    // Telemetry is observational only: a fully instrumented stealing
+    // campaign (trace capture on, heartbeats streaming) must stay
+    // bit-identical to a bare barrier campaign with the same seed.
+    CampaignOptions barrier = smallCampaign(4, 2000);
+    barrier.batch_iterations = 16;
+    barrier.steal_batches = false;
+    CampaignOrchestrator a(barrier);
+    a.run();
+
+    obs::resetForTest();
+    obs::enableTrace(true);
+    CampaignOptions instrumented = smallCampaign(4, 2000);
+    instrumented.batch_iterations = 16;
+    instrumented.steal_batches = true;
+    instrumented.heartbeat_sec = 0.002;
+    std::ostringstream heartbeats;
+    instrumented.heartbeat_out = &heartbeats;
+    CampaignOrchestrator b(instrumented);
+    b.run();
+    obs::enableTrace(false);
+    const auto events = obs::takeTraceEvents();
+
+    expectSameOutcome(a, b);
+    EXPECT_NE(heartbeats.str().find("\"type\":\"heartbeat\""),
+              std::string::npos);
+#ifndef DEJAVUZZ_NO_TELEMETRY
+    EXPECT_FALSE(events.empty());
+#endif
 }
 
 TEST(Scheduler, BatchSizeOnePreservesEquivalence)

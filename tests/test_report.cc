@@ -12,6 +12,8 @@
 
 #include "campaign/orchestrator.hh"
 #include "campaign/stats.hh"
+#include "obs/heartbeat.hh"
+#include "obs/telemetry.hh"
 #include "report/campaign_log.hh"
 #include "report/json.hh"
 #include "report/report.hh"
@@ -277,6 +279,157 @@ TEST(CampaignLogRoundTrip, AcceptsLegacyLogsWithoutSchedulerFields)
     EXPECT_EQ(log.summary.batches, 0u);
     EXPECT_EQ(log.epochs.at(0).batches_stolen, 0u);
     EXPECT_TRUE(validateCampaignLog(log).empty());
+}
+
+// --- Heartbeat records --------------------------------------------------
+
+TEST(CampaignLogRoundTrip, HeartbeatsRoundTripAndValidate)
+{
+    obs::resetForTest();
+    CampaignOptions options = tinyCampaign(2, 500, 7);
+    options.heartbeat_sec = 0.002;
+    CampaignOrchestrator orchestrator(options);
+    orchestrator.run();
+
+    std::stringstream jsonl;
+    orchestrator.writeJsonlWithHeartbeats(jsonl);
+    CampaignLog log;
+    std::string error;
+    ASSERT_TRUE(report::parseCampaignLog(jsonl, "beat", log, &error))
+        << error;
+
+    // The emitter always flushes a final record at stop(), so even a
+    // run shorter than the interval heartbeats at least once, and
+    // the last record carries the finished campaign's totals.
+    ASSERT_FALSE(log.heartbeats.empty());
+#ifndef DEJAVUZZ_NO_TELEMETRY
+    EXPECT_EQ(log.heartbeats.back().counter(obs::Ctr::Iterations),
+              500u);
+    EXPECT_GT(log.heartbeats.back().histCount(obs::Hist::BatchNs),
+              0u);
+#endif
+    EXPECT_TRUE(validateCampaignLog(log).empty());
+
+    // The heartbeat-free view stays bit-reproducible: no heartbeat
+    // lines leak into writeJsonl().
+    std::stringstream plain;
+    orchestrator.writeJsonl(plain);
+    EXPECT_EQ(plain.str().find("\"type\":\"heartbeat\""),
+              std::string::npos);
+}
+
+/** Two-heartbeat log with an all-zero summary, for hand-corruption. */
+std::string
+syntheticHeartbeatLog(uint64_t seq0, double wall0,
+                      const obs::TelemetrySnapshot &first,
+                      uint64_t seq1, double wall1,
+                      const obs::TelemetrySnapshot &second)
+{
+    return obs::formatHeartbeatRecord(seq0, wall0, first) + "\n" +
+           obs::formatHeartbeatRecord(seq1, wall1, second) + "\n" +
+           "{\"type\":\"worker\",\"worker\":0,\"config\":\"c\","
+           "\"variant\":\"full\",\"iterations\":0,"
+           "\"simulations\":0,\"windows\":0,\"coverage_points\":0,"
+           "\"seeds_imported\":0,\"bugs\":0,"
+           "\"active_seconds\":0.0}\n"
+           "{\"type\":\"summary\",\"workers\":1,"
+           "\"policy\":\"replicas\",\"master_seed\":1,"
+           "\"iterations\":0,\"simulations\":0,\"windows\":0,"
+           "\"coverage_points\":0,\"distinct_bugs\":0,"
+           "\"total_reports\":0,\"epochs\":0,\"corpus_size\":0,"
+           "\"steals\":0,\"wall_seconds\":0.0,"
+           "\"iters_per_sec\":0.0}\n";
+}
+
+std::vector<std::string>
+problemsOf(const std::string &text)
+{
+    std::stringstream is(text);
+    CampaignLog log;
+    std::string error;
+    EXPECT_TRUE(report::parseCampaignLog(is, "hb", log, &error))
+        << error;
+    return validateCampaignLog(log);
+}
+
+bool
+hasProblem(const std::vector<std::string> &problems,
+           const std::string &needle)
+{
+    for (const auto &p : problems)
+        if (p.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+TEST(CampaignLogRoundTrip, ValidatorRejectsCorruptedHeartbeats)
+{
+    const auto ctr = [](obs::Ctr c) {
+        return static_cast<unsigned>(c);
+    };
+    obs::TelemetrySnapshot first;
+    first.counters[ctr(obs::Ctr::Iterations)] = 10;
+    first.counters[ctr(obs::Ctr::StealAttempts)] = 4;
+    first.counters[ctr(obs::Ctr::StealHits)] = 2;
+    first.hists[static_cast<unsigned>(obs::Hist::BatchNs)] = {
+        2, 3000, {}};
+    obs::TelemetrySnapshot second = first;
+    second.counters[ctr(obs::Ctr::Iterations)] = 20;
+
+    // Control: the uncorrupted pair validates clean.
+    EXPECT_TRUE(
+        problemsOf(syntheticHeartbeatLog(0, 1.0, first, 1, 2.0,
+                                         second))
+            .empty());
+
+    // A cumulative counter going backwards.
+    obs::TelemetrySnapshot decreased = second;
+    decreased.counters[ctr(obs::Ctr::Iterations)] = 5;
+    EXPECT_TRUE(hasProblem(
+        problemsOf(syntheticHeartbeatLog(0, 1.0, first, 1, 2.0,
+                                         decreased)),
+        "counter \"iterations\" decreases"));
+
+    // Wall clock running backwards.
+    EXPECT_TRUE(hasProblem(
+        problemsOf(syntheticHeartbeatLog(0, 2.0, first, 1, 1.0,
+                                         second)),
+        "wall_seconds regresses"));
+
+    // Sequence numbers must strictly increase.
+    EXPECT_TRUE(hasProblem(
+        problemsOf(syntheticHeartbeatLog(3, 1.0, first, 3, 2.0,
+                                         second)),
+        "seq values are not strictly increasing"));
+
+    // More successful steals than attempts is impossible.
+    obs::TelemetrySnapshot impossible = second;
+    impossible.counters[ctr(obs::Ctr::StealHits)] = 9;
+    EXPECT_TRUE(hasProblem(
+        problemsOf(syntheticHeartbeatLog(0, 1.0, first, 1, 2.0,
+                                         impossible)),
+        "steal_hits exceeds steal_attempts"));
+
+    // Histogram totals are cumulative too.
+    obs::TelemetrySnapshot shrunk = second;
+    shrunk.hists[static_cast<unsigned>(obs::Hist::BatchNs)].sum = 1;
+    EXPECT_TRUE(hasProblem(
+        problemsOf(syntheticHeartbeatLog(0, 1.0, first, 1, 2.0,
+                                         shrunk)),
+        "histogram \"batch_ns\" sum decreases"));
+}
+
+TEST(CampaignLogRoundTrip, ParserRejectsIncompleteHeartbeats)
+{
+    CampaignLog log;
+    std::string error;
+    std::stringstream missing(
+        "{\"type\":\"heartbeat\",\"seq\":0,"
+        "\"wall_seconds\":0.5}\n");
+    EXPECT_FALSE(
+        report::parseCampaignLog(missing, "bad", log, &error));
+    EXPECT_NE(error.find("missing field"), std::string::npos)
+        << error;
 }
 
 // --- Comparison rendering -----------------------------------------------

@@ -9,6 +9,7 @@
 #ifndef DEJAVUZZ_BENCH_POC_SUITE_HH
 #define DEJAVUZZ_BENCH_POC_SUITE_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -276,6 +277,31 @@ pocSuite()
 {
     return {spectreV1(), spectreV2(), meltdown(), spectreV4(),
             spectreRsb()};
+}
+
+/** Non-nop size of @p poc's transient packet: the hand-written
+ *  measure of "how much code a minimal exploit really needs". */
+inline size_t
+transientEffectiveSize(const Poc &poc)
+{
+    const size_t idx = poc.schedule.transientIndex();
+    return poc.schedule.packets[idx].effectiveSize();
+}
+
+/**
+ * The largest transient effective size across the hand-written
+ * suite. The triage shrinker's output is cross-checked against this
+ * bound: a campaign-found bug minimized by ddmin should not need
+ * grossly more live instructions than the densest hand-crafted
+ * exploit of the same pipeline (tests/test_triage.cc).
+ */
+inline size_t
+maxTransientEffectiveSize()
+{
+    size_t max = 0;
+    for (const Poc &poc : pocSuite())
+        max = std::max(max, transientEffectiveSize(poc));
+    return max;
 }
 
 } // namespace dejavuzz::bench

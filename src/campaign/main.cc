@@ -35,6 +35,7 @@
 #include "campaign/campaign_dir.hh"
 #include "campaign/orchestrator.hh"
 #include "obs/telemetry.hh"
+#include "triage/triage.hh"
 #include "uarch/config.hh"
 
 namespace {
@@ -80,6 +81,14 @@ usage(const char *argv0)
         "with a matching configuration\n"
         "  --minimize         distill the corpus before saving "
         "(drop content duplicates and coverage-subsumed entries)\n"
+        "  --triage           after saving, cluster the bug ledger "
+        "and write DIR/triage.jsonl (needs --campaign-dir)\n"
+        "  --no-matrix        with --triage: skip the cross-config "
+        "portability matrix\n"
+        "  --emit-pocs        with --triage: shrink one standalone "
+        "PoC per cluster into DIR/pocs/\n"
+        "  --threshold X      cluster similarity threshold in [0,1] "
+        "(default 0.5)\n"
         "  --trace-out PATH   write a Chrome trace-event JSON of "
         "the run (open in Perfetto; docs/observability.md)\n"
         "  --heartbeat-sec S  append a telemetry heartbeat record "
@@ -127,6 +136,10 @@ main(int argc, char **argv)
     std::string trace_out_path;
     bool minimize = false;
     bool quiet = false;
+    bool triage = false;
+    bool matrix = true;
+    bool emit_pocs = false;
+    double threshold = 0.5;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -223,6 +236,18 @@ main(int argc, char **argv)
             }
         } else if (arg == "--minimize") {
             minimize = true;
+        } else if (arg == "--triage") {
+            triage = true;
+        } else if (arg == "--no-matrix") {
+            matrix = false;
+        } else if (arg == "--emit-pocs") {
+            triage = true;
+            emit_pocs = true;
+        } else if (arg == "--threshold") {
+            if (!parseDouble(value(), threshold) ||
+                threshold < 0.0 || threshold > 1.0) {
+                bad();
+            }
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -252,6 +277,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--minimize needs a corpus destination "
                      "(--corpus-out or --campaign-dir)\n");
+        return 2;
+    }
+    if (triage && campaign_dir.empty()) {
+        std::fprintf(stderr,
+                     "--triage/--emit-pocs need a --campaign-dir to "
+                     "write triage.jsonl and pocs/ into\n");
         return 2;
     }
 
@@ -492,6 +523,48 @@ main(int argc, char **argv)
                          campaign_dir.c_str(), error.c_str());
             return 1;
         }
+        if (triage) {
+            namespace tr = dejavuzz::triage;
+            tr::TriageOptions topts;
+            topts.cluster.threshold = threshold;
+            topts.matrix = matrix;
+            topts.emit_pocs = emit_pocs;
+            tr::FuzzerCache fuzzers;
+            tr::TriageResult result = tr::triageLedger(
+                orchestrator.ledger().entries(), topts, fuzzers);
+            tr::annotateLedger(orchestrator.ledger(), result);
+
+            const std::string jsonl_path =
+                campaign_dir + "/triage.jsonl";
+            std::ofstream jsonl(jsonl_path,
+                                std::ios::out | std::ios::trunc);
+            if (!jsonl) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             jsonl_path.c_str());
+                return 1;
+            }
+            tr::writeTriageJsonl(jsonl, result);
+            jsonl.flush();
+            if (!jsonl) {
+                std::fprintf(stderr, "write to %s failed\n",
+                             jsonl_path.c_str());
+                return 1;
+            }
+            if (emit_pocs &&
+                !tr::writePocs(campaign_dir, result, &error)) {
+                std::fprintf(stderr, "cannot write PoCs: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            if (!quiet) {
+                std::fprintf(
+                    stderr,
+                    "triage: %zu bugs -> %zu clusters, %zu PoCs "
+                    "(%s)\n",
+                    result.ledger.size(), result.clusters.size(),
+                    result.pocs.size(), jsonl_path.c_str());
+            }
+        }
     } else if (!out_path.empty()) {
         orchestrator.writeJsonl(out_file);
         out_file.flush();
@@ -535,12 +608,14 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(stats.batches),
             static_cast<double>(stats.steal_idle_ns) / 1e9);
         for (const auto &record : orchestrator.ledger().entries()) {
-            std::fprintf(stderr, "  bug [w%u e%llu x%llu] %s\n",
+            std::fprintf(stderr, "  bug [w%u e%llu x%llu]%s%s %s\n",
                          record.worker,
                          static_cast<unsigned long long>(
                              record.epoch),
                          static_cast<unsigned long long>(
                              record.hits),
+                         record.cluster.empty() ? "" : " ",
+                         record.cluster.c_str(),
                          record.report.describe().c_str());
         }
     }

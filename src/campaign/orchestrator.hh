@@ -187,6 +187,8 @@ class CampaignOrchestrator
 
     const CampaignStats &stats() const { return stats_; }
     const BugLedger &ledger() const { return ledger_; }
+    /** Mutable ledger access, for post-run triage annotation. */
+    BugLedger &ledger() { return ledger_; }
     const SharedCorpus &corpus() const { return corpus_; }
 
     /** Emit the campaign JSONL log (stats + deduplicated bugs).

@@ -12,27 +12,6 @@
 
 namespace dejavuzz::replay {
 
-namespace {
-
-/** Resolve a persisted core config name. */
-bool
-configByName(const std::string &name, uarch::CoreConfig &out)
-{
-    const uarch::CoreConfig boom = uarch::smallBoomConfig();
-    if (name == boom.name) {
-        out = boom;
-        return true;
-    }
-    const uarch::CoreConfig xs = uarch::xiangshanMinimalConfig();
-    if (name == xs.name) {
-        out = xs;
-        return true;
-    }
-    return false;
-}
-
-} // namespace
-
 size_t
 ReplaySummary::reproduced() const
 {
@@ -59,7 +38,7 @@ replayLedger(const std::vector<campaign::BugRecord> &ledger)
         result.variant = record.variant;
 
         uarch::CoreConfig config;
-        if (!configByName(record.config, config)) {
+        if (!uarch::coreConfigByName(record.config, config)) {
             result.observed =
                 "unknown core config \"" + record.config + "\"";
             summary.bugs.push_back(std::move(result));
@@ -102,6 +81,32 @@ replayLedger(const std::vector<campaign::BugRecord> &ledger)
         summary.bugs.push_back(std::move(result));
     }
     return summary;
+}
+
+int
+replayVerdict(const ReplaySummary &summary, bool require_bugs,
+              std::string &line)
+{
+    // An empty ledger is a legitimate campaign outcome (the core
+    // under test may simply be clean), so the default verdict is
+    // success with an explicit "nothing replayed" line — silence or
+    // a failure exit here caused real confusion in CI. The
+    // regression-gate reading (--require-bugs) inverts that: a gate
+    // that vacuously passes because the snapshot went missing is
+    // worse than a failure.
+    if (summary.total() == 0) {
+        if (require_bugs) {
+            line = "replay: ledger is empty but --require-bugs "
+                   "was given";
+            return 1;
+        }
+        line = "replay: 0 bugs, nothing replayed";
+        return 0;
+    }
+    line = "replay: " + std::to_string(summary.reproduced()) + "/" +
+           std::to_string(summary.total()) +
+           " ledger bugs reproduced";
+    return summary.allReproduced() ? 0 : 1;
 }
 
 bool

@@ -56,6 +56,17 @@ struct ReplaySummary
 ReplaySummary replayLedger(const std::vector<campaign::BugRecord> &ledger);
 
 /**
+ * The process exit code and human-readable verdict line for a replay
+ * run. An empty ledger is success ("replay: 0 bugs, nothing
+ * replayed") unless @p require_bugs demands findings — the
+ * regression-gate mode, where an unexpectedly empty ledger must fail
+ * loudly instead of vacuously passing. A non-empty ledger succeeds
+ * exactly when every bug reproduced.
+ */
+int replayVerdict(const ReplaySummary &summary, bool require_bugs,
+                  std::string &line);
+
+/**
  * Load the checkpoint of @p dir (a `--campaign-dir`) and replay its
  * ledger. Returns false on a missing/corrupt directory (diagnostic
  * in @p error when non-null).

@@ -5,12 +5,17 @@
  *   dejavuzz-report a.jsonl b.jsonl                 # Markdown report
  *   dejavuzz-report --format csv run.jsonl          # CSV sections
  *   dejavuzz-report --out cmp.md day1.jsonl day2.jsonl
+ *   dejavuzz-report --triage day1/triage.jsonl day1/campaign.jsonl
+ *   dejavuzz-report --triage day1/triage.jsonl      # triage only
  *
  * Each input is a campaign log written by `dejavuzz` (schema:
  * docs/campaign-format.md). Logs are strictly validated — a
  * malformed or internally inconsistent log aborts with a diagnostic
  * and a non-zero exit — then compared side by side on the paper's
  * evaluation axes (usage and sample output: docs/reporting.md).
+ * --triage appends the triage tables (bug clusters, the cross-config
+ * portability matrix, PoC shrink accounting) parsed from a
+ * triage.jsonl written by `dejavuzz-replay --triage`.
  */
 
 #include <cstdio>
@@ -22,6 +27,7 @@
 
 #include "report/campaign_log.hh"
 #include "report/report.hh"
+#include "report/triage_log.hh"
 
 namespace {
 
@@ -32,12 +38,14 @@ void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-        "usage: %s [options] LOG.jsonl [LOG.jsonl ...]\n"
+        "usage: %s [options] [LOG.jsonl ...]\n"
         "\n"
-        "  --format F   md | csv (default md)\n"
-        "  --out PATH   write the report to a file "
+        "  --format F     md | csv (default md)\n"
+        "  --out PATH     write the report to a file "
         "(default stdout)\n"
-        "  --help       this text\n",
+        "  --triage PATH  append triage tables from a triage.jsonl\n"
+        "                 (campaign logs become optional)\n"
+        "  --help         this text\n",
         argv0);
 }
 
@@ -74,6 +82,7 @@ main(int argc, char **argv)
 {
     ReportFormat format = ReportFormat::Markdown;
     std::string out_path;
+    std::string triage_path;
     std::vector<std::string> inputs;
 
     for (int i = 1; i < argc; ++i) {
@@ -102,6 +111,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--out") {
             out_path = value();
+        } else if (arg == "--triage") {
+            triage_path = value();
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage(argv[0]);
@@ -111,7 +122,7 @@ main(int argc, char **argv)
         }
     }
 
-    if (inputs.empty()) {
+    if (inputs.empty() && triage_path.empty()) {
         std::fprintf(stderr, "no campaign logs given\n");
         usage(argv[0]);
         return 2;
@@ -155,8 +166,31 @@ main(int argc, char **argv)
         logs.push_back(std::move(log));
     }
 
-    const std::string report =
-        dejavuzz::report::renderComparison(logs, format);
+    std::string report;
+    if (!logs.empty())
+        report = dejavuzz::report::renderComparison(logs, format);
+
+    if (!triage_path.empty()) {
+        std::ifstream in(triage_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         triage_path.c_str());
+            return 1;
+        }
+        dejavuzz::report::TriageLog triage;
+        std::string error;
+        if (!dejavuzz::report::parseTriageLog(in, triage, &error)) {
+            std::fprintf(stderr, "%s: %s\n", triage_path.c_str(),
+                         error.c_str());
+            return 1;
+        }
+        const std::string preamble =
+            logs.empty() ? "# DejaVuzz bug triage\n" : "";
+        report += dejavuzz::report::renderTables(
+            dejavuzz::report::buildTriageTables(triage), format,
+            preamble);
+    }
+
     if (!out_path.empty()) {
         out_file << report;
         out_file.flush();

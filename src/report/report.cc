@@ -357,17 +357,10 @@ mdEscape(const std::string &text)
 
 std::string
 renderMarkdown(const std::vector<ReportTable> &tables,
-               const std::vector<CampaignLog> &logs)
+               const std::string &preamble)
 {
     std::ostringstream os;
-    os << "# DejaVuzz campaign comparison\n\n";
-    os << "Campaigns: ";
-    for (size_t i = 0; i < logs.size(); ++i) {
-        if (i)
-            os << ", ";
-        os << "`" << logs[i].name << "`";
-    }
-    os << "\n";
+    os << preamble;
     for (const auto &table : tables) {
         if (table.rows.empty())
             continue;
@@ -445,13 +438,29 @@ buildComparisonTables(const std::vector<CampaignLog> &logs)
 }
 
 std::string
+renderTables(const std::vector<ReportTable> &tables,
+             ReportFormat format, const std::string &preamble)
+{
+    return format == ReportFormat::Markdown
+               ? renderMarkdown(tables, preamble)
+               : renderCsv(tables);
+}
+
+std::string
 renderComparison(const std::vector<CampaignLog> &logs,
                  ReportFormat format)
 {
     std::vector<ReportTable> tables = buildComparisonTables(logs);
-    return format == ReportFormat::Markdown
-               ? renderMarkdown(tables, logs)
-               : renderCsv(tables);
+    std::ostringstream preamble;
+    preamble << "# DejaVuzz campaign comparison\n\n";
+    preamble << "Campaigns: ";
+    for (size_t i = 0; i < logs.size(); ++i) {
+        if (i)
+            preamble << ", ";
+        preamble << "`" << logs[i].name << "`";
+    }
+    preamble << "\n";
+    return renderTables(tables, format, preamble.str());
 }
 
 } // namespace dejavuzz::report

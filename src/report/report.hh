@@ -38,6 +38,15 @@ struct ReportTable
 std::vector<ReportTable>
 buildComparisonTables(const std::vector<CampaignLog> &logs);
 
+/**
+ * Render @p tables in @p format. @p preamble is raw Markdown emitted
+ * before the first table (typically the document heading; ignored
+ * for CSV). Empty tables are skipped in both formats.
+ */
+std::string renderTables(const std::vector<ReportTable> &tables,
+                         ReportFormat format,
+                         const std::string &preamble = {});
+
 /** Render the full comparison report for @p logs. */
 std::string renderComparison(const std::vector<CampaignLog> &logs,
                              ReportFormat format);

@@ -1,0 +1,130 @@
+#include "triage/cluster.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace dejavuzz::triage {
+
+namespace {
+
+/** Plain union-find with path halving. */
+struct UnionFind
+{
+    std::vector<size_t> parent;
+
+    explicit UnionFind(size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), size_t{0});
+    }
+
+    size_t
+    find(size_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    merge(size_t a, size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[std::max(a, b)] = std::min(a, b);
+    }
+};
+
+} // namespace
+
+std::vector<Cluster>
+clusterLedger(const std::vector<campaign::BugRecord> &ledger,
+              const ClusterOptions &options)
+{
+    const size_t n = ledger.size();
+    std::vector<BugSignature> sigs;
+    std::vector<std::string> keys;
+    sigs.reserve(n);
+    keys.reserve(n);
+    for (const campaign::BugRecord &record : ledger) {
+        sigs.push_back(signatureOf(record.report));
+        keys.push_back(record.report.key());
+    }
+
+    // Transitive closure over every pair: membership depends only on
+    // the entry *set*. O(n²) similarity calls — fine at ledger scale
+    // (a signature compare is a merge walk over two short id arrays).
+    UnionFind uf(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            if (keys[i] == keys[j] ||
+                similarity(sigs[i], sigs[j]) >= options.threshold) {
+                uf.merge(i, j);
+            }
+        }
+    }
+
+    // Group members per root, then canonicalize: members sorted by
+    // key, clusters sorted by their smallest key, ids dense in that
+    // order. None of this depends on input order or intern ids.
+    std::vector<std::vector<size_t>> groups(n);
+    for (size_t i = 0; i < n; ++i)
+        groups[uf.find(i)].push_back(i);
+
+    std::vector<Cluster> clusters;
+    for (std::vector<size_t> &group : groups) {
+        if (group.empty())
+            continue;
+        std::sort(group.begin(), group.end(),
+                  [&](size_t a, size_t b) {
+                      return keys[a] != keys[b] ? keys[a] < keys[b]
+                                                : a < b;
+                  });
+        Cluster cluster;
+        cluster.representative_index = group.front();
+        cluster.representative = keys[group.front()];
+        cluster.signature = sigs[group.front()];
+        for (size_t member : group) {
+            cluster.members.push_back(keys[member]);
+            cluster.member_indices.push_back(member);
+            // Union component set across the cluster.
+            for (ift::SinkId id : sigs[member].sinks) {
+                auto &sinks = cluster.signature.sinks;
+                auto it = std::lower_bound(sinks.begin(), sinks.end(),
+                                           id);
+                if (it == sinks.end() || *it != id)
+                    sinks.insert(it, id);
+            }
+        }
+        clusters.push_back(std::move(cluster));
+    }
+
+    std::sort(clusters.begin(), clusters.end(),
+              [](const Cluster &a, const Cluster &b) {
+                  return a.representative < b.representative;
+              });
+    for (size_t i = 0; i < clusters.size(); ++i) {
+        char id[24];
+        std::snprintf(id, sizeof(id), "C%03zu", i);
+        clusters[i].id = id;
+    }
+    return clusters;
+}
+
+std::string
+clusterOf(const std::vector<Cluster> &clusters,
+          const std::string &key)
+{
+    for (const Cluster &cluster : clusters) {
+        if (std::binary_search(cluster.members.begin(),
+                               cluster.members.end(), key)) {
+            return cluster.id;
+        }
+    }
+    return "";
+}
+
+} // namespace dejavuzz::triage

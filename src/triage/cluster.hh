@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic signature clustering over a bug ledger.
+ *
+ * Ledger entries whose signatures (signature.hh) overlap at or above
+ * a similarity threshold are merged into one cluster via the
+ * transitive closure over *all* entry pairs — so the result depends
+ * only on the set of entries, never on their order (permutation
+ * invariance is asserted in tests/test_triage.cc). Each cluster is
+ * named after its representative — the member with the
+ * lexicographically smallest dedup key — and clusters are emitted
+ * sorted by representative key with dense zero-padded ids (C000,
+ * C001, ...), making every downstream artifact (triage.jsonl, PoC
+ * files, report tables) byte-reproducible.
+ */
+
+#ifndef DEJAVUZZ_TRIAGE_CLUSTER_HH
+#define DEJAVUZZ_TRIAGE_CLUSTER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/ledger.hh"
+#include "triage/signature.hh"
+
+namespace dejavuzz::triage {
+
+struct ClusterOptions
+{
+    /** Minimum pairwise similarity() that merges two entries. The
+     *  default collapses component sets sharing a strict majority
+     *  while keeping disjoint ones apart. */
+    double threshold = 0.5;
+};
+
+/** One root-cause cluster. */
+struct Cluster
+{
+    std::string id;             ///< "C000", dense in emission order
+    std::string representative; ///< smallest member dedup key
+    /** Index of the representative entry in the input vector (its
+     *  record carries the reproducer the PoC pipeline shrinks). */
+    size_t representative_index = 0;
+    /** Member dedup keys, sorted ascending. */
+    std::vector<std::string> members;
+    /** Input indices of the members, in `members` order. */
+    std::vector<size_t> member_indices;
+    /** Union signature: representative attack/window, merged
+     *  component set across all members. */
+    BugSignature signature;
+};
+
+/**
+ * Cluster @p ledger entries (order-independent; see file comment).
+ * Entries with duplicate dedup keys — impossible in a real ledger —
+ * are treated as near-identical and always merge.
+ */
+std::vector<Cluster> clusterLedger(
+    const std::vector<campaign::BugRecord> &ledger,
+    const ClusterOptions &options = {});
+
+/** The cluster id assigned to @p key, or "" when unclustered. */
+std::string clusterOf(const std::vector<Cluster> &clusters,
+                      const std::string &key);
+
+} // namespace dejavuzz::triage
+
+#endif // DEJAVUZZ_TRIAGE_CLUSTER_HH

@@ -1,0 +1,187 @@
+#include "triage/poc.hh"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "campaign/io_util.hh"
+#include "isa/instr.hh"
+
+namespace dejavuzz::triage {
+
+namespace {
+
+namespace bio = campaign::bio;
+
+constexpr char kMagic[] = "DVZPOC 1";
+
+/** One-line register/immediate rendering, uniform across formats. */
+std::string
+disasmLine(const isa::Instr &instr)
+{
+    std::ostringstream os;
+    os << isa::mnemonic(instr.op);
+    if (isa::fpRd(instr.op))
+        os << " " << isa::fregName(instr.rd);
+    else
+        os << " " << isa::regName(instr.rd);
+    if (isa::fpRs1(instr.op))
+        os << ", " << isa::fregName(instr.rs1);
+    else
+        os << ", " << isa::regName(instr.rs1);
+    if (isa::fpRs2(instr.op))
+        os << ", " << isa::fregName(instr.rs2);
+    else
+        os << ", " << isa::regName(instr.rs2);
+    os << ", " << instr.imm;
+    return os.str();
+}
+
+bool
+hexNibble(char c, uint8_t &out)
+{
+    if (c >= '0' && c <= '9') {
+        out = static_cast<uint8_t>(c - '0');
+        return true;
+    }
+    if (c >= 'a' && c <= 'f') {
+        out = static_cast<uint8_t>(c - 'a' + 10);
+        return true;
+    }
+    return false;
+}
+
+bool
+setError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+} // namespace
+
+void
+writePocFile(std::ostream &os, const PocArtifact &poc)
+{
+    os << kMagic << "\n";
+    os << "cluster: " << poc.cluster << "\n";
+    os << "key: " << poc.key << "\n";
+    os << "config: " << poc.config << "\n";
+    os << "variant: " << poc.variant << "\n";
+
+    // Human-readable view; replay ignores every `#` line and trusts
+    // only the binary blob below.
+    os << "# trigger " << core::triggerKindName(poc.tc.seed.trigger)
+       << ", " << poc.tc.schedule.packets.size() << " packet(s), "
+       << poc.tc.schedule.effectiveTrainingOverhead()
+       << " effective training instr(s)\n";
+    for (size_t p = 0; p < poc.tc.schedule.packets.size(); ++p) {
+        const swapmem::SwapPacket &packet =
+            poc.tc.schedule.packets[p];
+        os << "# packet " << p << " "
+           << swapmem::packetKindName(packet.kind) << " \""
+           << packet.label << "\"\n";
+        for (size_t i = 0; i < packet.instrs.size(); ++i)
+            os << "#   " << i << ": " << disasmLine(packet.instrs[i])
+               << "\n";
+    }
+
+    std::ostringstream blob;
+    bio::writeTestCase(blob, poc.tc);
+    const std::string bytes = blob.str();
+    static const char digits[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(bytes.size() * 2);
+    for (unsigned char byte : bytes) {
+        hex.push_back(digits[byte >> 4]);
+        hex.push_back(digits[byte & 0xf]);
+    }
+    os << "case: " << hex << "\n";
+    os << "end\n";
+}
+
+bool
+readPocFile(std::istream &is, PocArtifact &out, std::string *error)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic)
+        return setError(error, "not a DVZPOC 1 file");
+
+    PocArtifact poc;
+    bool saw_case = false;
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line == "end") {
+            saw_end = true;
+            break;
+        }
+        const size_t sep = line.find(": ");
+        std::string field =
+            sep == std::string::npos ? line : line.substr(0, sep);
+        if (sep == std::string::npos)
+            return setError(error,
+                            "malformed PoC line \"" + line + "\"");
+        std::string value = line.substr(sep + 2);
+        if (field == "cluster") {
+            poc.cluster = value;
+        } else if (field == "key") {
+            poc.key = value;
+        } else if (field == "config") {
+            poc.config = value;
+        } else if (field == "variant") {
+            poc.variant = value;
+        } else if (field == "case") {
+            if (value.size() % 2 != 0)
+                return setError(error, "odd-length PoC case blob");
+            std::string bytes;
+            bytes.reserve(value.size() / 2);
+            for (size_t i = 0; i < value.size(); i += 2) {
+                uint8_t hi = 0, lo = 0;
+                if (!hexNibble(value[i], hi) ||
+                    !hexNibble(value[i + 1], lo)) {
+                    return setError(error,
+                                    "bad hex in PoC case blob");
+                }
+                bytes.push_back(
+                    static_cast<char>((hi << 4) | lo));
+            }
+            std::istringstream blob(bytes);
+            bio::Reader reader{blob, {}};
+            if (!bio::readTestCase(reader, poc.tc))
+                return setError(error, "corrupt PoC test case: " +
+                                           reader.error);
+            // The blob must end exactly where the test case does.
+            if (blob.peek() != std::istream::traits_type::eof())
+                return setError(error,
+                                "trailing bytes after PoC test case");
+            saw_case = true;
+        } else {
+            return setError(error,
+                            "unknown PoC field \"" + field + "\"");
+        }
+    }
+    if (!saw_end)
+        return setError(error, "missing PoC \"end\" terminator");
+    if (!saw_case)
+        return setError(error, "PoC has no \"case\" field");
+    if (poc.key.empty())
+        return setError(error, "PoC has no \"key\" field");
+    if (poc.config.empty())
+        return setError(error, "PoC has no \"config\" field");
+    if (poc.variant.empty())
+        return setError(error, "PoC has no \"variant\" field");
+    out = std::move(poc);
+    return true;
+}
+
+std::string
+pocFileName(const std::string &cluster_id)
+{
+    return cluster_id + ".dvzpoc";
+}
+
+} // namespace dejavuzz::triage

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Standalone proof-of-concept artifacts (`DVZPOC 1`).
+ *
+ * A PoC file packages one minimized reproducer together with the
+ * bug signature it reproduces and the config/variant it reproduces
+ * on — everything `dejavuzz-replay --poc FILE` needs to re-confirm
+ * the bug with no campaign directory at hand. The format is a small
+ * text envelope (versioned header, `field: value` lines, `#` comment
+ * lines carrying a human-readable disassembly, a hex-encoded
+ * bio::writeTestCase blob, `end` terminator) so PoCs diff cleanly,
+ * attach to bug reports and survive copy-paste; the layout is
+ * specified in docs/campaign-format.md. Writing is deterministic:
+ * the same artifact always serializes byte-identically.
+ */
+
+#ifndef DEJAVUZZ_TRIAGE_POC_HH
+#define DEJAVUZZ_TRIAGE_POC_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/seed.hh"
+
+namespace dejavuzz::triage {
+
+/** One standalone PoC: a minimized reproducer plus its claim. */
+struct PocArtifact
+{
+    std::string cluster;  ///< cluster id ("C000"); "" outside triage
+    std::string key;      ///< bug signature the case must reproduce
+    std::string config;   ///< core config that reproduces it
+    std::string variant;  ///< ablation variant to replay under
+    core::TestCase tc;    ///< the minimized test case
+};
+
+/** Serialize @p poc (with disassembly comments) to @p os. */
+void writePocFile(std::ostream &os, const PocArtifact &poc);
+
+/**
+ * Strictly parse a `DVZPOC 1` stream: bad magic, an unknown field, a
+ * malformed hex blob or a missing terminator all fail with a
+ * diagnostic in @p error (when non-null). Comment lines are skipped.
+ */
+bool readPocFile(std::istream &is, PocArtifact &out,
+                 std::string *error = nullptr);
+
+/** Canonical file name for a cluster's PoC ("C000.dvzpoc"). */
+std::string pocFileName(const std::string &cluster_id);
+
+} // namespace dejavuzz::triage
+
+#endif // DEJAVUZZ_TRIAGE_POC_HH

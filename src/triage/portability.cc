@@ -1,0 +1,94 @@
+#include "triage/portability.hh"
+
+#include "campaign/orchestrator.hh"
+#include "uarch/config.hh"
+
+namespace dejavuzz::triage {
+
+core::Fuzzer *
+FuzzerCache::get(const std::string &config_name,
+                 const std::string &variant, std::string *error)
+{
+    auto key = std::make_pair(config_name, variant);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second.get();
+
+    uarch::CoreConfig config;
+    if (!uarch::coreConfigByName(config_name, config)) {
+        if (error)
+            *error = "unknown core config \"" + config_name + "\"";
+        return nullptr;
+    }
+    core::FuzzerOptions fopts;
+    if (!campaign::applyAblationVariant(variant, fopts)) {
+        if (error)
+            *error = "unknown ablation variant \"" + variant + "\"";
+        return nullptr;
+    }
+    // Replay is a verdict oracle; the coverage curve is campaign-only
+    // state and recording it would make triage output depend on call
+    // history.
+    fopts.record_coverage_curve = false;
+
+    it = cache_
+             .emplace(std::move(key),
+                      std::make_unique<core::Fuzzer>(config, fopts))
+             .first;
+    return it->second.get();
+}
+
+std::vector<std::string>
+BugPortability::reproducesOn() const
+{
+    std::vector<std::string> names;
+    for (const PortabilityCell &cell : cells) {
+        if (cell.reproduced)
+            names.push_back(cell.config);
+    }
+    return names;
+}
+
+std::vector<BugPortability>
+portabilityMatrix(const std::vector<campaign::BugRecord> &ledger,
+                  FuzzerCache &fuzzers)
+{
+    std::vector<BugPortability> matrix;
+    matrix.reserve(ledger.size());
+    for (const campaign::BugRecord &record : ledger) {
+        BugPortability row;
+        row.key = record.report.key();
+        row.origin_config = record.config;
+        row.variant = record.variant;
+
+        for (const uarch::CoreConfig &config :
+             uarch::registeredCoreConfigs()) {
+            PortabilityCell cell;
+            cell.config = config.name;
+
+            std::string error;
+            core::Fuzzer *fuzzer =
+                fuzzers.get(config.name, record.variant, &error);
+            if (!fuzzer) {
+                cell.observed = error;
+                row.cells.push_back(std::move(cell));
+                continue;
+            }
+            core::Fuzzer::ReplayOutcome outcome =
+                fuzzer->replayCase(record.repro);
+            if (!outcome.report.has_value()) {
+                cell.observed = outcome.window_ok
+                                    ? "no-leak"
+                                    : "window-not-triggered";
+            } else {
+                cell.observed = outcome.report->key();
+                cell.reproduced = cell.observed == row.key;
+            }
+            row.cells.push_back(std::move(cell));
+        }
+        matrix.push_back(std::move(row));
+    }
+    return matrix;
+}
+
+} // namespace dejavuzz::triage

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cross-config portability replay.
+ *
+ * A ledger records each bug on the config that found it; the
+ * portability matrix answers the question the paper's Table 5 poses —
+ * *which cores does this bug affect?* — by replaying every
+ * reproducer through core::Fuzzer::replayCase on **every** registered
+ * core config (uarch::registeredCoreConfigs), not just its origin.
+ * Each (bug, config) cell records reproduce/no-reproduce plus the
+ * observed sink-diff signature as provenance: a bug that *does*
+ * replay elsewhere but with a different component set shows up as
+ * no-reproduce with the foreign signature in `observed`, which is
+ * exactly the information a triager needs.
+ *
+ * Deterministic: replayCase outcomes are pure functions of
+ * (config, variant, test case), and rows/cells follow ledger order ×
+ * config registry order — two runs from the same ledger are
+ * byte-identical (asserted in tests/test_replay.cc).
+ */
+
+#ifndef DEJAVUZZ_TRIAGE_PORTABILITY_HH
+#define DEJAVUZZ_TRIAGE_PORTABILITY_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/ledger.hh"
+#include "core/fuzzer.hh"
+
+namespace dejavuzz::triage {
+
+/**
+ * Replay simulators, one per (config, variant), built lazily and
+ * reused across every bug and every pipeline stage (matrix, shrink,
+ * PoC verification) — replaying a full campaign builds at most
+ * |configs| × |variants| fuzzers.
+ */
+class FuzzerCache
+{
+  public:
+    /**
+     * The cached fuzzer for (@p config_name, @p variant), built on
+     * first use. Returns nullptr — with a diagnostic in @p error when
+     * non-null — for a config name or variant this build does not
+     * know.
+     */
+    core::Fuzzer *get(const std::string &config_name,
+                      const std::string &variant,
+                      std::string *error = nullptr);
+
+  private:
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<core::Fuzzer>>
+        cache_;
+};
+
+/** One (bug, config) cell. */
+struct PortabilityCell
+{
+    std::string config; ///< target core config name
+    bool reproduced = false;
+    /** Sink-diff provenance: the observed signature key, "no-leak",
+     *  "window-not-triggered", or a diagnostic. */
+    std::string observed;
+};
+
+/** One bug's row: a cell per registered config, registry order. */
+struct BugPortability
+{
+    std::string key;           ///< the ledger signature replayed
+    std::string origin_config; ///< config the bug was found on
+    std::string variant;       ///< ablation variant it was found under
+    std::vector<PortabilityCell> cells;
+
+    /** Config names whose cell reproduced, registry order. */
+    std::vector<std::string> reproducesOn() const;
+};
+
+/**
+ * Build the full matrix for @p ledger (rows in ledger order). Never
+ * fails: un-replayable records yield diagnostic cells.
+ */
+std::vector<BugPortability> portabilityMatrix(
+    const std::vector<campaign::BugRecord> &ledger,
+    FuzzerCache &fuzzers);
+
+} // namespace dejavuzz::triage
+
+#endif // DEJAVUZZ_TRIAGE_PORTABILITY_HH

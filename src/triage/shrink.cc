@@ -1,0 +1,223 @@
+#include "triage/shrink.hh"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "isa/encoding.hh"
+
+namespace dejavuzz::triage {
+
+namespace {
+
+bool
+isNop(const isa::Instr &instr)
+{
+    return instr.op == isa::Op::ADDI && instr.rd == 0 &&
+           instr.rs1 == 0 && instr.imm == 0;
+}
+
+isa::Instr
+canonicalNop()
+{
+    isa::Instr nop;
+    nop.op = isa::Op::ADDI;
+    nop.rd = 0;
+    nop.rs1 = 0;
+    nop.rs2 = 0;
+    nop.imm = 0;
+    nop.raw = isa::encode(nop);
+    return nop;
+}
+
+size_t
+totalInstrs(const swapmem::SwapSchedule &schedule)
+{
+    size_t n = 0;
+    for (const swapmem::SwapPacket &packet : schedule.packets)
+        n += packet.size();
+    return n;
+}
+
+size_t
+totalEffective(const swapmem::SwapSchedule &schedule)
+{
+    size_t n = 0;
+    for (const swapmem::SwapPacket &packet : schedule.packets)
+        n += packet.effectiveSize();
+    return n;
+}
+
+/**
+ * ddmin-style chunk neutralization: walk chunk sizes from half the
+ * candidate count down to 1 and greedily keep every chunk whose
+ * neutralization the oracle accepts. `neutralize(base, begin, end)`
+ * returns `base` with candidates [begin, end) neutralized; accepted
+ * chunks fold into the running base so later trials compound.
+ * `neutral(base, k)` reports a candidate that is already in its
+ * neutral form — all-neutral chunks are skipped, which both saves
+ * oracle calls and guarantees the caller's fixpoint loop terminates
+ * (a no-op trial never counts as a change).
+ */
+template <typename State, typename Neutral, typename Neutralize,
+          typename Oracle>
+bool
+chunkReduce(State &base, size_t candidates, Neutral neutral,
+            Neutralize neutralize, Oracle oracle)
+{
+    bool changed = false;
+    for (size_t chunk = std::max<size_t>(candidates / 2, 1);;
+         chunk /= 2) {
+        for (size_t begin = 0; begin < candidates; begin += chunk) {
+            const size_t end = std::min(begin + chunk, candidates);
+            bool all_neutral = true;
+            for (size_t k = begin; k < end && all_neutral; ++k)
+                all_neutral = neutral(base, k);
+            if (all_neutral)
+                continue;
+            State trial = neutralize(base, begin, end);
+            if (oracle(trial)) {
+                base = std::move(trial);
+                changed = true;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+    return changed;
+}
+
+} // namespace
+
+core::TestCase
+shrinkCase(core::Fuzzer &fuzzer, const core::TestCase &tc,
+           const std::string &expected_key, ShrinkStats *stats)
+{
+    ShrinkStats local;
+    ShrinkStats &st = stats ? *stats : local;
+    st = ShrinkStats{};
+    st.packets_before = tc.schedule.packets.size();
+    st.instrs_before = totalInstrs(tc.schedule);
+    st.effective_before = totalEffective(tc.schedule);
+
+    auto reproduces = [&](const core::TestCase &trial) {
+        ++st.oracle_calls;
+        core::Fuzzer::ReplayOutcome outcome = fuzzer.replayCase(trial);
+        return outcome.report.has_value() &&
+               outcome.report->key() == expected_key;
+    };
+
+    auto finish = [&](const core::TestCase &result) {
+        st.packets_after = result.schedule.packets.size();
+        st.instrs_after = totalInstrs(result.schedule);
+        st.effective_after = totalEffective(result.schedule);
+        return result;
+    };
+
+    if (!reproduces(tc))
+        return finish(tc);
+    st.reproduced_initially = true;
+
+    const isa::Instr nop = canonicalNop();
+    core::TestCase best = tc;
+
+    // Fixpoint: repeat the pass stack until a whole round leaves the
+    // case untouched. Each pass is deterministic, so a re-shrink of
+    // the result is exactly that final no-change round — idempotence
+    // without any extra bookkeeping.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Pass 1: drop whole training packets, last first (later
+        // training usually refines earlier training, so it is the
+        // most likely to be redundant). The transient packet is
+        // structurally required and never a candidate.
+        for (size_t i = best.schedule.packets.size(); i-- > 0;) {
+            if (best.schedule.packets[i].kind ==
+                swapmem::PacketKind::Transient) {
+                continue;
+            }
+            core::TestCase trial = best;
+            trial.schedule = best.schedule.without(i);
+            if (reproduces(trial)) {
+                best = std::move(trial);
+                changed = true;
+            }
+        }
+
+        // Pass 2: NOP-replace instructions. Candidates are every
+        // non-nop, non-SWAPNEXT instruction across the surviving
+        // packets (SWAPNEXT is the swap runtime's sequence hook;
+        // NOPping it would wedge the schedule, never reproduce, and
+        // waste an oracle call per round).
+        std::vector<std::pair<size_t, size_t>> sites;
+        for (size_t p = 0; p < best.schedule.packets.size(); ++p) {
+            const auto &instrs = best.schedule.packets[p].instrs;
+            for (size_t i = 0; i < instrs.size(); ++i) {
+                if (instrs[i].op != isa::Op::SWAPNEXT &&
+                    !isNop(instrs[i])) {
+                    sites.emplace_back(p, i);
+                }
+            }
+        }
+        if (!sites.empty()) {
+            changed |= chunkReduce(
+                best, sites.size(),
+                [&](const core::TestCase &base, size_t k) {
+                    auto [p, i] = sites[k];
+                    return isNop(base.schedule.packets[p].instrs[i]);
+                },
+                [&](const core::TestCase &base, size_t begin,
+                    size_t end) {
+                    core::TestCase trial = base;
+                    for (size_t k = begin; k < end; ++k) {
+                        auto [p, i] = sites[k];
+                        trial.schedule.packets[p].instrs[i] = nop;
+                    }
+                    return trial;
+                },
+                reproduces);
+        }
+
+        // Pass 3: zero operand slots the leak does not read.
+        if (!best.data.operands.empty()) {
+            changed |= chunkReduce(
+                best, best.data.operands.size(),
+                [&](const core::TestCase &base, size_t k) {
+                    return base.data.operands[k] == 0;
+                },
+                [&](const core::TestCase &base, size_t begin,
+                    size_t end) {
+                    core::TestCase trial = base;
+                    for (size_t k = begin; k < end; ++k)
+                        trial.data.operands[k] = 0;
+                    return trial;
+                },
+                reproduces);
+        }
+
+        // Pass 4: zero secret bytes. The differential oracle compares
+        // DUTs on secret vs bit-flipped secret, so bytes the encode
+        // block never touches can go to zero without changing the
+        // observed signature — the survivors point at the leaked
+        // range.
+        changed |= chunkReduce(
+            best, best.data.secret.size(),
+            [&](const core::TestCase &base, size_t k) {
+                return base.data.secret[k] == 0;
+            },
+            [&](const core::TestCase &base, size_t begin, size_t end) {
+                core::TestCase trial = base;
+                for (size_t k = begin; k < end; ++k)
+                    trial.data.secret[k] = 0;
+                return trial;
+            },
+            reproduces);
+    }
+
+    return finish(best);
+}
+
+} // namespace dejavuzz::triage

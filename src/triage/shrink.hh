@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Delta-debugging shrinker for bug reproducers.
+ *
+ * Given a test case and the bug signature it reproduces, shrinkCase()
+ * searches for a smaller case that still reproduces the *exact same*
+ * signature, using core::Fuzzer::replayCase as the oracle. Fuzzer
+ * campaigns produce reproducers padded with training noise and
+ * irrelevant window instructions; a minimized PoC makes the root
+ * cause legible and replays faster in regression CI.
+ *
+ * The reduction is structure-preserving: instructions are replaced
+ * with canonical NOPs rather than removed, because the swap runtime
+ * re-encodes packets at kSwapBase and branch targets, padTo layouts
+ * and the window/encode index metadata all use absolute addresses or
+ * indices — removal would silently retarget every later instruction.
+ * Whole training packets *are* dropped (SwapSchedule::without keeps
+ * the remaining layout intact). Additional passes zero operand slots
+ * and secret bytes that the leak does not depend on.
+ *
+ * All passes run under an outer fixpoint loop until a full round
+ * changes nothing, which makes the shrinker idempotent by
+ * construction: re-shrinking a minimized case replays exactly that
+ * final no-change round. Everything is deterministic — candidate
+ * order is structural, the oracle is pure — so the same input always
+ * minimizes to the byte-identical output.
+ */
+
+#ifndef DEJAVUZZ_TRIAGE_SHRINK_HH
+#define DEJAVUZZ_TRIAGE_SHRINK_HH
+
+#include <cstddef>
+#include <string>
+
+#include "core/fuzzer.hh"
+#include "core/seed.hh"
+
+namespace dejavuzz::triage {
+
+/** Before/after accounting for one shrink run. */
+struct ShrinkStats
+{
+    size_t packets_before = 0;
+    size_t packets_after = 0;
+    size_t instrs_before = 0;  ///< total schedule instruction count
+    size_t instrs_after = 0;
+    size_t effective_before = 0; ///< non-nop instructions
+    size_t effective_after = 0;
+    size_t oracle_calls = 0;     ///< replayCase invocations
+    /** False when the input did not reproduce @p expected_key on the
+     *  given fuzzer to begin with (the input is returned unchanged). */
+    bool reproduced_initially = false;
+};
+
+/**
+ * Minimize @p tc while preserving reproduction of @p expected_key
+ * (the BugReport dedup key) on @p fuzzer. Returns the minimized case;
+ * when the input does not reproduce at all, returns it unchanged with
+ * stats.reproduced_initially == false. Never increases the
+ * instruction count of any surviving packet.
+ */
+core::TestCase shrinkCase(core::Fuzzer &fuzzer,
+                          const core::TestCase &tc,
+                          const std::string &expected_key,
+                          ShrinkStats *stats = nullptr);
+
+} // namespace dejavuzz::triage
+
+#endif // DEJAVUZZ_TRIAGE_SHRINK_HH

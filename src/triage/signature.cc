@@ -1,0 +1,59 @@
+#include "triage/signature.hh"
+
+#include <algorithm>
+
+namespace dejavuzz::triage {
+
+BugSignature
+signatureOf(const core::BugReport &report)
+{
+    BugSignature sig;
+    sig.attack = report.attack;
+    sig.masked_address = report.masked_address;
+    sig.window = report.window;
+    sig.sinks.reserve(report.components.size());
+    for (const std::string &component : report.components)
+        sig.sinks.push_back(ift::internSink(component, "component"));
+    std::sort(sig.sinks.begin(), sig.sinks.end());
+    sig.sinks.erase(std::unique(sig.sinks.begin(), sig.sinks.end()),
+                    sig.sinks.end());
+    return sig;
+}
+
+double
+similarity(const BugSignature &a, const BugSignature &b)
+{
+    if (a.attack != b.attack || a.masked_address != b.masked_address)
+        return 0.0;
+    if (a.sinks.empty() && b.sinks.empty())
+        return 1.0;
+    // |A ∩ B| over two sorted id vectors.
+    size_t both = 0;
+    size_t i = 0, j = 0;
+    while (i < a.sinks.size() && j < b.sinks.size()) {
+        if (a.sinks[i] == b.sinks[j]) {
+            ++both;
+            ++i;
+            ++j;
+        } else if (a.sinks[i] < b.sinks[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    const size_t either = a.sinks.size() + b.sinks.size() - both;
+    return static_cast<double>(both) / static_cast<double>(either);
+}
+
+std::vector<std::string>
+componentNames(const BugSignature &sig)
+{
+    std::vector<std::string> names;
+    names.reserve(sig.sinks.size());
+    for (ift::SinkId id : sig.sinks)
+        names.push_back(ift::sinkModule(id));
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace dejavuzz::triage

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Triage signatures: the clustering view of a ledger entry.
+ *
+ * The ledger dedups on the exact (attack, window, component-set) key,
+ * which is the right grain for regression replay but too fine for
+ * triage: one root cause (say, a leaky d-cache refill port) surfaces
+ * under several window kinds and with small component-set variations,
+ * and a fleet-scale campaign counts it dozens of times. A
+ * BugSignature reduces each entry to the axes that indicate a shared
+ * root cause — attack family, masked-address flag and the interned
+ * taint-sink/timing component set (ift::SinkId, PR 5) — and
+ * similarity() scores two signatures by component overlap so the
+ * clusterer (cluster.hh) can collapse near-duplicates.
+ */
+
+#ifndef DEJAVUZZ_TRIAGE_SIGNATURE_HH
+#define DEJAVUZZ_TRIAGE_SIGNATURE_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/ledger.hh"
+#include "core/report.hh"
+#include "ift/sinkid.hh"
+
+namespace dejavuzz::triage {
+
+/** The clustering-relevant reduction of one bug report. */
+struct BugSignature
+{
+    core::AttackType attack = core::AttackType::Spectre;
+    bool masked_address = false;
+    core::TriggerKind window = core::TriggerKind::BranchMispredict;
+    /** Interned component ids, sorted ascending — integer set
+     *  algebra on the comparison path, strings only on output. */
+    std::vector<ift::SinkId> sinks;
+};
+
+/** Extract the signature of @p report. */
+BugSignature signatureOf(const core::BugReport &report);
+
+/**
+ * Similarity in [0, 1]: Jaccard overlap of the component sets, gated
+ * to 0 when the attack family or masked-address flag differ (a
+ * Meltdown and a Spectre never share a root cause in the paper's
+ * taxonomy). Two empty component sets of the same family count as
+ * identical (1.0). The window kind deliberately does not gate: the
+ * same root cause triggered through different transient windows is
+ * exactly what triage should collapse. Symmetric.
+ */
+double similarity(const BugSignature &a, const BugSignature &b);
+
+/** Component names of @p sig, sorted (resolved from the intern
+ *  table; deterministic regardless of intern order). */
+std::vector<std::string> componentNames(const BugSignature &sig);
+
+} // namespace dejavuzz::triage
+
+#endif // DEJAVUZZ_TRIAGE_SIGNATURE_HH

@@ -114,4 +114,28 @@ moduleName(ModuleId module_id)
     return "?";
 }
 
+const std::vector<CoreConfig> &
+registeredCoreConfigs()
+{
+    // Built once; the order is part of the portability-matrix and
+    // triage-output determinism contract (docs/triage.md).
+    static const std::vector<CoreConfig> configs = {
+        smallBoomConfig(),
+        xiangshanMinimalConfig(),
+    };
+    return configs;
+}
+
+bool
+coreConfigByName(const std::string &name, CoreConfig &out)
+{
+    for (const CoreConfig &config : registeredCoreConfigs()) {
+        if (config.name == name) {
+            out = config;
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace dejavuzz::uarch

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dejavuzz::uarch {
 
@@ -105,6 +106,21 @@ CoreConfig smallBoomConfig();
 
 /** The paper's XiangShan MinimalConfig configuration. */
 CoreConfig xiangshanMinimalConfig();
+
+/**
+ * Every core configuration this build registers, in a fixed
+ * deterministic order. Cross-config tooling (the triage portability
+ * matrix, `dejavuzz-replay`) iterates this list instead of
+ * hard-coding the paper's two cores, so adding a config here extends
+ * the whole pipeline.
+ */
+const std::vector<CoreConfig> &registeredCoreConfigs();
+
+/**
+ * Resolve a persisted core config name against the registered set.
+ * Returns false (leaving @p out untouched) for unknown names.
+ */
+bool coreConfigByName(const std::string &name, CoreConfig &out);
 
 /** Stable module identifiers used for coverage and taint logs. */
 enum ModuleId : uint16_t {

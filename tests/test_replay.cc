@@ -17,6 +17,7 @@
 #include "campaign/snapshot.hh"
 #include "core/fuzzer.hh"
 #include "replay/replay.hh"
+#include "triage/portability.hh"
 #include "uarch/config.hh"
 
 namespace dejavuzz {
@@ -125,6 +126,101 @@ TEST(Replay, MissingDirectoryFailsCleanly)
     EXPECT_FALSE(replay::replayCampaignDir(
         "/nonexistent/dvz-campaign", summary, &error));
     EXPECT_FALSE(error.empty());
+}
+
+TEST(Portability, MatrixCoversEveryRegisteredConfig)
+{
+    // Every ledger bug gets one cell per registered core config —
+    // not just its origin — and the origin cell must reproduce (the
+    // same contract replayLedger() enforces).
+    CampaignOrchestrator orchestrator(smallCampaign(2, 1000));
+    orchestrator.run();
+    const std::vector<campaign::BugRecord> ledger =
+        orchestrator.ledger().entries();
+    ASSERT_GT(ledger.size(), 0u);
+
+    const std::vector<uarch::CoreConfig> registry =
+        uarch::registeredCoreConfigs();
+    ASSERT_GE(registry.size(), 2u)
+        << "portability needs at least two registered configs";
+
+    triage::FuzzerCache cache;
+    const std::vector<triage::BugPortability> matrix =
+        triage::portabilityMatrix(ledger, cache);
+    ASSERT_EQ(matrix.size(), ledger.size());
+
+    for (size_t i = 0; i < matrix.size(); ++i) {
+        const triage::BugPortability &row = matrix[i];
+        EXPECT_EQ(row.key, ledger[i].report.key());
+        EXPECT_EQ(row.origin_config, ledger[i].config);
+        ASSERT_EQ(row.cells.size(), registry.size());
+        for (size_t c = 0; c < row.cells.size(); ++c) {
+            // Cells follow registry order and always carry sink-diff
+            // provenance, reproduced or not.
+            EXPECT_EQ(row.cells[c].config, registry[c].name);
+            EXPECT_FALSE(row.cells[c].observed.empty());
+            if (row.cells[c].config == row.origin_config) {
+                EXPECT_TRUE(row.cells[c].reproduced)
+                    << row.key << " on its origin "
+                    << row.cells[c].config << ": "
+                    << row.cells[c].observed;
+                EXPECT_EQ(row.cells[c].observed, row.key);
+            }
+        }
+        // reproducesOn() mirrors the reproduced cells, registry order.
+        std::vector<std::string> expected;
+        for (const triage::PortabilityCell &cell : row.cells)
+            if (cell.reproduced)
+                expected.push_back(cell.config);
+        EXPECT_EQ(row.reproducesOn(), expected);
+    }
+}
+
+TEST(Portability, MatrixIsDeterministicAcrossRuns)
+{
+    // Two independent passes over the same ledger — fresh simulator
+    // caches each time — must agree cell for cell, including the
+    // observed foreign signatures.
+    CampaignOrchestrator orchestrator(smallCampaign(2, 1000));
+    orchestrator.run();
+    const std::vector<campaign::BugRecord> ledger =
+        orchestrator.ledger().entries();
+    ASSERT_GT(ledger.size(), 0u);
+
+    triage::FuzzerCache cache1, cache2;
+    const auto first = triage::portabilityMatrix(ledger, cache1);
+    const auto second = triage::portabilityMatrix(ledger, cache2);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].key, second[i].key);
+        ASSERT_EQ(first[i].cells.size(), second[i].cells.size());
+        for (size_t c = 0; c < first[i].cells.size(); ++c) {
+            EXPECT_EQ(first[i].cells[c].reproduced,
+                      second[i].cells[c].reproduced);
+            EXPECT_EQ(first[i].cells[c].observed,
+                      second[i].cells[c].observed);
+        }
+    }
+}
+
+TEST(Portability, UnreplayableRecordYieldsDiagnosticCells)
+{
+    CampaignOrchestrator orchestrator(smallCampaign(1, 500));
+    orchestrator.run();
+    std::vector<campaign::BugRecord> ledger =
+        orchestrator.ledger().entries();
+    ASSERT_GT(ledger.size(), 0u);
+    ledger[0].variant = "no-such-variant";
+
+    triage::FuzzerCache cache;
+    const auto matrix = triage::portabilityMatrix(ledger, cache);
+    ASSERT_EQ(matrix.size(), ledger.size());
+    for (const triage::PortabilityCell &cell : matrix[0].cells) {
+        EXPECT_FALSE(cell.reproduced);
+        EXPECT_NE(cell.observed.find("no-such-variant"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(matrix[0].reproducesOn().empty());
 }
 
 } // namespace

@@ -113,10 +113,13 @@ main()
             sim_options.mode = ift::IftMode::DiffIFT;
             sim_options.taint_log = true;
             auto result = replay_sim.runDual(sched, data, sim_options);
-            for (const auto &cycle : result.dut0.taint_log.cycles) {
-                for (const auto &sample : cycle.modules)
-                    sd_coverage.sample(ids[sample.module_id],
-                                       sample.tainted_regs);
+            const auto &log = result.dut0.taint_log;
+            for (const auto &cycle : log.cycles) {
+                for (const auto *sample = log.samplesBegin(cycle);
+                     sample != log.samplesEnd(cycle); ++sample) {
+                    sd_coverage.sample(ids[sample->module_id],
+                                       sample->tainted_regs);
+                }
             }
         };
         for (uint64_t i = 0; i < iters; ++i) {

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Taint-accounting and Phase-3 lane-fusion throughput.
+ *
+ * BM_TaintStatsIncremental / BM_TaintStatsRescan isolate the cost of
+ * assembling the per-module taint statistics every cycle: the
+ * incremental accounts (ift/taintacct.hh) are an O(kModCount) read of
+ * running sums, the rescan walks all of the shadow state. The
+ * incremental path must win (CI gate in perf-smoke).
+ *
+ * BM_Phase3Standalone / BM_Phase3Fused measure a full Phase-2 +
+ * Phase-3 analysis of triggered windows: the standalone variant
+ * re-simulates the sanitized schedule from reset (2+2 passes), the
+ * fused variant resumes Phase 3 from the lockstep run's
+ * transient-boundary snapshot (2+1 passes, prefix skipped).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "bench/poc_suite.hh"
+#include "core/phases.hh"
+#include "core/stimgen.hh"
+#include "harness/dualsim.hh"
+#include "ift/policy.hh"
+#include "swapmem/memory.hh"
+#include "swapmem/packet.hh"
+#include "uarch/config.hh"
+#include "uarch/core.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+using namespace dejavuzz;
+
+namespace {
+
+/** Per-cycle stats assembly over one PoC run; @p rescan picks the
+ *  oracle path. Returns cycles simulated (rate counter). */
+template <typename StatsFn>
+uint64_t
+runWithStats(const uarch::CoreConfig &cfg, const bench::Poc &poc,
+             StatsFn &&stats_fn)
+{
+    uarch::Core core(cfg);
+    swapmem::Memory mem;
+    mem.installSecret(poc.data.secret.data(), poc.data.secret.size());
+    for (size_t i = 0; i < poc.data.operands.size(); ++i)
+        mem.setOperand(static_cast<unsigned>(i), poc.data.operands[i]);
+    swapmem::SwapRuntime runtime(poc.schedule);
+    uint64_t entry = runtime.start(mem);
+    if (runtime.done())
+        return 0;
+    core.startSequence(entry);
+
+    std::array<uarch::ModuleStat, uarch::kModCount> stats;
+    uint64_t packet_cycles = 0;
+    while (core.cycle() < 4000) {
+        ift::TaintCtx ctx;
+        ctx.begin(ift::IftMode::CellIFT, nullptr, nullptr);
+        uarch::TickEvents ev = core.tick(mem, ctx, nullptr);
+        ++packet_cycles;
+        stats_fn(core, stats);
+        benchmark::DoNotOptimize(stats);
+        if (ev.swap_next || ev.trapped || packet_cycles >= 1500) {
+            uint64_t next_entry = runtime.advance(mem);
+            if (runtime.done())
+                break;
+            core.flushICache();
+            core.startSequence(next_entry);
+            packet_cycles = 0;
+        }
+    }
+    return core.cycle();
+}
+
+template <typename StatsFn>
+void
+runTaintStats(benchmark::State &state, StatsFn &&stats_fn)
+{
+    auto cfg = uarch::smallBoomConfig();
+    auto suite = bench::pocSuite();
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        for (const auto &poc : suite)
+            cycles += runWithStats(cfg, poc, stats_fn);
+    }
+    state.counters["stat_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TaintStatsIncremental(benchmark::State &state)
+{
+    runTaintStats(state, [](const uarch::Core &core, auto &stats) {
+        core.moduleTaintStats(stats);
+    });
+}
+BENCHMARK(BM_TaintStatsIncremental)->Unit(benchmark::kMillisecond);
+
+void
+BM_TaintStatsRescan(benchmark::State &state)
+{
+    runTaintStats(state, [](const uarch::Core &core, auto &stats) {
+        core.moduleTaintStatsRescan(stats);
+    });
+}
+BENCHMARK(BM_TaintStatsRescan)->Unit(benchmark::kMillisecond);
+
+/** Phase-1-triggered, window-completed test cases (fixed seed). */
+std::vector<core::TestCase>
+triggeredCases(const uarch::CoreConfig &cfg, unsigned want)
+{
+    harness::DualSim sim(cfg);
+    core::StimGen gen(cfg);
+    core::Phase1 phase1(sim, harness::SimOptions{});
+    Rng rng(0xbe9c);
+    std::vector<core::TestCase> cases;
+    for (unsigned i = 0; i < 64 && cases.size() < want; ++i) {
+        core::Seed seed = gen.newSeed(rng, i);
+        core::TestCase tc = gen.generatePhase1(seed);
+        bool triggered = false;
+        phase1.run(tc, triggered, true);
+        if (!triggered)
+            continue;
+        gen.completeWindow(tc);
+        if (tc.has_window_payload)
+            cases.push_back(std::move(tc));
+    }
+    return cases;
+}
+
+void
+runPhase3(benchmark::State &state, bool fused)
+{
+    auto cfg = uarch::smallBoomConfig();
+    auto cases = triggeredCases(cfg, 6);
+    core::StimGen gen(cfg);
+    harness::DualSim sim(cfg);
+
+    harness::SimOptions phase2_options;
+    phase2_options.mode = ift::IftMode::DiffIFT;
+    phase2_options.taint_log = true;
+    phase2_options.sinks = true;
+    harness::SimOptions phase3_options;
+    phase3_options.mode = ift::IftMode::DiffIFT;
+    phase3_options.sinks = true;
+
+    harness::DualResult explore;
+    harness::DualResult analyze;
+    uint64_t passes = 0;
+    for (auto _ : state) {
+        for (const auto &tc : cases) {
+            swapmem::SwapSchedule sanitized =
+                gen.sanitizedSchedule(tc);
+            sim.armFusion(fused ? &sanitized : nullptr);
+            sim.runDual(tc.schedule, tc.data, phase2_options,
+                        explore);
+            passes += explore.sim_passes;
+            if (sim.fusionCaptured())
+                sim.runFusedPhase3(phase3_options, analyze);
+            else
+                sim.runDual(sanitized, tc.data, phase3_options,
+                            analyze);
+            passes += analyze.sim_passes;
+            benchmark::DoNotOptimize(analyze.dut0.state_hash);
+        }
+    }
+    state.counters["sim_passes_per_s"] = benchmark::Counter(
+        static_cast<double>(passes), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Phase3Standalone(benchmark::State &state)
+{
+    runPhase3(state, /*fused=*/false);
+}
+BENCHMARK(BM_Phase3Standalone)->Unit(benchmark::kMillisecond);
+
+void
+BM_Phase3Fused(benchmark::State &state)
+{
+    runPhase3(state, /*fused=*/true);
+}
+BENCHMARK(BM_Phase3Fused)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+// Hand-rolled BENCHMARK_MAIN(): quiet the inform() digest before the
+// runner does anything (--benchmark_list_tests must print only the
+// benchmark names).
+int
+main(int argc, char **argv)
+{
+    dejavuzz::setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

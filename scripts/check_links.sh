@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
 # Check every Markdown file in the repository (top-level pages, the
-# docs/ tree, and anything added later) for dead relative links.
+# docs/ tree, and anything added later) for dead relative links and
+# dead intra-document anchors.
 #
-# Extracts every Markdown link target, skips absolute URLs and
-# pure-anchor links, strips #fragments, and verifies the target
-# exists relative to the file that references it. Exits non-zero
-# listing every dead link.
+# Extracts every Markdown link target and skips absolute URLs. For
+# the path part, verifies the target exists relative to the file
+# that references it. For the #fragment part (including pure-anchor
+# links like [x](#section)), computes the GitHub-style anchor of
+# every heading in the target Markdown file — lowercased,
+# punctuation stripped, spaces to hyphens, -1/-2/... suffixes for
+# duplicates — and verifies the fragment matches one. Exits non-zero
+# listing every dead link/anchor.
 
 set -u
 cd "$(dirname "$0")/.."
+
+# GitHub-style anchors of a Markdown file, one per line.
+anchors_of() {
+    grep -E '^#{1,6}[[:space:]]' "$1" |
+        sed -E 's/^#+[[:space:]]+//; s/[[:space:]]+$//' |
+        tr '[:upper:]' '[:lower:]' |
+        sed -E 's/[`*]//g; s/[^a-z0-9 _-]//g; s/[[:space:]]/-/g' |
+        awk '{ n = seen[$0]++; if (n) print $0 "-" n; else print $0 }'
+}
 
 fail=0
 while IFS= read -r file; do
@@ -16,12 +30,28 @@ while IFS= read -r file; do
     dir=$(dirname "$file")
     while IFS= read -r target; do
         case "$target" in
-            http://*|https://*|mailto:*|\#*) continue ;;
+            http://*|https://*|mailto:*) continue ;;
         esac
         path="${target%%#*}"
-        [ -n "$path" ] || continue
-        if [ ! -e "$dir/$path" ]; then
+        frag=""
+        case "$target" in
+            *'#'*) frag="${target#*#}" ;;
+        esac
+        if [ -n "$path" ] && [ ! -e "$dir/$path" ]; then
             echo "dead link in $file: $target"
+            fail=1
+            continue
+        fi
+        [ -n "$frag" ] || continue
+        # Anchor validation; a pure-anchor link targets its own file.
+        anchor_file="$file"
+        [ -n "$path" ] && anchor_file="$dir/$path"
+        case "$anchor_file" in
+            *.md) ;;
+            *) continue ;;
+        esac
+        if ! anchors_of "$anchor_file" | grep -qxF "$frag"; then
+            echo "dead anchor in $file: $target"
             fail=1
         fi
     done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
@@ -29,6 +59,6 @@ done < <(find . -name '*.md' \
     -not -path './.git/*' -not -path './build*/*' | sort)
 
 if [ "$fail" -eq 0 ]; then
-    echo "all relative links resolve"
+    echo "all relative links and anchors resolve"
 fi
 exit "$fail"

@@ -26,6 +26,9 @@ Fuzzer::Fuzzer(const uarch::CoreConfig &config,
     : cfg_(config), options_(options), gen_(config), sim_(config),
       rng_(options.master_seed)
 {
+    // ift_mode is the pipeline's mode knob; the embedded SimOptions
+    // default (Off) was never meant to win over it.
+    options_.sim.mode = options_.ift_mode;
     module_ids_ = uarch::Core::registerModules(coverage_, cfg_);
 }
 
@@ -204,7 +207,7 @@ Fuzzer::run(uint64_t count)
 {
     RunSlice slice(*this);
     Phase1 phase1(sim_, options_.sim);
-    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
+    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_, &gen_);
     Phase3 phase3(sim_, options_.sim, gen_);
     for (uint64_t i = 0; i < count; ++i)
         iterate(phase1, phase2, phase3);
@@ -216,7 +219,7 @@ Fuzzer::runUntilFirstBug(uint64_t max_iters)
 {
     RunSlice slice(*this);
     Phase1 phase1(sim_, options_.sim);
-    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
+    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_, &gen_);
     Phase3 phase3(sim_, options_.sim, gen_);
     for (uint64_t i = 0; i < max_iters && stats_.bugs.empty(); ++i)
         iterate(phase1, phase2, phase3);
@@ -315,7 +318,7 @@ Fuzzer::replayCase(const TestCase &tc, bool collect_coverage_tuples)
     // Measure against an empty map so outcome.coverage is the case's
     // own tuple set — the same yardstick whoever replays it.
     coverage_.resetSamples();
-    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_);
+    Phase2 phase2(sim_, options_.sim, coverage_, module_ids_, &gen_);
     Phase3 phase3(sim_, options_.sim, gen_);
 
     ReplayOutcome outcome;

@@ -39,6 +39,9 @@ struct FuzzerOptions
     bool coverage_feedback = true;  ///< false: DejaVuzz−
     bool use_liveness = true;
     bool training_reduction = true;
+    /** IFT mode the phase pipeline simulates under.  Copied into
+     *  sim.mode by the Fuzzer constructor — this is the knob;
+     *  sim.mode's own default is ignored. */
     ift::IftMode ift_mode = ift::IftMode::DiffIFT;
     unsigned max_mutations = 6;     ///< window mutations per seed
     unsigned phase1_retries = 3;    ///< regeneration attempts per seed

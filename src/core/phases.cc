@@ -131,6 +131,17 @@ Phase2::run(const TestCase &tc)
     harness::SimOptions options = options_;
     options.taint_log = true;
     options.sinks = true;
+    // Arm Phase-3 lane fusion when the sanitized twin is available:
+    // the differential run below then snapshots both lanes at the
+    // transient boundary, and Phase 3 resumes from the snapshot
+    // instead of re-simulating the shared prefix.
+    if (gen_ != nullptr && options.fuse_phase3 &&
+        tc.has_window_payload) {
+        sanitized_ = gen_->sanitizedSchedule(tc);
+        sim_->armFusion(&sanitized_);
+    } else {
+        sim_->armFusion(nullptr);
+    }
     sim_->runDual(tc.schedule, tc.data, options, result.dual);
 
     result.window = checkWindow(result.dual.dut0.trace, tc);
@@ -157,9 +168,10 @@ Phase2::run(const TestCase &tc)
         if (cyc.cycle < result.window.open_cycle ||
             cyc.cycle > result.window.close_cycle + 8)
             continue;
-        for (const auto &sample : cyc.modules) {
-            coverage_->sample(module_ids_[sample.module_id],
-                              sample.tainted_regs);
+        for (const auto *sample = log.samplesBegin(cyc);
+             sample != log.samplesEnd(cyc); ++sample) {
+            coverage_->sample(module_ids_[sample->module_id],
+                              sample->tainted_regs);
         }
     }
     result.new_coverage = coverage_->takeNewPoints();
@@ -274,8 +286,15 @@ Phase3::run(const TestCase &tc, const Phase2Result &phase2,
     harness::SimOptions options = options_;
     options.taint_log = false;
     options.sinks = true;
-    swapmem::SwapSchedule sanitized = gen_->sanitizedSchedule(tc);
-    sim_->runDual(sanitized, tc.data, options, base_);
+    if (sim_->fusionCaptured()) {
+        // Fused third lane: the Phase-2 run snapshotted both lanes at
+        // the transient boundary; resume them onto the sanitized
+        // schedule instead of re-simulating the shared prefix.
+        sim_->runFusedPhase3(options, base_);
+    } else {
+        swapmem::SwapSchedule sanitized = gen_->sanitizedSchedule(tc);
+        sim_->runDual(sanitized, tc.data, options, base_);
+    }
     result.simulations = base_.sim_passes;
 
     // Step 3.2: tainted-sink liveness analysis.

@@ -79,11 +79,20 @@ struct Phase2Result
 class Phase2
 {
   public:
+    /**
+     * @p gen, when non-null, lets Phase 2 arm the harness's Phase-3
+     * lane fusion: the sanitized schedule is built up front and the
+     * lockstep run snapshots both lanes at the transient boundary so
+     * a following Phase 3 can resume instead of re-simulating the
+     * shared prefix. Null (the default) keeps the standalone
+     * sanitized run.
+     */
     Phase2(harness::DualSim &sim, const harness::SimOptions &options,
            ift::TaintCoverage &coverage,
-           const std::array<uint16_t, uarch::kModCount> &module_ids)
+           const std::array<uint16_t, uarch::kModCount> &module_ids,
+           const StimGen *gen = nullptr)
         : sim_(&sim), options_(options), coverage_(&coverage),
-          module_ids_(module_ids)
+          module_ids_(module_ids), gen_(gen)
     {}
 
     /**
@@ -98,7 +107,11 @@ class Phase2
     harness::SimOptions options_;
     ift::TaintCoverage *coverage_;
     std::array<uint16_t, uarch::kModCount> module_ids_;
+    const StimGen *gen_ = nullptr;
     Phase2Result result_;
+    /** Pooled sanitized schedule the armed fusion capture resumes
+     *  onto; must outlive the following Phase-3 run. */
+    swapmem::SwapSchedule sanitized_;
 };
 
 /** Phase-3 verdict. */

@@ -1,5 +1,7 @@
 #include "harness/dualsim.hh"
 
+#include <cstring>
+
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
 
@@ -37,13 +39,14 @@ gatesAllClosed(const ift::ControlTrace &mine,
 {
     if (mine.size() > sibling.size())
         return false;
-    for (size_t i = 0; i < mine.size(); ++i) {
-        const ift::SigRec &a = mine.at(i);
-        const ift::SigRec &b = sibling.at(i);
-        if (a.sig != b.sig || a.value != b.value)
-            return false;
-    }
-    return true;
+    // Word-wide prefix compare over the parallel sig/value arrays:
+    // two memcmps replace the per-record loop on the hottest
+    // comparison in the lockstep driver.
+    size_t n = mine.size();
+    return std::memcmp(mine.sigsData(), sibling.sigsData(),
+                       n * sizeof(uint32_t)) == 0 &&
+           std::memcmp(mine.valuesData(), sibling.valuesData(),
+                       n * sizeof(uint64_t)) == 0;
 }
 
 /** Cycles after a divergence during which checkpoints are per-cycle
@@ -66,7 +69,8 @@ DualSim::TraceStore::viewAt(uint64_t cycle) const
 }
 
 DualSim::DualSim(const uarch::CoreConfig &config)
-    : cfg_(config), lane0_(config), lane1_(config), ckpt_core_(config)
+    : cfg_(config), lane0_(config), lane1_(config), ckpt_core_(config),
+      fused0_(config), fused1_(config)
 {}
 
 void
@@ -159,6 +163,9 @@ DualSim::finishLane(LaneRun &lr, const SimOptions &options)
         lr.lane.core.enumSinks(lr.result.sinks);
     else
         lr.result.sinks.clear();
+    obs::counterAdd(obs::Ctr::TaintTransitions,
+                    lr.lane.core.taintTransitions() -
+                        lr.taint_transitions_base);
 }
 
 void
@@ -242,7 +249,8 @@ DualSim::runDualFourPass(const SwapSchedule &schedule,
 void
 DualSim::runDualLockstep(const SwapSchedule &schedule,
                          const StimulusData &data,
-                         const SimOptions &options, DualResult &out)
+                         const SimOptions &options, DualResult &out,
+                         bool allow_capture)
 {
     store_a_.prepare(options.total_cycle_budget);
     store_b_.prepare(options.total_cycle_budget);
@@ -251,6 +259,19 @@ DualSim::runDualLockstep(const SwapSchedule &schedule,
     LaneRun l1(lane1_, out.dut1, schedule);
     startLane(l0, data, options, false);
     startLane(l1, data, options, true);
+    lockstepLoop(l0, l1, options, allow_capture);
+    out.sim_passes = 2;
+}
+
+void
+DualSim::lockstepLoop(LaneRun &l0, LaneRun &l1, const SimOptions &options,
+                      bool allow_capture)
+{
+    // Transient-packet index the fusion hook watches for; SIZE_MAX
+    // disables capture (not armed, or already resuming a fused run).
+    size_t fuse_at = allow_capture && fusion_sanitized_ != nullptr
+                         ? fusion_sanitized_->transientIndex()
+                         : SIZE_MAX;
 
     LaneMarks marks;
     SwapRuntime ckpt_runtime = l0.runtime;
@@ -292,7 +313,7 @@ DualSim::runDualLockstep(const SwapSchedule &schedule,
         l0.result.trace.squashes.resize(marks.squashes);
         l0.result.trace.rob_io.resize(marks.rob_io);
         l0.result.trace.cycles = marks.cycle;
-        l0.result.taint_log.cycles.resize(marks.taint_cycles);
+        l0.result.taint_log.truncateCycles(marks.taint_cycles);
         l0.result.packet_start.resize(marks.packet_starts);
     };
 
@@ -335,9 +356,32 @@ DualSim::runDualLockstep(const SwapSchedule &schedule,
             laneTick(l0, options, ift::IftMode::DiffIFT, nullptr,
                      rec1);
         }
+
+        // Fusion snapshot: both lanes' state at an iteration bottom
+        // is confirmed (any divergence this cycle was just redone),
+        // and the first time a swap cursor reaches the transient
+        // packet it sits exactly at its start — the packet was
+        // loaded at the end of this tick and none of its
+        // instructions have been fetched yet.
+        if (fuse_at != SIZE_MAX && !fusion_captured_ &&
+            (l0.runtime.cursor() >= fuse_at ||
+             l1.runtime.cursor() >= fuse_at)) {
+            captureLane(fused0_, l0);
+            captureLane(fused1_, l1);
+            fusion_captured_ = true;
+        }
     }
     if (ckpt_valid)
         l0.lane.mem.discardUndo();
+
+    // Armed but the transient packet was never reached (a lane ran
+    // out of budget while training): snapshot the exit state so the
+    // fused run still skips the whole shared prefix.
+    if (fuse_at != SIZE_MAX && !fusion_captured_) {
+        captureLane(fused0_, l0);
+        captureLane(fused1_, l1);
+        fusion_captured_ = true;
+    }
 
     // Solo tails: one instance outlived the other; it keeps gating
     // against the frozen sibling store, whose viewAt() tail semantics
@@ -355,13 +399,78 @@ DualSim::runDualLockstep(const SwapSchedule &schedule,
         finishLane(l0, options);
     if (l1.started)
         finishLane(l1, options);
-    out.sim_passes = 2;
+}
+
+void
+DualSim::captureLane(FusedCapture &cap, const LaneRun &lr)
+{
+    cap.core = lr.lane.core;
+    cap.mem.copyFrom(lr.lane.mem);
+    cap.result = lr.result;
+    cap.packet_cycles = lr.packet_cycles;
+    cap.cursor = lr.runtime.cursor();
+    cap.runtime_started = lr.runtime.started();
+    cap.started = lr.started;
+    cap.done = lr.done;
+}
+
+void
+DualSim::restoreLane(const FusedCapture &cap, LaneRun &lr,
+                     const SimOptions &options, size_t transient_index)
+{
+    lr.lane.core = cap.core;
+    lr.lane.mem.copyFrom(cap.mem);
+    lr.result = cap.result;
+    // The snapshot was taken under the capturing run's options; a
+    // fused run without taint logging must look like a run that
+    // never logged (standalone bit-identity).
+    if (!options.taint_log)
+        lr.result.taint_log.clear();
+    lr.runtime.resumeAt(cap.cursor, cap.runtime_started);
+    lr.packet_cycles = cap.packet_cycles;
+    lr.taint_transitions_base = cap.core.taintTransitions();
+    lr.started = cap.started;
+    lr.done = cap.done;
+    // The snapshot's swap region holds the packet the *capturing*
+    // schedule loaded; once the cursor is at (or past) the transient
+    // packet that differs from this lane's sanitized schedule, so
+    // reload it — same zero-fill + load + secret-protection sequence
+    // the original advance performed, now with sanitized words.
+    if (cap.runtime_started && !lr.runtime.done() &&
+        cap.cursor >= transient_index) {
+        lr.runtime.reload(lr.lane.mem);
+    }
+}
+
+void
+DualSim::runFusedPhase3(const SimOptions &options, DualResult &out)
+{
+    dv_assert(fusion_captured_ && fusion_sanitized_ != nullptr);
+    size_t transient_index = fusion_sanitized_->transientIndex();
+    LaneRun l0(lane0_, out.dut0, *fusion_sanitized_);
+    LaneRun l1(lane1_, out.dut1, *fusion_sanitized_);
+    restoreLane(fused0_, l0, options, transient_index);
+    restoreLane(fused1_, l1, options, transient_index);
+    // Prefix cycles this fused resume did not have to re-simulate.
+    obs::counterAdd(obs::Ctr::FusedLaneCycles,
+                    fused0_.core.cycle() + fused1_.core.cycle());
+    lockstepLoop(l0, l1, options, false);
+    out.sim_passes = 1;
+    obs::counterAdd(obs::Ctr::Simulations, out.sim_passes);
+    fusion_captured_ = false;
+    fusion_sanitized_ = nullptr;
 }
 
 void
 DualSim::runDual(const SwapSchedule &schedule, const StimulusData &data,
                  const SimOptions &options, DualResult &out)
 {
+    // Fusion arming is one-shot: this run either captures a snapshot
+    // (lockstep DiffIFT) or the arming lapses, so a stale sanitized
+    // pointer can never be consulted by a later, unrelated run.
+    bool allow_capture = fusion_armed_;
+    fusion_armed_ = false;
+    fusion_captured_ = false;
     switch (options.mode) {
       case ift::IftMode::Off:
       case ift::IftMode::CellIFT:
@@ -376,7 +485,7 @@ DualSim::runDual(const SwapSchedule &schedule, const StimulusData &data,
         return;
       case ift::IftMode::DiffIFT:
         if (options.lockstep_diff)
-            runDualLockstep(schedule, data, options, out);
+            runDualLockstep(schedule, data, options, out, allow_capture);
         else
             runDualFourPass(schedule, data, options, out);
         obs::counterAdd(obs::Ctr::Simulations, out.sim_passes);

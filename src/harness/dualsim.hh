@@ -29,6 +29,22 @@
  * single pass per instance. All per-run state (cores, memories,
  * trace stores, result buffers) is pooled inside DualSim, so the
  * steady-state iteration loop performs no allocation.
+ *
+ * **Phase-3 lane fusion.** The Phase-3 sanitized run executes the
+ * same schedule as Phase 2 with the transient packet's encode
+ * instructions nop'd out — and packets only reach memory when the
+ * swap runtime loads them, so the two runs are cycle-for-cycle
+ * identical until the transient packet is loaded. When a phase
+ * driver arms fusion (armFusion) with the sanitized schedule, the
+ * lockstep loop snapshots both lanes at the first confirmed point
+ * where either swap cursor reaches the transient packet (always
+ * before any transient instruction is fetched: the load happens at
+ * the end of the triggering tick and fetch resumes next tick).
+ * runFusedPhase3 then restores the snapshot, rewrites the swap
+ * region with the sanitized transient packet, and runs only the
+ * post-transient suffix — bit-identical to a standalone sanitized
+ * run (CI-enforced) at a fraction of its cost, collapsing a fuzzer
+ * iteration from 2+1 full simulations toward 2.
  */
 
 #ifndef DEJAVUZZ_HARNESS_DUALSIM_HH
@@ -69,6 +85,14 @@ struct SimOptions
      * equivalence suite sweeps it to stress the rollback/replay path.
      */
     uint64_t lockstep_checkpoint_interval = 32;
+    /**
+     * Let Phase 2 arm the lockstep driver to snapshot both lanes at
+     * the transient-packet boundary so Phase 3's sanitized run can
+     * resume from the shared prefix instead of re-simulating it.
+     * Results are bit-identical either way; this switch exists for
+     * the equivalence suite and perf baselines.
+     */
+    bool fuse_phase3 = true;
     uint64_t packet_cycle_budget = 1500;
     uint64_t total_cycle_budget = 20000;
 };
@@ -150,6 +174,39 @@ class DualSim
                        const StimulusData &data,
                        const SimOptions &options);
 
+    /**
+     * Arm Phase-3 lane fusion for the next runDual: @p sanitized is
+     * the sanitized twin of the schedule that runDual will execute
+     * (same packet count, kinds, entries and transient protection;
+     * only the transient packet's instructions differ). The pointer
+     * must stay valid through the matching runFusedPhase3 call.
+     * Passing nullptr disarms. Arming is one-shot: each runDual
+     * consumes it, and non-lockstep / non-DiffIFT runs simply never
+     * capture (fusionCaptured() stays false => callers fall back to
+     * a standalone sanitized run).
+     */
+    void
+    armFusion(const swapmem::SwapSchedule *sanitized)
+    {
+        fusion_sanitized_ = sanitized;
+        fusion_armed_ = sanitized != nullptr;
+        fusion_captured_ = false;
+    }
+
+    /** True when the last runDual captured a fusion snapshot. */
+    bool fusionCaptured() const { return fusion_captured_; }
+
+    /**
+     * Run the Phase-3 sanitized simulation as a fused third lane:
+     * restore both lanes from the snapshot captured by the last
+     * (armed) lockstep runDual, reload the swap region with the
+     * sanitized transient packet, and finish the run. Bit-identical
+     * to runDual on the sanitized schedule but costs only the
+     * post-transient suffix (sim_passes = 1). Requires
+     * fusionCaptured(); consumes the snapshot.
+     */
+    void runFusedPhase3(const SimOptions &options, DualResult &out);
+
   private:
     /**
      * Recorded control traces of one instance, one slot per cycle,
@@ -180,8 +237,16 @@ class DualSim
             return &trace;
         }
 
-        /** Sibling view of @p cycle; see dualsim.cc for the tail
-         *  hysteresis semantics. */
+        /**
+         * Sibling view of @p cycle with the seed harness's
+         * grow-by-256 tail hysteresis: cycles < used return the
+         * recorded trace; cycles past used but below the next
+         * 256-cycle boundary return an *empty* trace (structural
+         * divergence => gates open); cycles at or beyond the
+         * boundary return nullptr (no trace => gates closed). See
+         * kTraceTailQuantum in dualsim.cc for why this asymmetry is
+         * load-bearing for bit-identity with the seed.
+         */
         const ift::ControlTrace *viewAt(uint64_t cycle) const;
     };
 
@@ -204,6 +269,10 @@ class DualSim
         DutResult &result;
         swapmem::SwapRuntime runtime;
         uint64_t packet_cycles = 0;
+        /** Core taint-transition count at lane start (nonzero only
+         *  for a fused resume), so finishLane reports the transitions
+         *  this run actually simulated. */
+        uint64_t taint_transitions_base = 0;
         bool started = false; ///< false: schedule was empty at start
         bool done = false;
     };
@@ -227,6 +296,26 @@ class DualSim
         size_t packet_starts = 0;
     };
 
+    /**
+     * Snapshot of one lane at a confirmed lockstep point, from which
+     * the Phase-3 sanitized run can resume. Pooled: the Core and
+     * Memory copies reuse their storage across iterations.
+     */
+    struct FusedCapture
+    {
+        explicit FusedCapture(const uarch::CoreConfig &config)
+            : core(config)
+        {}
+        uarch::Core core;
+        swapmem::Memory mem;
+        DutResult result;
+        uint64_t packet_cycles = 0;
+        size_t cursor = 0;
+        bool runtime_started = false;
+        bool started = false;
+        bool done = false;
+    };
+
     void startLane(LaneRun &lr, const StimulusData &data,
                    const SimOptions &options, bool flipped_secret);
     void laneTick(LaneRun &lr, const SimOptions &options,
@@ -245,7 +334,21 @@ class DualSim
                          const SimOptions &options, DualResult &out);
     void runDualLockstep(const swapmem::SwapSchedule &schedule,
                          const StimulusData &data,
-                         const SimOptions &options, DualResult &out);
+                         const SimOptions &options, DualResult &out,
+                         bool allow_capture);
+
+    /**
+     * The lockstep main loop, solo tails and lane finish, shared by
+     * the full run (runDualLockstep) and the fused Phase-3 resume
+     * (runFusedPhase3). @p allow_capture enables the fusion snapshot
+     * hook at confirmed iteration bottoms.
+     */
+    void lockstepLoop(LaneRun &l0, LaneRun &l1,
+                      const SimOptions &options, bool allow_capture);
+
+    void captureLane(FusedCapture &cap, const LaneRun &lr);
+    void restoreLane(const FusedCapture &cap, LaneRun &lr,
+                     const SimOptions &options, size_t transient_index);
 
     void buildMemory(swapmem::Memory &mem, const StimulusData &data,
                      bool flipped_secret) const;
@@ -260,6 +363,13 @@ class DualSim
     DutResult scratch_result_;
     TraceStore store_a_;
     TraceStore store_b_;
+    /** Phase-3 fusion snapshots (lane 0 / lane 1). */
+    FusedCapture fused0_;
+    FusedCapture fused1_;
+    /** Sanitized schedule the armed capture will resume onto. */
+    const swapmem::SwapSchedule *fusion_sanitized_ = nullptr;
+    bool fusion_armed_ = false;
+    bool fusion_captured_ = false;
 };
 
 } // namespace dejavuzz::harness

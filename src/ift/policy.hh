@@ -47,21 +47,42 @@ struct SigRec
     uint64_t value;
 };
 
-/** Per-cycle, per-instance control-signal trace. */
+/**
+ * Per-cycle, per-instance control-signal trace.
+ *
+ * Stored as parallel sig/value vectors rather than a SigRec vector:
+ * SigRec pads to 16 bytes, so an element-wise struct compare could
+ * not be a memcmp, while two packed arrays let the lockstep harness
+ * compare a whole cycle's trace with two memcmps (the per-cycle
+ * divergence check is the hottest comparison in diffIFT).
+ */
 class ControlTrace
 {
   public:
-    void clear() { recs_.clear(); }
+    void
+    clear()
+    {
+        sigs_.clear();
+        values_.clear();
+    }
     void
     record(uint32_t sig, uint64_t value)
     {
-        recs_.push_back(SigRec{sig, value});
+        sigs_.push_back(sig);
+        values_.push_back(value);
     }
-    size_t size() const { return recs_.size(); }
-    const SigRec &at(size_t index) const { return recs_[index]; }
+    size_t size() const { return sigs_.size(); }
+    SigRec
+    at(size_t index) const
+    {
+        return SigRec{sigs_[index], values_[index]};
+    }
+    const uint32_t *sigsData() const { return sigs_.data(); }
+    const uint64_t *valuesData() const { return values_.data(); }
 
   private:
-    std::vector<SigRec> recs_;
+    std::vector<uint32_t> sigs_;
+    std::vector<uint64_t> values_;
 };
 
 /**
@@ -116,7 +137,7 @@ class TaintCtx
                 ++cursor_;
                 return true; // structural divergence
             }
-            const SigRec &rec = other_->at(cursor_++);
+            SigRec rec = other_->at(cursor_++);
             if (rec.sig != sig)
                 return true; // structural divergence
             return rec.value != value;

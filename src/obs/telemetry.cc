@@ -25,6 +25,9 @@ ctrName(Ctr c)
       case Ctr::HotCycles: return "hot_cycles";
       case Ctr::StealAttempts: return "steal_attempts";
       case Ctr::StealHits: return "steal_hits";
+      case Ctr::TaintTransitions: return "taint_transitions";
+      case Ctr::TaintRescanChecks: return "taint_rescan_checks";
+      case Ctr::FusedLaneCycles: return "fused_lane_cycles";
       case Ctr::kCount: break;
     }
     return "?";

@@ -45,6 +45,9 @@ enum class Ctr : uint8_t {
     HotCycles,     ///< cycles spent inside the divergence-hot window
     StealAttempts, ///< scheduler steal() calls that scanned victims
     StealHits,     ///< steal() calls that found a batch
+    TaintTransitions,  ///< taint-account contribution changes applied
+    TaintRescanChecks, ///< incremental-vs-rescan cross-checks run
+    FusedLaneCycles,   ///< Phase-3 cycles saved by lane fusion
     kCount,
 };
 

@@ -32,6 +32,31 @@ Memory::reset()
     undo_.clear();
 }
 
+void
+Memory::copyFrom(const Memory &other)
+{
+    uint64_t stale = dirty_pages_ & ~other.dirty_pages_;
+    while (stale != 0) {
+        unsigned page = static_cast<unsigned>(std::countr_zero(stale));
+        stale &= stale - 1;
+        uint64_t base = static_cast<uint64_t>(page) * kPageBytes;
+        std::memset(&data_[base], 0, kPageBytes);
+        std::memset(&taint_[base], 0, kPageBytes);
+    }
+    uint64_t live = other.dirty_pages_;
+    while (live != 0) {
+        unsigned page = static_cast<unsigned>(std::countr_zero(live));
+        live &= live - 1;
+        uint64_t base = static_cast<uint64_t>(page) * kPageBytes;
+        std::memcpy(&data_[base], &other.data_[base], kPageBytes);
+        std::memcpy(&taint_[base], &other.taint_[base], kPageBytes);
+    }
+    dirty_pages_ = other.dirty_pages_;
+    secret_prot_ = other.secret_prot_;
+    undo_active_ = false;
+    undo_.clear();
+}
+
 uint8_t
 Memory::byte(uint64_t addr) const
 {

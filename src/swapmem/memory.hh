@@ -46,6 +46,16 @@ class Memory
      */
     void reset();
 
+    /**
+     * Make this Memory bit-identical to @p other, reusing the
+     * allocation. Cost is proportional to the union of the two dirty
+     * footprints, not the image size: pages dirty here but clean in
+     * @p other are zeroed; pages dirty in @p other are copied. Any
+     * active undo log on this instance is dropped (the snapshot is a
+     * confirmed state, not a speculative one).
+     */
+    void copyFrom(const Memory &other);
+
     // --- raw byte access (no permission checks) ------------------------
     uint8_t byte(uint64_t addr) const;
     void setByte(uint64_t addr, uint8_t value, bool tainted);

@@ -94,6 +94,30 @@ class SwapRuntime
 
     bool done() const { return cursor_ >= schedule_->packets.size(); }
     size_t cursor() const { return cursor_; }
+    bool started() const { return started_; }
+
+    /**
+     * Resume mid-schedule without touching memory: the caller restored
+     * a memory snapshot taken at this cursor position on a schedule
+     * whose packets [0, cursor] are identical (Phase-3 lane fusion).
+     */
+    void
+    resumeAt(size_t cursor, bool started)
+    {
+        cursor_ = cursor;
+        started_ = started;
+    }
+
+    /**
+     * Reload the current packet into @p mem — needed after resumeAt
+     * when this schedule's current packet differs from the one the
+     * snapshot was taken under (the sanitized transient packet).
+     */
+    void
+    reload(Memory &mem)
+    {
+        loadCurrent(mem);
+    }
 
     /** Currently-loaded packet (valid when !done()). */
     const SwapPacket &current() const;

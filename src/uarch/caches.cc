@@ -4,6 +4,25 @@
 
 namespace dejavuzz::uarch {
 
+namespace {
+
+/** Population contribution of one TV-carrying entry. */
+ift::TaintContrib
+tvContrib(const TV &tv)
+{
+    return {tv.t != 0 ? 1u : 0u,
+            static_cast<uint64_t>(popcount64(tv.t))};
+}
+
+ift::TaintContrib
+maskContrib(uint64_t taint)
+{
+    return {taint != 0 ? 1u : 0u,
+            static_cast<uint64_t>(popcount64(taint))};
+}
+
+} // namespace
+
 // --- ICache ------------------------------------------------------------
 
 ICache::ICache(unsigned lines, unsigned miss_latency)
@@ -17,6 +36,7 @@ void
 ICache::reset()
 {
     tags_.assign(tags_.size(), Line{});
+    acct_.reset();
     refill_remaining_ = 0;
     refill_line_ = 0;
     refill_taint_ = false;
@@ -56,9 +76,13 @@ ICache::tick()
     ++busy_cycles;
     if (--refill_remaining_ == 0) {
         Line &slot = tags_[indexOf(refill_line_)];
+        ift::TaintContrib before{slot.taint != 0 ? 1u : 0u,
+                                 slot.taint != 0 ? 8u : 0u};
         slot.valid = true;
         slot.tag = refill_line_;
         slot.taint = refill_taint_ ? 1 : 0;
+        acct_.apply(before, {slot.taint != 0 ? 1u : 0u,
+                             slot.taint != 0 ? 8u : 0u});
     }
 }
 
@@ -67,6 +91,7 @@ ICache::flush()
 {
     for (Line &slot : tags_)
         slot = Line{};
+    acct_.zero();
     refill_remaining_ = 0;
 }
 
@@ -82,7 +107,7 @@ ICache::stateHash() const
 }
 
 uint32_t
-ICache::taintedRegCount() const
+ICache::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const Line &slot : tags_)
@@ -91,11 +116,11 @@ ICache::taintedRegCount() const
 }
 
 uint64_t
-ICache::taintBits() const
+ICache::taintBitsRescan() const
 {
     // A tainted line tag stands for a whole line of secret-steered
     // fetch state.
-    return static_cast<uint64_t>(taintedRegCount()) * 8;
+    return static_cast<uint64_t>(taintedRegCountRescan()) * 8;
 }
 
 void
@@ -132,6 +157,9 @@ DCache::reset()
     mshrs_.assign(mshrs_.size(), MshrEntry{});
     lfbs_.assign(lfbs_.size(), LfbEntry{});
     std::fill(lfb_owner_valid_.begin(), lfb_owner_valid_.end(), 0);
+    line_acct_.reset();
+    mshr_acct_.reset();
+    lfb_acct_.reset();
     busy_cycles = 0;
 }
 
@@ -169,6 +197,7 @@ DCache::allocMshr(TV addr, bool addr_ctl)
         if (mshrs_[i].valid)
             continue;
         MshrEntry &entry = mshrs_[i];
+        // Invalid entries contribute nothing, so "before" is zero.
         entry.valid = true;
         entry.line = line;
         entry.remaining = miss_latency_;
@@ -177,6 +206,7 @@ DCache::allocMshr(TV addr, bool addr_ctl)
         entry.faulting = false;
         entry.addr_ctl = addr_ctl;
         lfb_owner_valid_[i] = 1;
+        mshr_acct_.apply({}, tvContrib(entry.addr));
         return static_cast<int>(i);
     }
     return -1;
@@ -217,14 +247,20 @@ DCache::tick(const std::vector<TV> &refill_data)
         TV data = i < refill_data.size() ? refill_data[i] : TV{};
         if (!entry.faulting) {
             Line &slot = tags_[indexOf(entry.line)];
+            ift::TaintContrib before = maskContrib(slot.taint);
             slot.valid = true;
             slot.tag = entry.line;
             slot.taint = data.t | (entry.addr_ctl ? ~0ULL : 0);
+            line_acct_.apply(before, maskContrib(slot.taint));
         }
         LfbEntry &lfb = lfbs_[entry.lfb_index];
+        ift::TaintContrib lfb_before = tvContrib(lfb.data);
         lfb.line = entry.line;
         lfb.data = data;
+        lfb_acct_.apply(lfb_before, tvContrib(lfb.data));
         lfb_owner_valid_[entry.lfb_index] = 0;
+        // Retiring the valid-gated MSHR drops its contribution.
+        mshr_acct_.apply(tvContrib(entry.addr), {});
         entry.valid = false;
     }
     if (any_busy)
@@ -236,8 +272,11 @@ DCache::storeUpdate(uint64_t addr, TV data)
 {
     uint64_t line = lineOf(addr);
     Line &slot = tags_[indexOf(line)];
-    if (slot.valid && slot.tag == line)
+    if (slot.valid && slot.tag == line) {
+        ift::TaintContrib before = maskContrib(slot.taint);
         slot.taint |= data.t;
+        line_acct_.apply(before, maskContrib(slot.taint));
+    }
 }
 
 void
@@ -271,6 +310,9 @@ DCache::flush()
     for (LfbEntry &entry : lfbs_)
         entry = LfbEntry{};
     std::fill(lfb_owner_valid_.begin(), lfb_owner_valid_.end(), 0);
+    line_acct_.zero();
+    mshr_acct_.zero();
+    lfb_acct_.zero();
 }
 
 uint64_t
@@ -285,7 +327,7 @@ DCache::stateHash() const
 }
 
 uint32_t
-DCache::taintedRegCount() const
+DCache::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const Line &slot : tags_)
@@ -294,7 +336,7 @@ DCache::taintedRegCount() const
 }
 
 uint64_t
-DCache::taintBits() const
+DCache::taintBitsRescan() const
 {
     uint64_t n = 0;
     for (const Line &slot : tags_)
@@ -303,7 +345,7 @@ DCache::taintBits() const
 }
 
 uint32_t
-DCache::mshrTaintedRegCount() const
+DCache::mshrTaintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const MshrEntry &entry : mshrs_)
@@ -312,7 +354,7 @@ DCache::mshrTaintedRegCount() const
 }
 
 uint64_t
-DCache::mshrTaintBits() const
+DCache::mshrTaintBitsRescan() const
 {
     uint64_t n = 0;
     for (const MshrEntry &entry : mshrs_) {
@@ -323,7 +365,7 @@ DCache::mshrTaintBits() const
 }
 
 uint32_t
-DCache::lfbTaintedRegCount() const
+DCache::lfbTaintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const LfbEntry &entry : lfbs_)
@@ -332,7 +374,7 @@ DCache::lfbTaintedRegCount() const
 }
 
 uint64_t
-DCache::lfbTaintBits() const
+DCache::lfbTaintBitsRescan() const
 {
     uint64_t n = 0;
     for (const LfbEntry &entry : lfbs_)
@@ -379,6 +421,7 @@ void
 Tlb::reset()
 {
     slots_.assign(slots_.size(), Slot{});
+    acct_.reset();
     next_victim_ = 0;
 }
 
@@ -397,14 +440,18 @@ Tlb::insert(TV vpn)
 {
     for (Slot &slot : slots_) {
         if (slot.valid && slot.vpn.v == vpn.v) {
+            ift::TaintContrib before = tvContrib(slot.vpn);
             slot.vpn.t |= vpn.t;
+            acct_.apply(before, tvContrib(slot.vpn));
             return;
         }
     }
     Slot &victim = slots_[next_victim_];
     next_victim_ = (next_victim_ + 1) % slots_.size();
+    ift::TaintContrib before = tvContrib(victim.vpn);
     victim.valid = true;
     victim.vpn = vpn;
+    acct_.apply(before, tvContrib(victim.vpn));
 }
 
 void
@@ -412,6 +459,7 @@ Tlb::flush()
 {
     for (Slot &slot : slots_)
         slot = Slot{};
+    acct_.zero();
     next_victim_ = 0;
 }
 
@@ -427,7 +475,7 @@ Tlb::stateHash() const
 }
 
 uint32_t
-Tlb::taintedRegCount() const
+Tlb::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const Slot &slot : slots_)
@@ -436,7 +484,7 @@ Tlb::taintedRegCount() const
 }
 
 uint64_t
-Tlb::taintBits() const
+Tlb::taintBitsRescan() const
 {
     uint64_t n = 0;
     for (const Slot &slot : slots_)

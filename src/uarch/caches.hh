@@ -19,11 +19,17 @@
 
 #include "ift/liveness.hh"
 #include "ift/taint.hh"
+#include "ift/taintacct.hh"
 #include "util/bits.hh"
 
 namespace dejavuzz::uarch {
 
 using ift::TV;
+
+// Each cache structure keeps ift::TaintAcct running sums next to its
+// storage; taintedRegCount()/taintBits() are O(1) reads and the
+// *Rescan() variants keep the original scan bodies as the cross-check
+// oracle (see ift/taintacct.hh).
 
 constexpr uint64_t kLineBytes = 64;
 
@@ -62,8 +68,11 @@ class ICache
     void flush();
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const;
-    uint64_t taintBits() const;
+    uint32_t taintedRegCount() const { return acct_.regs; }
+    uint64_t taintBits() const { return acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
+    uint64_t taintTransitions() const { return acct_.transitions; }
     size_t lines() const { return tags_.size(); }
 
     void appendSinks(ift::SinkWriter &out) const;
@@ -81,6 +90,9 @@ class ICache
     size_t indexOf(uint64_t line) const;
 
     std::vector<Line> tags_;
+    /// Contribution per tainted line: {1 reg, 8 bits} — the derived
+    /// bits=regs*8 semantics of the original scan.
+    ift::TaintAcct acct_;
     unsigned miss_latency_;
     unsigned refill_remaining_ = 0;
     uint64_t refill_line_ = 0;
@@ -160,16 +172,29 @@ class DCache
     void flush();
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const; ///< cache lines with taint
-    uint64_t taintBits() const;
+    /// cache lines with taint (O(1) running sum)
+    uint32_t taintedRegCount() const { return line_acct_.regs; }
+    uint64_t taintBits() const { return line_acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
     size_t lines() const { return tags_.size(); }
     size_t mshrCount() const { return mshrs_.size(); }
 
     /** mshr/lfb module stats (reported as separate modules). */
-    uint32_t mshrTaintedRegCount() const;
-    uint64_t mshrTaintBits() const;
-    uint32_t lfbTaintedRegCount() const;
-    uint64_t lfbTaintBits() const;
+    uint32_t mshrTaintedRegCount() const { return mshr_acct_.regs; }
+    uint64_t mshrTaintBits() const { return mshr_acct_.bits; }
+    uint32_t mshrTaintedRegCountRescan() const;
+    uint64_t mshrTaintBitsRescan() const;
+    uint32_t lfbTaintedRegCount() const { return lfb_acct_.regs; }
+    uint64_t lfbTaintBits() const { return lfb_acct_.bits; }
+    uint32_t lfbTaintedRegCountRescan() const;
+    uint64_t lfbTaintBitsRescan() const;
+    uint64_t
+    taintTransitions() const
+    {
+        return line_acct_.transitions + mshr_acct_.transitions +
+               lfb_acct_.transitions;
+    }
 
     void appendSinks(ift::SinkWriter &out) const;
 
@@ -188,6 +213,11 @@ class DCache
     std::vector<MshrEntry> mshrs_;
     std::vector<LfbEntry> lfbs_;
     std::vector<uint8_t> lfb_owner_valid_; ///< mshr_valid_vec analog
+    ift::TaintAcct line_acct_;
+    /// Valid-gated (a retired MSHR stops counting) — unlike the LFB
+    /// account, which keeps counting stale data by design (C2-2).
+    ift::TaintAcct mshr_acct_;
+    ift::TaintAcct lfb_acct_;
     unsigned hit_latency_;
     unsigned miss_latency_;
 };
@@ -206,8 +236,11 @@ class Tlb
     void flush();
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const;
-    uint64_t taintBits() const;
+    uint32_t taintedRegCount() const { return acct_.regs; }
+    uint64_t taintBits() const { return acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
+    uint64_t taintTransitions() const { return acct_.transitions; }
     size_t entries() const { return slots_.size(); }
 
     void appendSinks(ift::SinkWriter &out) const;
@@ -219,6 +252,8 @@ class Tlb
         TV vpn;
     };
     std::vector<Slot> slots_;
+    /// Counts vpn taint regardless of validity (scan quirk kept).
+    ift::TaintAcct acct_;
     const char *name_;
     size_t next_victim_ = 0;
     /** Interned sink id, cached on first appendSinks. */

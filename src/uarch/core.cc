@@ -1,6 +1,7 @@
 #include "uarch/core.hh"
 
 #include "isa/encoding.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dejavuzz::uarch {
@@ -22,6 +23,54 @@ bool
 rangesOverlap(uint64_t a, unsigned a_bytes, uint64_t b, unsigned b_bytes)
 {
     return a < b + b_bytes && b < a + a_bytes;
+}
+
+// Taint contributions of the scanned containers, matching the legacy
+// moduleTaintStats scan exactly (see ift/taintacct.hh): every write to
+// a counted field is wrapped in a before/after pair at the write site.
+
+ift::TaintContrib
+robContrib(const RobEntry &entry)
+{
+    // regs counts any-field taint (meta|result|addr); bits counts only
+    // meta+result, mirroring the original scan's asymmetry.
+    uint64_t any = entry.meta.t | entry.result.t | entry.addr.t;
+    return {any != 0 ? 1u : 0u,
+            static_cast<uint64_t>(popcount64(entry.meta.t)) +
+                static_cast<uint64_t>(popcount64(entry.result.t))};
+}
+
+ift::TaintContrib
+lqContrib(const LqEntry &entry)
+{
+    // Counted regardless of entry.valid (scan quirk kept).
+    return {entry.addr.t != 0 ? 1u : 0u,
+            static_cast<uint64_t>(popcount64(entry.addr.t))};
+}
+
+ift::TaintContrib
+sqContrib(const SqEntry &entry)
+{
+    return {(entry.addr.t | entry.data.t) != 0 ? 1u : 0u,
+            static_cast<uint64_t>(popcount64(entry.addr.t)) +
+                static_cast<uint64_t>(popcount64(entry.data.t))};
+}
+
+ift::TaintContrib
+prfContrib(const TV &value)
+{
+    return {value.t != 0 ? 1u : 0u,
+            static_cast<uint64_t>(popcount64(value.t))};
+}
+
+/** Bulk adoption after a wholesale recompute (RoB-rollback taint). */
+void
+adoptBulk(ift::TaintAcct &acct, uint32_t regs, uint64_t bits)
+{
+    if (acct.regs != regs || acct.bits != bits)
+        ++acct.transitions;
+    acct.regs = regs;
+    acct.bits = bits;
 }
 
 } // namespace
@@ -119,6 +168,14 @@ Core::reset()
     btb_correction_ = BtbCorrection{};
     enq_this_cycle_ = 0;
     commit_this_cycle_ = 0;
+
+    // All counted containers were just reassigned to clean defaults.
+    prf_acct_.reset();
+    rob_acct_.reset();
+    lq_acct_.reset();
+    sq_acct_.reset();
+    fetchq_taint_slots_ = 0;
+    rename_taint_regs_ = 0;
 }
 
 unsigned
@@ -151,6 +208,7 @@ Core::startSequence(uint64_t entry)
     rob_head = 0;
     rob_count = 0;
     fetchq.clear();
+    fetchq_taint_slots_ = 0;
     for (auto &e : lq)
         e.valid = false;
     for (auto &e : sq)
@@ -209,6 +267,26 @@ Core::applyRollbackTaint(TV squash_taint, ift::TaintCtx &ctx)
     for (auto &slot : fetchq)
         slot.pc_taint = 1;
     pc.t = ~0ULL;
+
+    // Bulk adoption: the rollback just rewrote whole containers, so
+    // recompute their populations in closed form instead of wrapping
+    // each element write. This path only runs on an actually-diverging
+    // squash, never in the steady state.
+    {
+        uint64_t rob_bits = 0;
+        for (const auto &entry : rob) {
+            rob_bits +=
+                64 + static_cast<uint64_t>(popcount64(entry.result.t));
+        }
+        adoptBulk(rob_acct_, static_cast<uint32_t>(rob.size()),
+                  rob_bits);
+    }
+    rename_taint_regs_ = 64;
+    adoptBulk(lq_acct_, static_cast<uint32_t>(lq.size()),
+              64 * static_cast<uint64_t>(lq.size()));
+    adoptBulk(sq_acct_, static_cast<uint32_t>(sq.size()),
+              128 * static_cast<uint64_t>(sq.size()));
+    fetchq_taint_slots_ = static_cast<uint32_t>(fetchq.size());
 }
 
 void
@@ -247,6 +325,7 @@ Core::squashYounger(uint64_t from_seq, bool inclusive, TV redirect,
     if (flushed_taint != 0)
         squash_taint.t |= 1;
     fetchq.clear();
+    fetchq_taint_slots_ = 0;
     decode_blocked_ = false;
 
     // RAS recovery (B2: only TOS + top entry restored).
@@ -453,9 +532,15 @@ Core::finishLoad(RobEntry &entry, Memory &mem, ift::TaintCtx &ctx)
     if (ctx.memReadGate(ift::sigId(kModLsu, 2), entry.addr))
         data.t = ~0ULL;
 
-    entry.result = data;
+    {
+        ift::TaintContrib before = robContrib(entry);
+        entry.result = data;
+        rob_acct_.apply(before, robContrib(entry));
+    }
     if (entry.has_rd) {
+        ift::TaintContrib before = prfContrib(prf[entry.prf_idx]);
         prf[entry.prf_idx] = data;
+        prf_acct_.apply(before, prfContrib(prf[entry.prf_idx]));
         prf_busy[entry.prf_idx] = 0;
     }
     if (entry.lq >= 0)
@@ -544,7 +629,9 @@ Core::phaseExecute(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
 
         // Writeback.
         if (entry.has_rd) {
+            ift::TaintContrib before = prfContrib(prf[entry.prf_idx]);
             prf[entry.prf_idx] = entry.result;
+            prf_acct_.apply(before, prfContrib(prf[entry.prf_idx]));
             prf_busy[entry.prf_idx] = 0;
         }
         entry.stage = 2;
@@ -593,6 +680,7 @@ Core::issueLoad(RobEntry &entry, Memory &mem, ift::TaintCtx &ctx)
             store.seq > youngest_match->seq)
             youngest_match = &store;
     }
+    ift::TaintContrib rob_before = robContrib(entry);
     if (youngest_match != nullptr) {
         // Store-to-load forwarding (speculative when an unresolved
         // older store might still alias).
@@ -604,7 +692,12 @@ Core::issueLoad(RobEntry &entry, Memory &mem, ift::TaintCtx &ctx)
     }
 
     entry.addr = addr;
-    lqe.addr = addr;
+    rob_acct_.apply(rob_before, robContrib(entry));
+    {
+        ift::TaintContrib before = lqContrib(lqe);
+        lqe.addr = addr;
+        lq_acct_.apply(before, lqContrib(lqe));
+    }
     lqe.bytes = bytes;
     lqe.addr_ready = true;
     lqe.speculative = speculative;
@@ -697,10 +790,18 @@ Core::phaseIssue(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
                                   ? static_cast<uint8_t>(32 + instr.rs2)
                                   : instr.rs2);
             TV addr = execEffAddr(instr, rs1);
-            entry.addr = addr;
+            {
+                ift::TaintContrib before = robContrib(entry);
+                entry.addr = addr;
+                rob_acct_.apply(before, robContrib(entry));
+            }
             SqEntry &store = sq[entry.sq];
-            store.addr = addr;
-            store.data = data;
+            {
+                ift::TaintContrib before = sqContrib(store);
+                store.addr = addr;
+                store.data = data;
+                sq_acct_.apply(before, sqContrib(store));
+            }
             store.addr_ready = true;
             entry.exc =
                 mem.check(addr.v, entry.bytes, AccessKind::Store, priv);
@@ -765,6 +866,9 @@ Core::phaseIssue(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
                     : entry.pc + 4;
             entry.actual_target =
                 TV{target, (cond.t & 1) ? ~0ULL : 0ULL};
+            // Clean result over a dispatch-wiped clean result: no
+            // account delta (also jal/jalr below). actual_target is
+            // not a counted field.
             entry.result = ift::clean(0);
             entry.remaining = 1;
             entry.stage = 1;
@@ -810,10 +914,14 @@ Core::phaseIssue(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
                              instr.rs1);
             TV rs2 = readSrc(entry.src2_valid, entry.src2_prf,
                              instr.rs2);
-            entry.result = execArith(
-                instr, rs1, rs2, entry.pc, ctx,
-                ift::sigId(kModExec, static_cast<uint16_t>(
-                                         entry.pc & 0xffff)));
+            {
+                ift::TaintContrib before = robContrib(entry);
+                entry.result = execArith(
+                    instr, rs1, rs2, entry.pc, ctx,
+                    ift::sigId(kModExec, static_cast<uint16_t>(
+                                             entry.pc & 0xffff)));
+                rob_acct_.apply(before, robContrib(entry));
+            }
             entry.remaining =
                 execLatency(instr, cfg.mul_latency, cfg.div_latency,
                             cfg.fpalu_latency, cfg.fdiv_latency);
@@ -834,8 +942,13 @@ Core::phaseIssue(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
                              static_cast<uint8_t>(32 + instr.rs1));
             TV rs2 = readSrc(entry.src2_valid, entry.src2_prf,
                              static_cast<uint8_t>(32 + instr.rs2));
-            entry.result = execArith(instr, rs1, rs2, entry.pc, ctx,
-                                     ift::sigId(kModExec, 0x7fff));
+            {
+                ift::TaintContrib before = robContrib(entry);
+                entry.result =
+                    execArith(instr, rs1, rs2, entry.pc, ctx,
+                              ift::sigId(kModExec, 0x7fff));
+                rob_acct_.apply(before, robContrib(entry));
+            }
             entry.remaining = cfg.fdiv_latency;
             fdiv_busy_until = cycle_ + cfg.fdiv_latency;
             fdiv_latch = rs1;
@@ -870,12 +983,15 @@ Core::phaseIssue(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
               case Op::ILLEGAL:
                 entry.exc = ExcCause::IllegalInstr;
                 break;
-              default:
+              default: {
+                ift::TaintContrib before = robContrib(entry);
                 entry.result = execArith(
                     instr, rs1, rs2, entry.pc, ctx,
                     ift::sigId(kModExec, static_cast<uint16_t>(
                                              entry.pc & 0xffff)));
+                rob_acct_.apply(before, robContrib(entry));
                 break;
+              }
             }
             entry.remaining =
                 execLatency(instr, cfg.mul_latency, cfg.div_latency,
@@ -933,10 +1049,15 @@ Core::phaseDispatch(ift::TaintCtx &ctx, TraceLog *trace)
             break;
 
         fetchq.erase(fetchq.begin());
+        fetchq_taint_slots_ -= slot.pc_taint ? 1u : 0u;
 
         unsigned tail = robSlot(rob_count);
         ++rob_count;
         RobEntry &entry = rob[tail];
+        // The wipe clears the stale occupant's (counted) taint and the
+        // meta assignment below writes the new entry's: one account
+        // delta spans both.
+        ift::TaintContrib rob_before = robContrib(entry);
         entry = RobEntry{};
         entry.valid = true;
         entry.seq = nextSeq();
@@ -957,6 +1078,7 @@ Core::phaseDispatch(ift::TaintCtx &ctx, TraceLog *trace)
         entry.meta = TV{isa::encode(instr),
                         (slot.pc_taint ? ~0ULL : 0ULL) |
                             (enq_gate ? rob_tail_taint_.t : 0)};
+        rob_acct_.apply(rob_before, robContrib(entry));
 
         // Fetch faults dispatch as immediately-done faulting entries.
         if (slot.fetch_exc != ExcCause::None) {
@@ -1001,7 +1123,9 @@ Core::phaseDispatch(ift::TaintCtx &ctx, TraceLog *trace)
         if (is_load) {
             entry.lq = lq_slot;
             LqEntry &lqe = lq[lq_slot];
+            ift::TaintContrib before = lqContrib(lqe);
             lqe = LqEntry{};
+            lq_acct_.apply(before, lqContrib(lqe));
             lqe.valid = true;
             lqe.rob_slot = static_cast<int>(tail);
             lqe.seq = entry.seq;
@@ -1009,7 +1133,9 @@ Core::phaseDispatch(ift::TaintCtx &ctx, TraceLog *trace)
         if (is_store) {
             entry.sq = sq_slot;
             SqEntry &sqe = sq[sq_slot];
+            ift::TaintContrib before = sqContrib(sqe);
             sqe = SqEntry{};
+            sq_acct_.apply(before, sqContrib(sqe));
             sqe.valid = true;
             sqe.rob_slot = static_cast<int>(tail);
             sqe.seq = entry.seq;
@@ -1129,12 +1255,14 @@ Core::phaseFetch(Memory &mem, ift::TaintCtx &ctx)
             slot.fetch_exc = exc;
             slot.instr = isa::decode(isa::kNopWord);
             fetchq.push_back(slot);
+            fetchq_taint_slots_ += slot.pc_taint ? 1u : 0u;
             return; // fetch stalls behind a faulting fetch
         }
 
         slot.instr = isa::decode(mem.fetchWord(pc.v));
         predecode(slot, ctx);
         fetchq.push_back(slot);
+        fetchq_taint_slots_ += slot.pc_taint ? 1u : 0u;
 
         if (slot.pred_taken) {
             TV target = slot.pred_target;
@@ -1242,6 +1370,57 @@ Core::moduleTaintStats(std::array<ModuleStat, kModCount> &stats) const
         stats[id].taint_bits = bits;
     };
 
+    // O(kModCount) assembly of the incremental running sums: the only
+    // per-call work is reading scalars (pc, fdiv_latch, trap state,
+    // the RoB tail pointer taint) that are not containers.
+    put(kModFrontend,
+        (pc.t != 0 ? 1u : 0u) + fetchq_taint_slots_,
+        static_cast<uint64_t>(popcount64(pc.t)) +
+            static_cast<uint64_t>(fetchq_taint_slots_) * 32);
+    put(kModICache, icache_.taintedRegCount(), icache_.taintBits());
+    put(kModBht, bht.taintedRegCount(), bht.taintBits());
+    put(kModBtb, btb.taintedRegCount(), btb.taintBits());
+    put(kModFauBtb, faubtb.taintedRegCount(), faubtb.taintBits());
+    put(kModRas, ras.taintedRegCount(), ras.taintBits());
+    put(kModLoopPred, loop.taintedRegCount(), loop.taintBits());
+    put(kModIndPred, indpred.taintedRegCount(), indpred.taintBits());
+    put(kModRename, rename_taint_regs_,
+        static_cast<uint64_t>(rename_taint_regs_) * 8);
+    put(kModPrf, prf_acct_.regs, prf_acct_.bits);
+    put(kModRob,
+        (rob_tail_taint_.t != 0 ? 1u : 0u) + rob_acct_.regs,
+        static_cast<uint64_t>(popcount64(rob_tail_taint_.t)) +
+            rob_acct_.bits);
+    {
+        uint32_t regs = fdiv_latch.t != 0 ? 1 : 0;
+        put(kModLsu, regs, popcount64(fdiv_latch.t));
+    }
+    put(kModLq, lq_acct_.regs, lq_acct_.bits);
+    put(kModSq, sq_acct_.regs, sq_acct_.bits);
+    put(kModDCache, dcache.taintedRegCount(), dcache.taintBits());
+    put(kModMshr, dcache.mshrTaintedRegCount(), dcache.mshrTaintBits());
+    put(kModLfb, dcache.lfbTaintedRegCount(), dcache.lfbTaintBits());
+    put(kModDtlb, dtlb.taintedRegCount(), dtlb.taintBits());
+    put(kModL2Tlb, l2tlb.taintedRegCount(), l2tlb.taintBits());
+    {
+        uint32_t regs = fdiv_latch.t != 0 ? 1 : 0;
+        put(kModExec, regs, popcount64(fdiv_latch.t));
+    }
+    put(kModCsr, trap_taint_.t != 0 ? 1 : 0, trap_taint_.t != 0 ? 1 : 0);
+}
+
+void
+Core::moduleTaintStatsRescan(
+    std::array<ModuleStat, kModCount> &stats) const
+{
+    for (auto &stat : stats)
+        stat = ModuleStat{};
+
+    auto put = [&](ModuleId id, uint32_t regs, uint64_t bits) {
+        stats[id].tainted_regs = regs;
+        stats[id].taint_bits = bits;
+    };
+
     // Frontend: PC + fetch buffer slots.
     {
         uint32_t regs = pc.t != 0 ? 1 : 0;
@@ -1254,13 +1433,17 @@ Core::moduleTaintStats(std::array<ModuleStat, kModCount> &stats) const
         }
         put(kModFrontend, regs, bits);
     }
-    put(kModICache, icache_.taintedRegCount(), icache_.taintBits());
-    put(kModBht, bht.taintedRegCount(), bht.taintBits());
-    put(kModBtb, btb.taintedRegCount(), btb.taintBits());
-    put(kModFauBtb, faubtb.taintedRegCount(), faubtb.taintBits());
-    put(kModRas, ras.taintedRegCount(), ras.taintBits());
-    put(kModLoopPred, loop.taintedRegCount(), loop.taintBits());
-    put(kModIndPred, indpred.taintedRegCount(), indpred.taintBits());
+    put(kModICache, icache_.taintedRegCountRescan(),
+        icache_.taintBitsRescan());
+    put(kModBht, bht.taintedRegCountRescan(), bht.taintBitsRescan());
+    put(kModBtb, btb.taintedRegCountRescan(), btb.taintBitsRescan());
+    put(kModFauBtb, faubtb.taintedRegCountRescan(),
+        faubtb.taintBitsRescan());
+    put(kModRas, ras.taintedRegCountRescan(), ras.taintBitsRescan());
+    put(kModLoopPred, loop.taintedRegCountRescan(),
+        loop.taintBitsRescan());
+    put(kModIndPred, indpred.taintedRegCountRescan(),
+        indpred.taintBitsRescan());
     {
         uint32_t regs = 0;
         for (uint8_t taint : rename_taint)
@@ -1311,11 +1494,16 @@ Core::moduleTaintStats(std::array<ModuleStat, kModCount> &stats) const
         }
         put(kModSq, regs, bits);
     }
-    put(kModDCache, dcache.taintedRegCount(), dcache.taintBits());
-    put(kModMshr, dcache.mshrTaintedRegCount(), dcache.mshrTaintBits());
-    put(kModLfb, dcache.lfbTaintedRegCount(), dcache.lfbTaintBits());
-    put(kModDtlb, dtlb.taintedRegCount(), dtlb.taintBits());
-    put(kModL2Tlb, l2tlb.taintedRegCount(), l2tlb.taintBits());
+    put(kModDCache, dcache.taintedRegCountRescan(),
+        dcache.taintBitsRescan());
+    put(kModMshr, dcache.mshrTaintedRegCountRescan(),
+        dcache.mshrTaintBitsRescan());
+    put(kModLfb, dcache.lfbTaintedRegCountRescan(),
+        dcache.lfbTaintBitsRescan());
+    put(kModDtlb, dtlb.taintedRegCountRescan(),
+        dtlb.taintBitsRescan());
+    put(kModL2Tlb, l2tlb.taintedRegCountRescan(),
+        l2tlb.taintBitsRescan());
     {
         uint32_t regs = fdiv_latch.t != 0 ? 1 : 0;
         put(kModExec, regs, popcount64(fdiv_latch.t));
@@ -1323,21 +1511,54 @@ Core::moduleTaintStats(std::array<ModuleStat, kModCount> &stats) const
     put(kModCsr, trap_taint_.t != 0 ? 1 : 0, trap_taint_.t != 0 ? 1 : 0);
 }
 
+bool
+Core::verifyTaintAccounts() const
+{
+    obs::counterAdd(obs::Ctr::TaintRescanChecks);
+    std::array<ModuleStat, kModCount> fast;
+    std::array<ModuleStat, kModCount> slow;
+    moduleTaintStats(fast);
+    moduleTaintStatsRescan(slow);
+    for (unsigned m = 0; m < kModCount; ++m) {
+        if (fast[m].tainted_regs != slow[m].tainted_regs ||
+            fast[m].taint_bits != slow[m].taint_bits) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+Core::taintTransitions() const
+{
+    return icache_.taintTransitions() + dcache.taintTransitions() +
+           dtlb.taintTransitions() + l2tlb.taintTransitions() +
+           bht.taintTransitions() + btb.taintTransitions() +
+           faubtb.taintTransitions() + ras.taintTransitions() +
+           loop.taintTransitions() + indpred.taintTransitions() +
+           prf_acct_.transitions + rob_acct_.transitions +
+           lq_acct_.transitions + sq_acct_.transitions;
+}
+
 void
 Core::appendTaintLog(ift::TaintLog &log) const
 {
     std::array<ModuleStat, kModCount> stats;
     moduleTaintStats(stats);
-    ift::TaintLogCycle cycle_rec;
-    cycle_rec.cycle = cycle_;
+    ift::TaintLogCycle &rec = log.beginCycle(cycle_);
     for (unsigned m = 0; m < kModCount; ++m) {
         if (stats[m].tainted_regs == 0 && stats[m].taint_bits == 0)
             continue;
-        cycle_rec.modules.push_back(ift::ModuleTaintSample{
-            static_cast<uint16_t>(m), stats[m].tainted_regs,
-            stats[m].taint_bits});
+        log.addSample(rec, ift::ModuleTaintSample{
+                               static_cast<uint16_t>(m),
+                               stats[m].tainted_regs,
+                               stats[m].taint_bits});
     }
-    log.cycles.push_back(std::move(cycle_rec));
+#ifndef NDEBUG
+    // Debug builds cross-check the incremental accounts every logged
+    // cycle; release builds rely on the explicit property test.
+    dv_assert(verifyTaintAccounts());
+#endif
 }
 
 std::array<uint16_t, kModCount>

@@ -29,6 +29,7 @@
 #include "ift/liveness.hh"
 #include "ift/policy.hh"
 #include "ift/taint.hh"
+#include "ift/taintacct.hh"
 #include "ift/taintlog.hh"
 #include "isa/exceptions.hh"
 #include "isa/instr.hh"
@@ -183,9 +184,30 @@ class Core
     uint64_t cycle() const { return cycle_; }
 
     // --- observability --------------------------------------------------
-    /** Per-module taint statistics (coverage + taint log). */
+    /**
+     * Per-module taint statistics (coverage + taint log). O(kModCount)
+     * assembly from the incremental accounts — no state scan.
+     */
     void moduleTaintStats(
         std::array<ModuleStat, kModCount> &stats) const;
+
+    /**
+     * The original O(state) full re-scan, kept as the cross-check
+     * oracle for the incremental accounts (ift/taintacct.hh).
+     */
+    void moduleTaintStatsRescan(
+        std::array<ModuleStat, kModCount> &stats) const;
+
+    /**
+     * Cross-check the incremental accounts against a full re-scan;
+     * true when every module matches. Always compiled (the default
+     * build defines NDEBUG, so the randomized property test calls
+     * this explicitly). Counts obs::Ctr::TaintRescanChecks.
+     */
+    bool verifyTaintAccounts() const;
+
+    /** Lifetime taint-contribution transitions across all accounts. */
+    uint64_t taintTransitions() const;
 
     /** Append one taint-log cycle record. */
     void appendTaintLog(ift::TaintLog &log) const;
@@ -326,6 +348,18 @@ class Core
 
     uint64_t cycle_ = 0;
     uint64_t seq_counter_ = 1;
+
+    // Incremental taint accounts for the container state the old
+    // per-cycle scan walked (prf/rob/lq/sq plus the fetchq pc-taint
+    // and rename-map taint populations). Plain values: the lockstep
+    // checkpoint copy-assignment snapshots them for free, and a
+    // rollback restores them together with the state they describe.
+    ift::TaintAcct prf_acct_;
+    ift::TaintAcct rob_acct_;
+    ift::TaintAcct lq_acct_;
+    ift::TaintAcct sq_acct_;
+    uint32_t fetchq_taint_slots_ = 0;
+    uint32_t rename_taint_regs_ = 0;
 
     // Per-cycle port accounting.
     unsigned alu_used_ = 0;

@@ -21,6 +21,14 @@ nextSink(ift::SinkWriter &out, ift::SinkId id, size_t entries)
     return sink;
 }
 
+/** Population contribution of one TV entry. */
+ift::TaintContrib
+tvContrib(const TV &tv)
+{
+    return {tv.t != 0 ? 1u : 0u,
+            static_cast<uint64_t>(popcount64(tv.t))};
+}
+
 } // namespace
 
 // --- Bht ---------------------------------------------------------------
@@ -36,6 +44,7 @@ void
 Bht::reset()
 {
     counters_.assign(counters_.size(), TV{1, 0}); // weakly not-taken
+    acct_.reset();
 }
 
 size_t
@@ -58,8 +67,11 @@ Bht::update(uint64_t pc, bool taken, bool taint)
         counter.v += 1;
     else if (!taken && counter.v > 0)
         counter.v -= 1;
-    if (taint)
+    if (taint) {
+        ift::TaintContrib before = tvContrib(counter);
         counter.t |= 3;
+        acct_.apply(before, tvContrib(counter));
+    }
 }
 
 uint64_t
@@ -72,7 +84,7 @@ Bht::stateHash() const
 }
 
 uint32_t
-Bht::taintedRegCount() const
+Bht::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const TV &counter : counters_)
@@ -81,7 +93,7 @@ Bht::taintedRegCount() const
 }
 
 uint64_t
-Bht::taintBits() const
+Bht::taintBitsRescan() const
 {
     uint64_t n = 0;
     for (const TV &counter : counters_)
@@ -110,6 +122,7 @@ void
 Btb::reset()
 {
     slots_.assign(slots_.size(), Slot{});
+    acct_.reset();
 }
 
 size_t
@@ -136,9 +149,11 @@ Btb::update(uint64_t pc, TV target)
     if (slots_.empty())
         return;
     Slot &slot = slots_[indexOf(pc)];
+    ift::TaintContrib before = tvContrib(slot.target);
     slot.valid = true;
     slot.tag = pc;
     slot.target = target;
+    acct_.apply(before, tvContrib(slot.target));
 }
 
 void
@@ -164,7 +179,7 @@ Btb::stateHash() const
 }
 
 uint32_t
-Btb::taintedRegCount() const
+Btb::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const Slot &slot : slots_)
@@ -173,7 +188,7 @@ Btb::taintedRegCount() const
 }
 
 uint64_t
-Btb::taintBits() const
+Btb::taintBitsRescan() const
 {
     uint64_t n = 0;
     for (const Slot &slot : slots_)
@@ -209,6 +224,8 @@ Ras::reset()
     committed_.assign(committed_.size(), TV{});
     spec_tos_ = -1;
     committed_tos_ = -1;
+    spec_acct_.reset();
+    committed_acct_.reset();
 }
 
 void
@@ -217,7 +234,9 @@ Ras::push(TV ret_addr)
     if (spec_.empty())
         return;
     spec_tos_ = (spec_tos_ + 1) % static_cast<int>(spec_.size());
+    ift::TaintContrib before = tvContrib(spec_[spec_tos_]);
     spec_[spec_tos_] = ret_addr;
+    spec_acct_.apply(before, tvContrib(ret_addr));
 }
 
 TV
@@ -237,7 +256,9 @@ Ras::commitPush(TV ret_addr)
         return;
     committed_tos_ =
         (committed_tos_ + 1) % static_cast<int>(committed_.size());
+    ift::TaintContrib before = tvContrib(committed_[committed_tos_]);
     committed_[committed_tos_] = ret_addr;
+    committed_acct_.apply(before, tvContrib(ret_addr));
 }
 
 void
@@ -257,10 +278,19 @@ Ras::recover(bool partial_restore_bug)
     if (partial_restore_bug) {
         // B2 Phantom-RSB: only the top entry comes back; everything
         // the transient calls overwrote below the TOS stays corrupted.
-        if (spec_tos_ >= 0)
+        if (spec_tos_ >= 0) {
+            ift::TaintContrib before = tvContrib(spec_[spec_tos_]);
             spec_[spec_tos_] = committed_[spec_tos_];
+            spec_acct_.apply(before, tvContrib(spec_[spec_tos_]));
+        }
     } else {
         spec_ = committed_;
+        // Bulk restore: adopt the committed copy's sums wholesale.
+        if (spec_acct_.regs != committed_acct_.regs ||
+            spec_acct_.bits != committed_acct_.bits)
+            ++spec_acct_.transitions;
+        spec_acct_.regs = committed_acct_.regs;
+        spec_acct_.bits = committed_acct_.bits;
     }
 }
 
@@ -275,7 +305,7 @@ Ras::stateHash() const
 }
 
 uint32_t
-Ras::taintedRegCount() const
+Ras::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const TV &entry : spec_)
@@ -284,7 +314,7 @@ Ras::taintedRegCount() const
 }
 
 uint64_t
-Ras::taintBits() const
+Ras::taintBitsRescan() const
 {
     uint64_t n = 0;
     for (const TV &entry : spec_)
@@ -317,6 +347,7 @@ void
 LoopPred::reset()
 {
     slots_.assign(slots_.size(), Slot{});
+    acct_.reset();
 }
 
 size_t
@@ -343,6 +374,8 @@ LoopPred::update(uint64_t pc, bool taken, bool taint)
     if (slots_.empty())
         return;
     Slot &slot = slots_[indexOf(pc)];
+    ift::TaintContrib before{slot.taint != 0 ? 1u : 0u,
+                             slot.taint != 0 ? 16u : 0u};
     if (!slot.valid || slot.tag != pc) {
         slot = Slot{};
         slot.valid = true;
@@ -350,6 +383,8 @@ LoopPred::update(uint64_t pc, bool taken, bool taint)
     }
     if (taint)
         slot.taint = 1;
+    acct_.apply(before, {slot.taint != 0 ? 1u : 0u,
+                         slot.taint != 0 ? 16u : 0u});
     if (taken) {
         slot.count += 1;
         return;
@@ -379,7 +414,7 @@ LoopPred::stateHash() const
 }
 
 uint32_t
-LoopPred::taintedRegCount() const
+LoopPred::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const Slot &slot : slots_)
@@ -388,7 +423,7 @@ LoopPred::taintedRegCount() const
 }
 
 uint64_t
-LoopPred::taintBits() const
+LoopPred::taintBitsRescan() const
 {
     uint64_t n = 0;
     for (const Slot &slot : slots_)
@@ -421,6 +456,7 @@ void
 IndPred::reset()
 {
     slots_.assign(slots_.size(), Slot{});
+    acct_.reset();
 }
 
 size_t
@@ -447,9 +483,11 @@ IndPred::update(uint64_t pc, TV target)
     if (slots_.empty())
         return;
     Slot &slot = slots_[indexOf(pc)];
+    ift::TaintContrib before = tvContrib(slot.target);
     slot.valid = true;
     slot.tag = pc;
     slot.target = target;
+    acct_.apply(before, tvContrib(slot.target));
 }
 
 uint64_t
@@ -465,7 +503,7 @@ IndPred::stateHash() const
 }
 
 uint32_t
-IndPred::taintedRegCount() const
+IndPred::taintedRegCountRescan() const
 {
     uint32_t n = 0;
     for (const Slot &slot : slots_)
@@ -474,7 +512,7 @@ IndPred::taintedRegCount() const
 }
 
 uint64_t
-IndPred::taintBits() const
+IndPred::taintBitsRescan() const
 {
     uint64_t n = 0;
     for (const Slot &slot : slots_)

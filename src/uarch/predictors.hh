@@ -21,11 +21,17 @@
 
 #include "ift/liveness.hh"
 #include "ift/taint.hh"
+#include "ift/taintacct.hh"
 #include "util/bits.hh"
 
 namespace dejavuzz::uarch {
 
 using ift::TV;
+
+// Each predictor keeps an ift::TaintAcct next to its storage: the
+// O(1) taintedRegCount()/taintBits() read the running sums, while
+// the *Rescan() variants keep the original O(entries) scan bodies as
+// the cross-check oracle (see ift/taintacct.hh for the invariants).
 
 /** 2-bit-counter branch history table. */
 class Bht
@@ -40,13 +46,17 @@ class Bht
     void update(uint64_t pc, bool taken, bool taint);
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const;
-    uint64_t taintBits() const;
+    uint32_t taintedRegCount() const { return acct_.regs; }
+    uint64_t taintBits() const { return acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
+    uint64_t taintTransitions() const { return acct_.transitions; }
     size_t entries() const { return counters_.size(); }
 
   private:
     size_t indexOf(uint64_t pc) const;
     std::vector<TV> counters_; ///< v in [0,3]
+    ift::TaintAcct acct_;
 
   public:
     /** liveness: counters are always architecturally reachable. */
@@ -68,8 +78,11 @@ class Btb
     void invalidate(uint64_t pc);
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const;
-    uint64_t taintBits() const;
+    uint32_t taintedRegCount() const { return acct_.regs; }
+    uint64_t taintBits() const { return acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
+    uint64_t taintTransitions() const { return acct_.transitions; }
     size_t entries() const { return slots_.size(); }
 
     void appendSinks(ift::SinkWriter &out, const char *name) const;
@@ -83,6 +96,9 @@ class Btb
     };
     size_t indexOf(uint64_t pc) const;
     std::vector<Slot> slots_;
+    /// Counts slot.target taint regardless of validity (quirk kept
+    /// from the scan: invalidate() leaves stale taint visible).
+    ift::TaintAcct acct_;
     /** Interned sink id, cached on first appendSinks (per name). */
     mutable ift::SinkId sink_id_ = ift::kInvalidSinkId;
 };
@@ -116,8 +132,11 @@ class Ras
     TV entry(size_t index) const { return spec_[index]; }
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const;
-    uint64_t taintBits() const;
+    uint32_t taintedRegCount() const { return spec_acct_.regs; }
+    uint64_t taintBits() const { return spec_acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
+    uint64_t taintTransitions() const { return spec_acct_.transitions; }
     size_t entries() const { return spec_.size(); }
 
     void appendSinks(ift::SinkWriter &out) const;
@@ -127,6 +146,11 @@ class Ras
     std::vector<TV> committed_;
     int spec_tos_ = -1;
     int committed_tos_ = -1;
+    /// Whole-stack populations (entries above the TOS count, matching
+    /// the scan); the committed copy keeps its own account so a full
+    /// recover() restores the sums in O(1).
+    ift::TaintAcct spec_acct_;
+    ift::TaintAcct committed_acct_;
 };
 
 /** Loop predictor: learns fixed trip counts of backward branches. */
@@ -148,8 +172,11 @@ class LoopPred
     void update(uint64_t pc, bool taken, bool taint);
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const;
-    uint64_t taintBits() const;
+    uint32_t taintedRegCount() const { return acct_.regs; }
+    uint64_t taintBits() const { return acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
+    uint64_t taintTransitions() const { return acct_.transitions; }
     size_t entries() const { return slots_.size(); }
 
     void appendSinks(ift::SinkWriter &out) const;
@@ -166,6 +193,8 @@ class LoopPred
     };
     size_t indexOf(uint64_t pc) const;
     std::vector<Slot> slots_;
+    /// Flat 16 taint bits per tainted slot (quirk kept from the scan).
+    ift::TaintAcct acct_;
 };
 
 /** Last-target indirect jump predictor. */
@@ -181,8 +210,11 @@ class IndPred
     void update(uint64_t pc, TV target);
 
     uint64_t stateHash() const;
-    uint32_t taintedRegCount() const;
-    uint64_t taintBits() const;
+    uint32_t taintedRegCount() const { return acct_.regs; }
+    uint64_t taintBits() const { return acct_.bits; }
+    uint32_t taintedRegCountRescan() const;
+    uint64_t taintBitsRescan() const;
+    uint64_t taintTransitions() const { return acct_.transitions; }
     size_t entries() const { return slots_.size(); }
 
     void appendSinks(ift::SinkWriter &out) const;
@@ -196,6 +228,7 @@ class IndPred
     };
     size_t indexOf(uint64_t pc) const;
     std::vector<Slot> slots_;
+    ift::TaintAcct acct_;
 };
 
 } // namespace dejavuzz::uarch

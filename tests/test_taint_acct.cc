@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Randomized property test for the incremental taint accounting
+ * (src/ift/taintacct.hh).
+ *
+ * The invariant: after *every* cycle, the O(1) per-module taint
+ * population counts assembled from the running accounts
+ * (Core::moduleTaintStats) equal a full O(state) re-scan
+ * (Core::moduleTaintStatsRescan) — including every scan quirk the
+ * rescan oracle preserves (stale-entry counting, valid-gated MSHRs,
+ * the RoB's addr-excluded bit count, ...). The default build defines
+ * NDEBUG, which compiles out the per-append dv_assert cross-check in
+ * Core::appendTaintLog, so this suite calls the always-compiled
+ * Core::verifyTaintAccounts() explicitly after each tick.
+ *
+ * Stimuli: the PoC suite plus Phase-1-triggered windows on both
+ * core configs, under closed-gate diffIFT and full CellIFT (the
+ * open-gate mode propagates the most taint and stresses the
+ * accounting hardest), plus random secrets/operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/poc_suite.hh"
+#include "core/phases.hh"
+#include "core/stimgen.hh"
+#include "harness/dualsim.hh"
+#include "harness/stimulus.hh"
+#include "ift/policy.hh"
+#include "ift/taintlog.hh"
+#include "swapmem/memory.hh"
+#include "swapmem/packet.hh"
+#include "uarch/config.hh"
+#include "uarch/core.hh"
+#include "util/rng.hh"
+
+namespace dejavuzz {
+namespace {
+
+using core::Phase1;
+using core::Seed;
+using core::StimGen;
+using core::TestCase;
+using harness::SimOptions;
+using harness::StimulusData;
+
+/** Generate Phase-1-triggered test cases (randomized by @p salt). */
+std::vector<TestCase>
+triggeredCases(const uarch::CoreConfig &cfg, unsigned want,
+               uint64_t salt)
+{
+    harness::DualSim sim(cfg);
+    StimGen gen(cfg);
+    Phase1 phase1(sim, SimOptions{});
+    Rng rng(0xacc7 ^ salt);
+    std::vector<TestCase> cases;
+    for (unsigned i = 0; i < 64 && cases.size() < want; ++i) {
+        Seed seed = gen.newSeed(rng, i);
+        TestCase tc = gen.generatePhase1(seed);
+        bool triggered = false;
+        phase1.run(tc, triggered, true);
+        if (!triggered)
+            continue;
+        gen.completeWindow(tc);
+        cases.push_back(std::move(tc));
+    }
+    return cases;
+}
+
+/**
+ * Drive one core through @p schedule (mirroring the harness's
+ * per-cycle protocol) and check the incremental accounts against the
+ * rescan oracle after every single tick.
+ */
+void
+runAndVerify(const uarch::CoreConfig &cfg,
+             const swapmem::SwapSchedule &schedule,
+             const StimulusData &data, ift::IftMode mode,
+             bool flipped_secret)
+{
+    uarch::Core core(cfg);
+    swapmem::Memory mem;
+    auto secret = flipped_secret ? data.flippedSecret() : data.secret;
+    mem.installSecret(secret.data(), secret.size());
+    for (size_t i = 0; i < data.operands.size(); ++i)
+        mem.setOperand(static_cast<unsigned>(i), data.operands[i]);
+
+    swapmem::SwapRuntime runtime(schedule);
+    uint64_t entry = runtime.start(mem);
+    if (runtime.done())
+        return;
+    core.startSequence(entry);
+
+    uarch::TraceLog trace;
+    ift::TaintLog log;
+    uint64_t packet_cycles = 0;
+    uint64_t prev_transitions = 0;
+    while (core.cycle() < 4000) {
+        ift::TaintCtx ctx;
+        ctx.begin(mode, nullptr, nullptr);
+        uarch::TickEvents ev = core.tick(mem, ctx, &trace);
+        ++packet_cycles;
+        core.appendTaintLog(log);
+
+        if (!core.verifyTaintAccounts()) {
+            std::array<uarch::ModuleStat, uarch::kModCount> fast;
+            std::array<uarch::ModuleStat, uarch::kModCount> slow;
+            core.moduleTaintStats(fast);
+            core.moduleTaintStatsRescan(slow);
+            for (size_t m = 0; m < uarch::kModCount; ++m) {
+                EXPECT_EQ(fast[m].tainted_regs, slow[m].tainted_regs)
+                    << "cycle " << core.cycle() << " module " << m;
+                EXPECT_EQ(fast[m].taint_bits, slow[m].taint_bits)
+                    << "cycle " << core.cycle() << " module " << m;
+            }
+            FAIL() << "account/rescan mismatch at cycle "
+                   << core.cycle();
+        }
+        // Transition counts only ever grow.
+        uint64_t transitions = core.taintTransitions();
+        ASSERT_GE(transitions, prev_transitions);
+        prev_transitions = transitions;
+
+        bool force_advance = packet_cycles >= 1500;
+        if (ev.swap_next || ev.trapped || force_advance) {
+            uint64_t next_entry = runtime.advance(mem);
+            if (runtime.done())
+                break;
+            core.flushICache();
+            core.startSequence(next_entry);
+            packet_cycles = 0;
+        }
+    }
+}
+
+TEST(TaintAcctProperty, PocSuiteMatchesRescanEveryCycle)
+{
+    for (const auto &cfg : {uarch::smallBoomConfig(),
+                            uarch::xiangshanMinimalConfig()}) {
+        SCOPED_TRACE(cfg.name);
+        for (const auto &poc : bench::pocSuite()) {
+            SCOPED_TRACE(poc.name);
+            for (auto mode : {ift::IftMode::DiffIFT,
+                              ift::IftMode::CellIFT}) {
+                SCOPED_TRACE(static_cast<int>(mode));
+                runAndVerify(cfg, poc.schedule, poc.data, mode, false);
+                runAndVerify(cfg, poc.schedule, poc.data, mode, true);
+            }
+        }
+    }
+}
+
+TEST(TaintAcctProperty, TriggeredWindowsMatchRescanEveryCycle)
+{
+    Rng rng(0x7a1e7);
+    for (const auto &cfg : {uarch::smallBoomConfig(),
+                            uarch::xiangshanMinimalConfig()}) {
+        SCOPED_TRACE(cfg.name);
+        auto cases = triggeredCases(cfg, 5, rng.next());
+        ASSERT_FALSE(cases.empty());
+        for (size_t i = 0; i < cases.size(); ++i) {
+            SCOPED_TRACE(i);
+            for (auto mode : {ift::IftMode::DiffIFT,
+                              ift::IftMode::CellIFT}) {
+                SCOPED_TRACE(static_cast<int>(mode));
+                runAndVerify(cfg, cases[i].schedule, cases[i].data,
+                             mode, false);
+                runAndVerify(cfg, cases[i].schedule, cases[i].data,
+                             mode, true);
+            }
+        }
+    }
+}
+
+TEST(TaintAcctProperty, RandomSecretsMatchRescanEveryCycle)
+{
+    // Same schedules, fresh random secrets/operands: the taint
+    // footprint (and so the transition pattern) shifts with the data.
+    Rng rng(0x5ec4e7);
+    auto cfg = uarch::smallBoomConfig();
+    for (const auto &poc : bench::pocSuite()) {
+        SCOPED_TRACE(poc.name);
+        for (int round = 0; round < 2; ++round) {
+            StimulusData data = StimulusData::random(rng);
+            runAndVerify(cfg, poc.schedule, data,
+                         ift::IftMode::CellIFT, false);
+        }
+    }
+}
+
+} // namespace
+} // namespace dejavuzz

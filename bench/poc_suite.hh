@@ -279,6 +279,144 @@ pocSuite()
             spectreRsb()};
 }
 
+/**
+ * Priv-Ecall: the trap shadow of an `ecall` at the U→M boundary. The
+ * RoB unwind takes trap_latency cycles during which the younger
+ * payload executes transiently; the PMP-protected secret is read
+ * through transient fault forwarding inside that shadow.
+ */
+inline Poc
+privEcall()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Priv-Ecall";
+    Rng rng(0x7e);
+    poc.data = harness::StimulusData::random(rng);
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prologue(prog);
+    prog.ecall(); // traps to M; the trap advances the swap runtime
+    payload(prog);
+    prog.swapnext(); // unreachable: the trap ends the packet
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    poc.schedule.transient_prot = swapmem::SecretProt::Pmp;
+    return poc;
+}
+
+/**
+ * Priv-Return: the post-`mret` flush window. A privilege-entry
+ * packet ecalls into M mode (the trap advances the runtime), so the
+ * transient packet starts privileged; when its mret commits,
+ * everything younger was fetched under the stale M privilege and is
+ * flushed — after having read the PMP-protected secret legally.
+ */
+inline Poc
+privReturn()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Priv-Return";
+    Rng rng(0x7f);
+    poc.data = harness::StimulusData::random(rng);
+
+    isa::ProgBuilder entry(swapmem::kSwapBase);
+    entry.nop();
+    entry.nop();
+    entry.ecall();
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prologue(prog); // slow chain keeps the mret from the RoB head
+    prog.emit(Op::DIV, a0, a0, t5, 0);
+    prog.mret();
+    payload(prog); // executes in M, flushed at the mret commit
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(packetOf(
+        entry, "priv_entry", swapmem::PacketKind::TriggerTrain));
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    poc.schedule.transient_prot = swapmem::SecretProt::Pmp;
+    return poc;
+}
+
+/**
+ * Double-Fetch: Spectre-V1 control flow, but the secret bytes are
+ * swapped when the transient packet loads — the warm packet's cached
+ * copy goes stale, and the speculative re-fetch observes the
+ * mutated value (the TOCTOU hazard the swap runtime models).
+ */
+inline Poc
+doubleFetch()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Double-Fetch";
+    Rng rng(0xdf);
+    poc.data = harness::StimulusData::random(rng);
+    poc.data.operands[0] = 1;
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prologue(prog);
+    isa::Label exit_lbl = prog.newLabel();
+    prog.branch(Op::BNE, a0, zero, exit_lbl);
+    payload(prog);
+    prog.bind(exit_lbl);
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    poc.schedule.double_fetch = true;
+    return poc;
+}
+
+/**
+ * Meltdown-Supervisor: the secret sits in a supervisor page for the
+ * transient packet, so the U-mode access raises a load page fault
+ * (the walk fails before any PMP check) while forwarding leaks the
+ * warm copy — the cross-privilege Meltdown placement.
+ */
+inline Poc
+meltdownSupervisor()
+{
+    using namespace poc_detail;
+    Poc poc;
+    poc.name = "Meltdown-Supervisor";
+    Rng rng(0x4e);
+    poc.data = harness::StimulusData::random(rng);
+
+    isa::ProgBuilder prog(swapmem::kSwapBase);
+    prologue(prog);
+    prog.emit(Op::DIV, a0, a0, t5, 0);
+    payload(prog); // lb page-faults but forwards the warm secret
+    prog.swapnext();
+
+    poc.schedule.packets.push_back(warmPacket());
+    poc.schedule.packets.push_back(
+        packetOf(prog, "transient", swapmem::PacketKind::Transient));
+    poc.schedule.victim_supervisor = true;
+    return poc;
+}
+
+/**
+ * The attack-model scenario PoCs: one reproducer per template the
+ * attack-model layer instantiates beyond the same-domain classics
+ * (privilege transitions both directions, double fetch, supervisor
+ * victim placement). Kept separate from pocSuite() so the classic
+ * five keep defining the triage shrinker bound.
+ */
+inline std::vector<Poc>
+scenarioPocSuite()
+{
+    return {privEcall(), privReturn(), doubleFetch(),
+            meltdownSupervisor()};
+}
+
 /** Non-nop size of @p poc's transient packet: the hand-written
  *  measure of "how much code a minimal exploit really needs". */
 inline size_t

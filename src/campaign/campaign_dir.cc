@@ -132,6 +132,8 @@ metaFromOptions(const CampaignOptions &options)
     meta.batch_iterations = options.batch_iterations;
     meta.steal_batches = options.steal_batches;
     meta.steals_per_epoch = options.steals_per_epoch;
+    uint32_t mask = options.fuzzer.model_mask & core::kAllModelMask;
+    meta.model_mask = mask ? mask : core::kLegacyModelMask;
     meta.corpus_shards = options.corpus_shards;
     meta.corpus_shard_cap = options.corpus_shard_cap;
     return meta;
@@ -151,6 +153,7 @@ writeMeta(std::ostream &os, const CampaignMeta &meta)
        << ",\"batch\":" << meta.batch_iterations
        << ",\"steal\":" << (meta.steal_batches ? "true" : "false")
        << ",\"steals\":" << meta.steals_per_epoch
+       << ",\"templates\":" << meta.model_mask
        << ",\"corpus_shards\":" << meta.corpus_shards
        << ",\"corpus_cap\":" << meta.corpus_shard_cap << "}\n";
 }
@@ -195,6 +198,12 @@ readMeta(std::istream &is, CampaignMeta &out, std::string *error)
     metaU64(obj, "batch", out.batch_iterations, field_error);
     metaBool(obj, "steal", out.steal_batches, field_error);
     metaU64(obj, "steals", out.steals_per_epoch, field_error);
+    // Optional: meta.json files written before the attack-model
+    // layer carry no template mask and imply the legacy model.
+    if (obj.count("templates"))
+        metaU64(obj, "templates", out.model_mask, field_error);
+    else
+        out.model_mask = core::kLegacyModelMask;
     metaU64(obj, "corpus_shards", out.corpus_shards, field_error);
     metaU64(obj, "corpus_cap", out.corpus_shard_cap, field_error);
     if (!field_error.empty())
@@ -212,10 +221,20 @@ metaMismatches(const CampaignMeta &saved, const CampaignMeta &current)
     std::vector<std::string> out;
     mismatchU64(out, "meta_version", saved.meta_version,
                 current.meta_version);
-    mismatchU64(out, "corpus_version", saved.corpus_version,
-                current.corpus_version);
-    mismatchU64(out, "snapshot_version", saved.snapshot_version,
-                current.snapshot_version);
+    // Older corpus/snapshot formats stay resumable as long as the
+    // current loaders read them (they accept every version up to
+    // their own); re-saving upgrades the directory to the current
+    // format. Only a *newer* saved format is a real mismatch.
+    if (saved.corpus_version < 1 ||
+        saved.corpus_version > current.corpus_version) {
+        mismatchU64(out, "corpus_version", saved.corpus_version,
+                    current.corpus_version);
+    }
+    if (saved.snapshot_version < 1 ||
+        saved.snapshot_version > current.snapshot_version) {
+        mismatchU64(out, "snapshot_version", saved.snapshot_version,
+                    current.snapshot_version);
+    }
     mismatchU64(out, "master_seed", saved.master_seed,
                 current.master_seed);
     mismatchU64(out, "workers", saved.workers, current.workers);
@@ -229,6 +248,13 @@ metaMismatches(const CampaignMeta &saved, const CampaignMeta &current)
              current.steal_batches ? "true" : "false");
     mismatchU64(out, "steals", saved.steals_per_epoch,
                 current.steals_per_epoch);
+    // Compare as names: "templates: saved same-domain, current
+    // same-domain,priv-transition" beats raw mask integers.
+    mismatch(out, "templates",
+             core::modelMaskNames(
+                 static_cast<uint32_t>(saved.model_mask)),
+             core::modelMaskNames(
+                 static_cast<uint32_t>(current.model_mask)));
     mismatchU64(out, "corpus_shards", saved.corpus_shards,
                 current.corpus_shards);
     mismatchU64(out, "corpus_cap", saved.corpus_shard_cap,

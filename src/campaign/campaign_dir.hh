@@ -61,12 +61,15 @@ struct CampaignMeta
     uint32_t snapshot_version = 0;
     uint64_t master_seed = 0;
     uint64_t workers = 0;
-    std::string policy; ///< replicas | sweep | ablation
+    std::string policy; ///< replicas | sweep | ablation | heads
     std::string core;   ///< base core config name
     uint64_t epoch_iterations = 0;
     uint64_t batch_iterations = 0;
     bool steal_batches = true;
     uint64_t steals_per_epoch = 0;
+    /** Fleet-wide attack-template mask (`--templates`); absent in
+     *  older meta.json files, which imply the legacy single model. */
+    uint64_t model_mask = core::kLegacyModelMask;
     uint64_t corpus_shards = 0;
     uint64_t corpus_shard_cap = 0;
 };

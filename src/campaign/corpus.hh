@@ -106,9 +106,11 @@ class SharedCorpus
      */
     bool fetch(unsigned worker, uint64_t seq, CorpusEntry &out) const;
 
-    /** Corpus file format version written by saveTo(). The format
-     *  itself is specified in docs/campaign-format.md. */
-    static constexpr uint32_t kFormatVersion = 1;
+    /** Corpus file format version written by saveTo(). v2 appended
+     *  the attack-model fields to each test case; loadFrom() still
+     *  reads v1 files (their entries get the implicit same-domain
+     *  model). The format is specified in docs/campaign-format.md. */
+    static constexpr uint32_t kFormatVersion = 2;
 
     /**
      * Serialize every retained entry, in canonical order, to @p os

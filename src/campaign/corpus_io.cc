@@ -237,13 +237,31 @@ writeTestCase(std::ostream &os, const core::TestCase &tc)
     putU64(os, tc.encode_begin);
     putU64(os, tc.encode_end);
     putU8(os, tc.has_window_payload ? 1 : 0);
+
+    // v2 tail: the attack model and its schedule projections. Placed
+    // after every v1 field so the v1 prefix stays byte-identical.
+    putU8(os, static_cast<uint8_t>(tc.seed.model.tmpl));
+    putU8(os, static_cast<uint8_t>(tc.seed.model.attacker));
+    putU8(os, static_cast<uint8_t>(tc.seed.model.victim));
+    putU8(os, tc.seed.model.supervisor_victim ? 1 : 0);
+    putU8(os, tc.schedule.victim_supervisor ? 1 : 0);
+    putU8(os, tc.schedule.double_fetch ? 1 : 0);
 }
 
 bool
-readTestCase(Reader &in, core::TestCase &tc)
+readTestCase(Reader &in, core::TestCase &tc, uint32_t version)
 {
+    // v1 payloads predate the attack model; absence means the
+    // implicit same-domain model. Reset explicitly: tc may be a
+    // reused object carrying another case's model.
+    tc.seed.model = core::AttackModel{};
+    tc.schedule.victim_supervisor = false;
+    tc.schedule.double_fetch = false;
+    const unsigned trigger_bound = version >= kTestCaseModelVersion
+                                       ? core::kTriggerKinds
+                                       : core::kLegacyTriggerKinds;
     if (!in.u64(tc.seed.id, "seed.id") ||
-        !in.enumByte(tc.seed.trigger, core::kTriggerKinds,
+        !in.enumByte(tc.seed.trigger, trigger_bound,
                      "seed.trigger") ||
         !in.u64(tc.seed.entropy, "seed.entropy") ||
         !readBool(in, tc.seed.window.meltdown, "window.meltdown") ||
@@ -319,13 +337,42 @@ readTestCase(Reader &in, core::TestCase &tc)
         tc.data.operands.push_back(operand);
     }
 
-    return in.u64(tc.trigger_addr, "trigger_addr") &&
-           in.u64(tc.window_addr, "window_addr") &&
-           readIndex(in, tc.window_begin, "window_begin") &&
-           readIndex(in, tc.window_end, "window_end") &&
-           readIndex(in, tc.encode_begin, "encode_begin") &&
-           readIndex(in, tc.encode_end, "encode_end") &&
-           readBool(in, tc.has_window_payload, "has_window_payload");
+    if (!in.u64(tc.trigger_addr, "trigger_addr") ||
+        !in.u64(tc.window_addr, "window_addr") ||
+        !readIndex(in, tc.window_begin, "window_begin") ||
+        !readIndex(in, tc.window_end, "window_end") ||
+        !readIndex(in, tc.encode_begin, "encode_begin") ||
+        !readIndex(in, tc.encode_end, "encode_end") ||
+        !readBool(in, tc.has_window_payload, "has_window_payload")) {
+        return false;
+    }
+    if (version < kTestCaseModelVersion)
+        return true;
+
+    // isa::Priv is {U=0, S=1, M=3}; 2 is architecturally reserved.
+    auto priv_ok = [](isa::Priv p) {
+        return p == isa::Priv::U || p == isa::Priv::S ||
+               p == isa::Priv::M;
+    };
+    if (!in.enumByte(tc.seed.model.tmpl,
+                     static_cast<unsigned>(
+                         core::AttackTemplate::kCount),
+                     "model.tmpl") ||
+        !in.enumByte(tc.seed.model.attacker, 4, "model.attacker") ||
+        !in.enumByte(tc.seed.model.victim, 4, "model.victim") ||
+        !readBool(in, tc.seed.model.supervisor_victim,
+                  "model.supervisor_victim") ||
+        !readBool(in, tc.schedule.victim_supervisor,
+                  "schedule.victim_supervisor") ||
+        !readBool(in, tc.schedule.double_fetch,
+                  "schedule.double_fetch")) {
+        return false;
+    }
+    if (!priv_ok(tc.seed.model.attacker) ||
+        !priv_ok(tc.seed.model.victim)) {
+        return in.fail("reserved privilege level in attack model");
+    }
+    return true;
 }
 
 } // namespace dejavuzz::campaign::bio
@@ -396,7 +443,7 @@ SharedCorpus::loadFrom(std::istream &is, CorpusFile &out,
     }
     if (!in.u32(out.version, "version"))
         return report(false);
-    if (out.version != kFormatVersion) {
+    if (out.version < 1 || out.version > kFormatVersion) {
         in.fail("unsupported corpus version " +
                 std::to_string(out.version));
         return report(false);
@@ -422,7 +469,7 @@ SharedCorpus::loadFrom(std::istream &is, CorpusFile &out,
             !in.u32(worker, "entry.worker") ||
             !in.u64(entry.seq, "entry.seq") ||
             !in.str(entry.config, "entry.config") ||
-            !bio::readTestCase(in, entry.tc)) {
+            !bio::readTestCase(in, entry.tc, out.version)) {
             return report(false);
         }
         entry.worker = worker;

@@ -84,10 +84,20 @@ bool readIndex(Reader &in, size_t &out, const char *what);
 
 // --- test-case payload ------------------------------------------------------
 
+/** Container format version that first carried the attack-model
+ *  fields (seed.model, schedule.victim_supervisor/double_fetch). */
+constexpr uint32_t kTestCaseModelVersion = 2;
+
 /** Serialize the complete test case (the corpus entry payload). */
 void writeTestCase(std::ostream &os, const core::TestCase &tc);
-/** Strictly parse a test case written by writeTestCase(). */
-bool readTestCase(Reader &in, core::TestCase &tc);
+/**
+ * Strictly parse a test case written by writeTestCase(). @p version
+ * is the enclosing container's format version: v1 payloads predate
+ * the attack-model fields (their absence restores the implicit
+ * same-domain model) and bound the trigger byte at the legacy count.
+ */
+bool readTestCase(Reader &in, core::TestCase &tc,
+                  uint32_t version = kTestCaseModelVersion);
 
 } // namespace dejavuzz::campaign::bio
 

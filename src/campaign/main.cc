@@ -34,6 +34,7 @@
 
 #include "campaign/campaign_dir.hh"
 #include "campaign/orchestrator.hh"
+#include "core/seed.hh"
 #include "obs/telemetry.hh"
 #include "triage/triage.hh"
 #include "uarch/config.hh"
@@ -52,10 +53,20 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "\n"
         "  --workers N        worker threads (default 4)\n"
-        "  --policy P         replicas | sweep | ablation "
+        "  --policy P         replicas | sweep | ablation | heads "
         "(default replicas)\n"
+        "                     heads: workers own disjoint uarch "
+        "subspaces (predictors/caches/tlb/exceptions), each with\n"
+        "                     its own attack templates and a "
+        "head-local coverage map\n"
         "  --core C           boom | xiangshan base config "
         "(default boom)\n"
+        "  --templates LIST   comma-separated attack templates every "
+        "worker draws seeds from: same-domain | meltdown-supervisor\n"
+        "                     | priv-transition | double-fetch | all "
+        "(default same-domain, the implicit single-model baseline;\n"
+        "                     incompatible with --policy heads, "
+        "which assigns per-head template sets)\n"
         "  --iters N          total iteration budget across workers "
         "(default 4000; 0 = unbounded)\n"
         "  --seconds S        wall-clock budget in seconds "
@@ -135,6 +146,7 @@ main(int argc, char **argv)
     std::string campaign_dir;
     std::string trace_out_path;
     bool minimize = false;
+    bool templates_flag = false;
     bool quiet = false;
     bool triage = false;
     bool matrix = true;
@@ -172,6 +184,8 @@ main(int argc, char **argv)
                 options.policy = ShardPolicy::ConfigSweep;
             else if (policy == "ablation")
                 options.policy = ShardPolicy::AblationMatrix;
+            else if (policy == "heads")
+                options.policy = ShardPolicy::Heads;
             else
                 bad();
         } else if (arg == "--core") {
@@ -184,6 +198,32 @@ main(int argc, char **argv)
                     dejavuzz::uarch::xiangshanMinimalConfig();
             else
                 bad();
+        } else if (arg == "--templates") {
+            const std::string list = value();
+            uint32_t mask = 0;
+            size_t pos = 0;
+            for (;;) {
+                const size_t comma = list.find(',', pos);
+                const std::string name =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                dejavuzz::core::AttackTemplate tmpl;
+                if (name == "all")
+                    mask |= dejavuzz::core::kAllModelMask;
+                else if (dejavuzz::core::parseAttackTemplateName(
+                             name, tmpl))
+                    mask |= dejavuzz::core::modelBit(tmpl);
+                else
+                    bad();
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            if (mask == 0)
+                bad();
+            options.fuzzer.model_mask = mask;
+            templates_flag = true;
         } else if (arg == "--iters") {
             if (!parseUint(value(), options.total_iterations))
                 bad();
@@ -261,6 +301,15 @@ main(int argc, char **argv)
         options.wall_seconds <= 0.0) {
         std::fprintf(stderr,
                      "need an --iters or --seconds budget\n");
+        return 2;
+    }
+    if (templates_flag && options.policy == ShardPolicy::Heads) {
+        // Silently ignoring the flag under heads would be exactly
+        // the dead-knob class the wiring audit guards against.
+        std::fprintf(stderr,
+                     "--templates selects one fleet-wide template "
+                     "set; --policy heads assigns its own per-head "
+                     "sets and cannot be combined with it\n");
         return 2;
     }
     if (!campaign_dir.empty() &&

@@ -52,6 +52,43 @@ constexpr AblationVariant kAblationMatrix[] = {
 
 } // namespace
 
+const std::vector<HeadSpec> &
+headMatrix()
+{
+    using core::AttackTemplate;
+    using core::TriggerKind;
+    using core::modelBit;
+    using core::triggerBit;
+    // Disjoint subspaces covering every trigger kind. Each head also
+    // owns the attack templates whose windows live in its subspace:
+    // double-fetch rides the predictor windows, the supervisor victim
+    // is a page-walk (TLB) scenario, and the privilege transitions
+    // are exception-machinery windows.
+    static const std::vector<HeadSpec> matrix = {
+        {"predictors",
+         triggerBit(TriggerKind::BranchMispredict) |
+             triggerBit(TriggerKind::IndirectMispredict) |
+             triggerBit(TriggerKind::ReturnMispredict) |
+             triggerBit(TriggerKind::MemDisambiguation),
+         modelBit(AttackTemplate::SameDomain) |
+             modelBit(AttackTemplate::DoubleFetch)},
+        {"caches",
+         triggerBit(TriggerKind::LoadAccessFault) |
+             triggerBit(TriggerKind::LoadMisalign),
+         modelBit(AttackTemplate::SameDomain)},
+        {"tlb", triggerBit(TriggerKind::LoadPageFault),
+         modelBit(AttackTemplate::SameDomain) |
+             modelBit(AttackTemplate::MeltdownSupervisor)},
+        {"exceptions",
+         triggerBit(TriggerKind::IllegalInstr) |
+             triggerBit(TriggerKind::PrivEcall) |
+             triggerBit(TriggerKind::PrivReturn),
+         modelBit(AttackTemplate::SameDomain) |
+             modelBit(AttackTemplate::PrivTransition)},
+    };
+    return matrix;
+}
+
 const char *
 shardPolicyName(ShardPolicy policy)
 {
@@ -59,6 +96,7 @@ shardPolicyName(ShardPolicy policy)
       case ShardPolicy::Replicas: return "replicas";
       case ShardPolicy::ConfigSweep: return "sweep";
       case ShardPolicy::AblationMatrix: return "ablation";
+      case ShardPolicy::Heads: return "heads";
     }
     return "?";
 }
@@ -110,6 +148,7 @@ CampaignOrchestrator::provision()
         uarch::CoreConfig config = options_.base_config;
         core::FuzzerOptions fopts = options_.fuzzer;
         shard.variant = "full";
+        std::string head;
 
         switch (options_.policy) {
           case ShardPolicy::Replicas:
@@ -133,6 +172,18 @@ CampaignOrchestrator::provision()
             dv_assert(known);
             break;
           }
+          case ShardPolicy::Heads: {
+            const std::vector<HeadSpec> &heads = headMatrix();
+            const HeadSpec &spec = heads[w % heads.size()];
+            head = spec.name;
+            fopts.trigger_mask = spec.trigger_mask;
+            fopts.model_mask = spec.model_mask;
+            // The head rides the variant so kind compatibility (the
+            // thief's fuzzer carries the head's masks) and ledger
+            // provenance both see it.
+            shard.variant = std::string("head-") + spec.name;
+            break;
+          }
         }
 
         // The executor's own stream seed is irrelevant in batch mode
@@ -146,6 +197,13 @@ CampaignOrchestrator::provision()
         shard.config = config;
         shard.fopts = fopts;
         shard.config_name = config.name;
+        // Head shards get their own coverage/corpus/steal domain so
+        // each head's novelty gate and seed pool stay local to its
+        // subspace — the head-local coverage maps of the multi-head
+        // campaign.
+        shard.group_name =
+            head.empty() ? shard.config_name
+                         : shard.config_name + "+head=" + head;
         shard.agg.worker = w;
         shard.agg.config = shard.config_name;
         shard.agg.variant = shard.variant;
@@ -155,19 +213,19 @@ CampaignOrchestrator::provision()
         executors_[w] =
             std::make_unique<core::Fuzzer>(config, fopts);
 
-        auto [it, inserted] = groups_.try_emplace(shard.config_name);
+        auto [it, inserted] = groups_.try_emplace(shard.group_name);
         if (inserted) {
             it->second = std::make_unique<GlobalCoverage>(
                 executors_[w]->coverage());
             // Blank registered map; epoch snapshots are stamped from
             // this shape then filled by pullInto.
-            group_shapes_.emplace(shard.config_name,
+            group_shapes_.emplace(shard.group_name,
                                   executors_[w]->coverage());
-            group_snapshots_.emplace(shard.config_name,
+            group_snapshots_.emplace(shard.group_name,
                                      executors_[w]->coverage());
         }
         shard.group = it->second.get();
-        shard.private_map = group_shapes_.at(shard.config_name);
+        shard.private_map = group_shapes_.at(shard.group_name);
 
         auto [kit, fresh] = kinds.try_emplace(
             {shard.config_name, shard.variant},
@@ -384,7 +442,7 @@ CampaignOrchestrator::minimizeCorpus()
     // minimization never drops what it cannot judge.
     std::map<std::string, core::Fuzzer *> by_config;
     for (size_t w = 0; w < shards_.size(); ++w)
-        by_config.try_emplace(shards_[w].config_name,
+        by_config.try_emplace(shards_[w].group_name,
                               executors_[w].get());
     // Tuples from different configs live in disjoint module-id
     // ranges, so a SmallBOOM point can never subsume the
@@ -514,7 +572,7 @@ CampaignOrchestrator::executorLoop(unsigned t)
                              uint64_t gain) {
                 corpus_.offer(CorpusEntry{tc, gain, s,
                                           seq_base + offer_local++,
-                                          shard.config_name});
+                                          shard.group_name});
             });
 
         core::Fuzzer::BatchSpec spec;
@@ -522,7 +580,7 @@ CampaignOrchestrator::executorLoop(unsigned t)
             batchSeed(options_.master_seed, task.shard, task.index);
         spec.iter_base = seq_base;
         spec.iterations = task.iterations;
-        spec.baseline = &group_snapshots_.at(shard.config_name);
+        spec.baseline = &group_snapshots_.at(shard.group_name);
         spec.inject = std::move(task.inject);
 
         const double begin = nowSeconds();
@@ -697,13 +755,13 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
                 !preloaded_ids_.count({key.worker, key.seq})) {
                 continue;
             }
-            // Test cases are trigger-tuned to their author's core:
-            // only steal within the same config group (mirrors the
-            // per-config coverage split). The entry carries its own
-            // config name because preloaded entries may be authored
-            // by workers of a previous campaign with a different
-            // fleet size.
-            if (key.config != shard.config_name)
+            // Test cases are trigger-tuned to their author's core
+            // (and, under Heads, its subspace): only steal within
+            // the same group (mirrors the per-group coverage split).
+            // The entry carries its own group name because preloaded
+            // entries may be authored by workers of a previous
+            // campaign with a different fleet size.
+            if (key.config != shard.group_name)
                 continue;
             if (shard.stolen.count({key.worker, key.seq}))
                 continue;
@@ -836,9 +894,18 @@ CampaignOrchestrator::run()
 void
 CampaignOrchestrator::writeJsonl(std::ostream &os) const
 {
+    // Echo the effective template set (stimgen normalizes an empty
+    // mask to the legacy single model); heads shards each carry
+    // their own set, visible per worker via the head-* variant.
+    uint32_t mask = options_.fuzzer.model_mask & core::kAllModelMask;
+    if (mask == 0)
+        mask = core::kLegacyModelMask;
     writeCampaignJsonl(os, stats_, ledger_,
                        shardPolicyName(options_.policy),
-                       options_.master_seed);
+                       options_.master_seed,
+                       options_.policy == ShardPolicy::Heads
+                           ? "per-head"
+                           : core::modelMaskNames(mask));
 }
 
 void

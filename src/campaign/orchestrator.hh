@@ -58,9 +58,29 @@ enum class ShardPolicy : uint8_t {
     Replicas,       ///< same config everywhere, distinct Rng streams
     ConfigSweep,    ///< alternate between the two paper cores
     AblationMatrix, ///< cycle the paper's ablation variants
+    Heads,          ///< disjoint uarch-subspace heads (kHeadMatrix)
 };
 
 const char *shardPolicyName(ShardPolicy policy);
+
+/**
+ * One multi-head campaign head: a disjoint uarch-component subspace
+ * (trigger kinds) plus the attack templates that target it. Workers
+ * under ShardPolicy::Heads cycle this matrix; each head keeps its own
+ * coverage group and corpus/steal domain, so novelty and seed
+ * exchange never leak across subspaces.
+ */
+struct HeadSpec
+{
+    const char *name;
+    uint32_t trigger_mask;
+    uint32_t model_mask;
+};
+
+/** The head matrix Heads cycles (predictors / caches / tlb /
+ *  exceptions). Trigger masks are pairwise disjoint and cover every
+ *  TriggerKind. */
+const std::vector<HeadSpec> &headMatrix();
 
 /**
  * Apply the named ablation variant's switches ("full",
@@ -210,6 +230,11 @@ class CampaignOrchestrator
         core::FuzzerOptions fopts;
         std::string config_name;
         std::string variant;
+        /** Coverage/corpus/steal domain key. Equals config_name
+         *  except under Heads, where each head gets its own group
+         *  ("<config>+head=<name>") so head-local coverage maps and
+         *  seed stealing never cross subspaces. */
+        std::string group_name;
         GlobalCoverage *group = nullptr;
         unsigned kind = 0;           ///< steal-compatibility class
         uint64_t next_batch = 0;     ///< shard-global batch counter
@@ -265,11 +290,12 @@ class CampaignOrchestrator
      *  reused (dual-sim buffers and all) across every batch it
      *  runs — the batched-simulation amortization. */
     std::vector<std::unique_ptr<core::Fuzzer>> executors_;
-    /** One global coverage map per distinct core config. */
+    /** One global coverage map per distinct group (config name, or
+     *  config+head under the Heads policy). */
     std::map<std::string, std::unique_ptr<GlobalCoverage>> groups_;
-    /** Blank registered maps (per config) snapshots are stamped from. */
+    /** Blank registered maps (per group) snapshots are stamped from. */
     std::map<std::string, ift::TaintCoverage> group_shapes_;
-    /** Frozen per-config coverage at the current epoch's start; all
+    /** Frozen per-group coverage at the current epoch's start; all
      *  batches of the epoch read it concurrently, nobody writes. */
     std::map<std::string, ift::TaintCoverage> group_snapshots_;
 

@@ -36,13 +36,17 @@
 
 namespace dejavuzz::campaign {
 
-/** Snapshot format version written by saveCheckpoint(). */
-constexpr uint32_t kSnapshotFormatVersion = 1;
+/** Snapshot format version written by saveCheckpoint(). v2 appended
+ *  the attack-model fields to every embedded test case and widened
+ *  the bug-record attack/window enum bounds; loadCheckpoint() still
+ *  reads v1 snapshots (their cases get the implicit same-domain
+ *  model). */
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /** One config group's global coverage bitmaps. */
 struct CoverageGroupSnap
 {
-    std::string config; ///< core config name (group key)
+    std::string config; ///< group key (config name, or config+head)
 
     struct Module
     {

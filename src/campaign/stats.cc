@@ -66,7 +66,8 @@ void
 writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
                    const BugLedger &ledger,
                    const std::string &policy_name,
-                   uint64_t master_seed)
+                   uint64_t master_seed,
+                   const std::string &templates)
 {
     for (const auto &w : stats.workers) {
         os << "{\"type\":\"worker\",\"worker\":" << w.worker
@@ -114,13 +115,16 @@ writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
            << "\",\"worker\":" << record.worker
            << ",\"epoch\":" << record.epoch
            << ",\"iteration\":" << record.report.iteration
-           << ",\"hits\":" << record.hits << "}\n";
+           << ",\"config\":\"" << jsonEscape(record.config)
+           << "\",\"variant\":\"" << jsonEscape(record.variant)
+           << "\",\"hits\":" << record.hits << "}\n";
     }
 
     os << "{\"type\":\"summary\",\"workers\":" << stats.workers.size()
        << ",\"policy\":\"" << jsonEscape(policy_name)
        << "\",\"master_seed\":" << master_seed
-       << ",\"iterations\":" << stats.iterations
+       << ",\"templates\":\"" << jsonEscape(templates)
+       << "\",\"iterations\":" << stats.iterations
        << ",\"simulations\":" << stats.simulations
        << ",\"windows\":" << stats.windows_triggered
        << ",\"coverage_points\":" << stats.coverage_points

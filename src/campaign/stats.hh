@@ -102,11 +102,15 @@ struct CampaignStats
 /** Minimal JSON string escaping (quotes, backslash, control chars). */
 std::string jsonEscape(const std::string &text);
 
-/** Emit the full campaign log in the schema documented above. */
+/** Emit the full campaign log in the schema documented above.
+ *  @p templates is the summary's attack-template echo: the
+ *  comma-joined template names every worker draws from, or
+ *  "per-head" under the heads policy. */
 void writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
                         const BugLedger &ledger,
                         const std::string &policy_name,
-                        uint64_t master_seed);
+                        uint64_t master_seed,
+                        const std::string &templates);
 
 } // namespace dejavuzz::campaign
 

@@ -105,11 +105,27 @@ Fuzzer::iterate(Phase1 &phase1, Phase2 &phase2, Phase3 &phase3)
 
         // --- Phase 1: new seed, trigger generation + reduction ------
         ++stats_.phase1_attempts;
-        Seed seed = gen_.newSeed(rng_, next_seed_id_++);
+        Seed seed =
+            gen_.newSeed(rng_, next_seed_id_++, TriggerKind::kCount,
+                         options_.trigger_mask, options_.model_mask);
         current_ = gen_.generatePhase1(seed, options_.derived_training);
         bool triggered = false;
         stats_.simulations += phase1.run(current_, triggered,
                                          options_.training_reduction);
+        // Regenerate the window up to phase1_retries times with fresh
+        // entropy before giving the iteration up, mirroring
+        // triggerOnce(): the Rng only advances on failure, so seeds
+        // whose first window triggers are unaffected.
+        for (unsigned attempt = 0;
+             !triggered && attempt < options_.phase1_retries;
+             ++attempt) {
+            seed.entropy = rng_.next();
+            seed.window.encode_entropy = rng_.next();
+            current_ =
+                gen_.generatePhase1(seed, options_.derived_training);
+            stats_.simulations += phase1.run(
+                current_, triggered, options_.training_reduction);
+        }
         if (!triggered) {
             if (options_.record_coverage_curve)
                 stats_.coverage_curve.push_back(coverage_.points());

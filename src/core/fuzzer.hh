@@ -45,6 +45,11 @@ struct FuzzerOptions
     ift::IftMode ift_mode = ift::IftMode::DiffIFT;
     unsigned max_mutations = 6;     ///< window mutations per seed
     unsigned phase1_retries = 3;    ///< regeneration attempts per seed
+    /** Trigger-kind / attack-template subspaces newSeed draws from
+     *  (multi-head campaigns give each head disjoint masks). The
+     *  defaults reproduce the legacy single-model seed stream. */
+    uint32_t trigger_mask = kLegacyTriggerMask;
+    uint32_t model_mask = kLegacyModelMask;
     /** Record the per-iteration coverage curve (FuzzerStats); long
      *  orchestrated campaigns turn this off to bound memory. */
     bool record_coverage_curve = true;

@@ -36,6 +36,8 @@ checkWindow(const uarch::TraceLog &trace, const TestCase &tc)
           case TriggerKind::LoadAccessFault:
           case TriggerKind::LoadPageFault:
           case TriggerKind::LoadMisalign:
+          case TriggerKind::PrivEcall:
+          case TriggerKind::PrivReturn:
             pc_ok = squash.pc == tc.trigger_addr;
             spec_ok = true; // fall-through window by construction
             break;
@@ -67,6 +69,10 @@ checkWindow(const uarch::TraceLog &trace, const TestCase &tc)
                 break;
               case TriggerKind::IllegalInstr:
                 match = squash.exc == isa::ExcCause::IllegalInstr;
+                break;
+              case TriggerKind::PrivEcall:
+                match = squash.exc == isa::ExcCause::EcallU ||
+                        squash.exc == isa::ExcCause::EcallM;
                 break;
               default:
                 match = false;
@@ -258,6 +264,26 @@ diffSinks(const std::vector<ift::SinkSnapshot> &orig,
     }
 }
 
+/** Attack classification from the seed's attack model (legacy
+ *  same-domain seeds keep the Meltdown/Spectre split). */
+static AttackType
+attackFor(const TestCase &tc)
+{
+    switch (tc.seed.model.tmpl) {
+      case AttackTemplate::PrivTransition:
+        return AttackType::PrivTransition;
+      case AttackTemplate::DoubleFetch:
+        return AttackType::DoubleFetch;
+      case AttackTemplate::MeltdownSupervisor:
+        return AttackType::Meltdown;
+      case AttackTemplate::SameDomain:
+      case AttackTemplate::kCount:
+        break;
+    }
+    return tc.seed.window.meltdown ? AttackType::Meltdown
+                                   : AttackType::Spectre;
+}
+
 Phase3Result
 Phase3::run(const TestCase &tc, const Phase2Result &phase2,
             bool use_liveness)
@@ -269,8 +295,7 @@ Phase3::run(const TestCase &tc, const Phase2Result &phase2,
     std::set<std::string> timing = constantTimeViolations(phase2.dual);
     if (!timing.empty()) {
         BugReport report;
-        report.attack = tc.seed.window.meltdown ? AttackType::Meltdown
-                                                : AttackType::Spectre;
+        report.attack = attackFor(tc);
         report.window = tc.seed.trigger;
         report.channel = LeakChannel::TimingDifference;
         report.components = timing;
@@ -305,8 +330,7 @@ Phase3::run(const TestCase &tc, const Phase2Result &phase2,
 
     if (!live_components.empty()) {
         BugReport report;
-        report.attack = tc.seed.window.meltdown ? AttackType::Meltdown
-                                                : AttackType::Spectre;
+        report.attack = attackFor(tc);
         report.window = tc.seed.trigger;
         report.channel = LeakChannel::EncodedState;
         report.components = live_components;

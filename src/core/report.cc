@@ -14,6 +14,8 @@ triggerKindName(TriggerKind kind)
       case TriggerKind::BranchMispredict: return "branch-mispred";
       case TriggerKind::IndirectMispredict: return "indjump-mispred";
       case TriggerKind::ReturnMispredict: return "return-mispred";
+      case TriggerKind::PrivEcall: return "priv-ecall";
+      case TriggerKind::PrivReturn: return "priv-return";
       case TriggerKind::kCount: break;
     }
     return "?";
@@ -27,6 +29,7 @@ isExceptionTrigger(TriggerKind kind)
       case TriggerKind::LoadPageFault:
       case TriggerKind::LoadMisalign:
       case TriggerKind::IllegalInstr:
+      case TriggerKind::PrivEcall:
         return true;
       default:
         return false;
@@ -41,6 +44,7 @@ expectedCause(TriggerKind kind)
       case TriggerKind::LoadPageFault:
       case TriggerKind::LoadMisalign:
       case TriggerKind::IllegalInstr:
+      case TriggerKind::PrivEcall:
         return uarch::SquashCause::Exception;
       case TriggerKind::MemDisambiguation:
         return uarch::SquashCause::MemDisambiguation;
@@ -50,6 +54,8 @@ expectedCause(TriggerKind kind)
         return uarch::SquashCause::JumpMispredict;
       case TriggerKind::ReturnMispredict:
         return uarch::SquashCause::ReturnMispredict;
+      case TriggerKind::PrivReturn:
+        return uarch::SquashCause::PrivReturn;
       case TriggerKind::kCount:
         break;
     }
@@ -57,9 +63,82 @@ expectedCause(TriggerKind kind)
 }
 
 const char *
+attackTemplateName(AttackTemplate tmpl)
+{
+    switch (tmpl) {
+      case AttackTemplate::SameDomain: return "same-domain";
+      case AttackTemplate::MeltdownSupervisor:
+        return "meltdown-supervisor";
+      case AttackTemplate::PrivTransition: return "priv-transition";
+      case AttackTemplate::DoubleFetch: return "double-fetch";
+      case AttackTemplate::kCount: break;
+    }
+    return "?";
+}
+
+uint32_t
+templateTriggerMask(AttackTemplate tmpl)
+{
+    switch (tmpl) {
+      case AttackTemplate::SameDomain:
+        return kLegacyTriggerMask;
+      case AttackTemplate::MeltdownSupervisor:
+        // The supervisor placement makes U-mode secret accesses raise
+        // page faults; only the page-fault window matches that cause.
+        return triggerBit(TriggerKind::LoadPageFault);
+      case AttackTemplate::PrivTransition:
+        return triggerBit(TriggerKind::PrivEcall) |
+               triggerBit(TriggerKind::PrivReturn);
+      case AttackTemplate::DoubleFetch:
+        // The stale-copy hazard needs the original value warmed into
+        // the caches, so only non-exception windows qualify.
+        return triggerBit(TriggerKind::BranchMispredict) |
+               triggerBit(TriggerKind::IndirectMispredict) |
+               triggerBit(TriggerKind::ReturnMispredict) |
+               triggerBit(TriggerKind::MemDisambiguation);
+      case AttackTemplate::kCount:
+        break;
+    }
+    return 0;
+}
+
+bool
+parseAttackTemplateName(std::string_view name, AttackTemplate &out)
+{
+    for (unsigned t = 0; t < kAttackTemplates; ++t) {
+        auto tmpl = static_cast<AttackTemplate>(t);
+        if (name == attackTemplateName(tmpl)) {
+            out = tmpl;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+modelMaskNames(uint32_t mask)
+{
+    std::string out;
+    for (unsigned t = 0; t < kAttackTemplates; ++t) {
+        if (!(mask & (1u << t)))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += attackTemplateName(static_cast<AttackTemplate>(t));
+    }
+    return out;
+}
+
+const char *
 attackTypeName(AttackType type)
 {
-    return type == AttackType::Meltdown ? "Meltdown" : "Spectre";
+    switch (type) {
+      case AttackType::Meltdown: return "Meltdown";
+      case AttackType::Spectre: return "Spectre";
+      case AttackType::PrivTransition: return "PrivTransition";
+      case AttackType::DoubleFetch: return "DoubleFetch";
+    }
+    return "?";
 }
 
 std::string

@@ -18,8 +18,10 @@ namespace dejavuzz::core {
 
 /** Attack family per the paper's taxonomy. */
 enum class AttackType : uint8_t {
-    Meltdown, ///< transient access across a permission boundary
-    Spectre,  ///< mis-steered speculation on permitted data
+    Meltdown,       ///< transient access across a permission boundary
+    Spectre,        ///< mis-steered speculation on permitted data
+    PrivTransition, ///< ecall/mret boundary window (stale privilege)
+    DoubleFetch,    ///< swap-mechanism TOCTOU on the victim data
 };
 
 const char *attackTypeName(AttackType type);

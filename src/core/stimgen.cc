@@ -1,5 +1,7 @@
 #include "core/stimgen.hh"
 
+#include <bit>
+
 #include "swapmem/layout.hh"
 #include "util/logging.hh"
 
@@ -58,22 +60,70 @@ enum OperandSlot : unsigned {
 } // namespace
 
 Seed
-StimGen::newSeed(Rng &rng, uint64_t id, TriggerKind force) const
+StimGen::newSeed(Rng &rng, uint64_t id, TriggerKind force,
+                 uint32_t trigger_mask, uint32_t model_mask) const
 {
     Seed seed;
     seed.id = id;
-    seed.trigger = force != TriggerKind::kCount
-                       ? force
-                       : static_cast<TriggerKind>(
-                             rng.below(kTriggerKinds));
+
+    // Attack template. The legacy single-model mask draws nothing so
+    // pre-existing seed trajectories stay bit-identical.
+    model_mask &= kAllModelMask;
+    if (model_mask == 0)
+        model_mask = kLegacyModelMask;
+    if (model_mask != kLegacyModelMask) {
+        unsigned count =
+            static_cast<unsigned>(std::popcount(model_mask));
+        unsigned pick = static_cast<unsigned>(rng.below(count));
+        uint32_t bits = model_mask;
+        for (unsigned i = 0; i < pick; ++i)
+            bits &= bits - 1;
+        seed.model.tmpl = static_cast<AttackTemplate>(
+            std::countr_zero(bits));
+    }
+    if (force != TriggerKind::kCount &&
+        (templateTriggerMask(seed.model.tmpl) & triggerBit(force)) ==
+            0) {
+        // A pinned trigger overrides the drawn template: take the
+        // first template that can instantiate it.
+        for (unsigned t = 0; t < kAttackTemplates; ++t) {
+            auto tmpl = static_cast<AttackTemplate>(t);
+            if (templateTriggerMask(tmpl) & triggerBit(force)) {
+                seed.model.tmpl = tmpl;
+                break;
+            }
+        }
+    }
+
+    uint32_t allowed =
+        trigger_mask & templateTriggerMask(seed.model.tmpl);
+    if (allowed == 0)
+        allowed = templateTriggerMask(seed.model.tmpl);
+    if (force != TriggerKind::kCount) {
+        seed.trigger = force;
+    } else {
+        unsigned count = static_cast<unsigned>(std::popcount(allowed));
+        unsigned pick = static_cast<unsigned>(rng.below(count));
+        uint32_t bits = allowed;
+        for (unsigned i = 0; i < pick; ++i)
+            bits &= bits - 1;
+        seed.trigger =
+            static_cast<TriggerKind>(std::countr_zero(bits));
+    }
+
     seed.entropy = rng.next();
     seed.window.encode_entropy = rng.next();
     seed.window.encode_ops = 1 + static_cast<unsigned>(rng.below(6));
     seed.window.mask_high_bits = rng.chance(1, 6);
     switch (seed.trigger) {
       case TriggerKind::LoadAccessFault:
-        seed.window.meltdown = true;
-        seed.window.prot = swapmem::SecretProt::Pmp;
+        // Meltdown and PMP protection are decoupled: non-meltdown
+        // windows fault on the always-denied guard block while the
+        // secret stays architecturally readable (Spectre-style).
+        seed.window.meltdown = rng.chance(1, 2);
+        seed.window.prot = seed.window.meltdown
+                               ? swapmem::SecretProt::Pmp
+                               : swapmem::SecretProt::Open;
         break;
       case TriggerKind::LoadPageFault:
         seed.window.meltdown = rng.chance(1, 2);
@@ -85,9 +135,39 @@ StimGen::newSeed(Rng &rng, uint64_t id, TriggerKind force) const
         seed.window.meltdown = rng.chance(1, 2);
         seed.window.prot = swapmem::SecretProt::Open;
         break;
+      case TriggerKind::PrivEcall:
+      case TriggerKind::PrivReturn:
+        // Meltdown flavour keeps the secret PMP-protected: the ecall
+        // shadow reads it through transient fault forwarding, and the
+        // post-mret window reads it under the stale M privilege.
+        seed.window.meltdown = rng.chance(1, 2);
+        seed.window.prot = seed.window.meltdown
+                               ? swapmem::SecretProt::Pmp
+                               : swapmem::SecretProt::Open;
+        break;
       default:
         seed.window.meltdown = false;
         seed.window.prot = swapmem::SecretProt::Open;
+        break;
+    }
+
+    // Template instantiation: privilege pair and victim placement.
+    switch (seed.model.tmpl) {
+      case AttackTemplate::MeltdownSupervisor:
+        seed.model.attacker = isa::Priv::U;
+        seed.model.victim = isa::Priv::S;
+        seed.model.supervisor_victim = true;
+        // The supervisor placement itself protects the secret.
+        seed.window.meltdown = true;
+        seed.window.prot = swapmem::SecretProt::Open;
+        break;
+      case AttackTemplate::PrivTransition:
+        seed.model.attacker = isa::Priv::U;
+        seed.model.victim = isa::Priv::M;
+        break;
+      case AttackTemplate::SameDomain:
+      case AttackTemplate::DoubleFetch:
+      case AttackTemplate::kCount:
         break;
     }
     return seed;
@@ -132,7 +212,9 @@ StimGen::drawLayout(const Seed &seed) const
 
     switch (seed.trigger) {
       case TriggerKind::LoadAccessFault:
-        layout.fault_addr = swapmem::kSecretAddr;
+        layout.fault_addr = seed.window.meltdown
+                                ? swapmem::kSecretAddr
+                                : swapmem::kPmpGuardAddr;
         break;
       case TriggerKind::LoadPageFault:
         layout.fault_addr = seed.window.meltdown
@@ -235,6 +317,8 @@ StimGen::emitSetup(ProgBuilder &prog, const Seed &seed,
             slowLoad(a3, kSlotDisambAddr);
             break;
           case TriggerKind::IllegalInstr:
+          case TriggerKind::PrivEcall:
+          case TriggerKind::PrivReturn:
           case TriggerKind::kCount:
             break;
         }
@@ -283,6 +367,17 @@ StimGen::emitTrigger(ProgBuilder &prog, const Seed &seed,
         break;
       case TriggerKind::IllegalInstr:
         prog.illegal();
+        break;
+      case TriggerKind::PrivEcall:
+        prog.ecall();
+        break;
+      case TriggerKind::PrivReturn:
+        // The privilege-entry training packet left the core in M
+        // mode, so the return commits cleanly and flushes the window.
+        if (layout.store_variant)
+            prog.emit(Op::SRET, 0, 0, 0, 0);
+        else
+            prog.mret();
         break;
       case TriggerKind::MemDisambiguation:
         prog.sd(a2, a3, 0);  // slow-address store
@@ -612,9 +707,28 @@ StimGen::generatePhase1(const Seed &seed, bool derived_training) const
             derived_training ? derivedTraining(seed, layout, i, train_rng)
                              : randomTraining(train_rng, i));
     }
+    if (seed.trigger == TriggerKind::PrivReturn) {
+        // Privilege entry: an ecall traps to M mode and the trap
+        // itself advances the swap runtime, so the transient packet
+        // starts executing privileged until its mret/sret commits.
+        // Training reduction cannot drop this packet - without it the
+        // return raises IllegalInstr and the window check fails.
+        ProgBuilder entry(swapmem::kSwapBase);
+        entry.nop();
+        entry.nop();
+        entry.ecall();
+        SwapPacket entry_packet;
+        entry_packet.label = "priv_entry";
+        entry_packet.kind = PacketKind::TriggerTrain;
+        entry_packet.instrs = entry.finish();
+        tc.schedule.packets.push_back(entry_packet);
+    }
     tc.schedule.packets.push_back(
         buildTransient(seed, layout, false, tc));
     tc.schedule.transient_prot = seed.window.prot;
+    tc.schedule.victim_supervisor = seed.model.supervisor_victim;
+    tc.schedule.double_fetch =
+        seed.model.tmpl == AttackTemplate::DoubleFetch;
     return tc;
 }
 

@@ -44,9 +44,15 @@ class StimGen
     /**
      * Draw a fresh random seed. When @p force is a valid kind, the
      * trigger (and the window protection derived from it) is pinned.
+     * @p trigger_mask / @p model_mask restrict the trigger kinds and
+     * attack templates drawn (multi-head subspace campaigns); the
+     * default masks reproduce the legacy single-model stream
+     * bit-identically.
      */
     Seed newSeed(Rng &rng, uint64_t id,
-                 TriggerKind force = TriggerKind::kCount) const;
+                 TriggerKind force = TriggerKind::kCount,
+                 uint32_t trigger_mask = kLegacyTriggerMask,
+                 uint32_t model_mask = kLegacyModelMask) const;
 
     /**
      * Step 1.1: trigger generation + dummy window + derived training.

@@ -288,6 +288,8 @@ DualSim::lockstepLoop(LaneRun &l0, LaneRun &l1, const SimOptions &options,
         marks.cycle = l0.lane.core.cycle();
         marks.packet_cycles = l0.packet_cycles;
         marks.secret_prot = l0.lane.mem.secretProt();
+        marks.victim_supervisor = l0.lane.mem.victimSupervisor();
+        marks.secret_swapped = l0.lane.mem.secretSwapped();
         marks.completed = l0.result.completed;
         marks.budget_exceeded = l0.result.budget_exceeded;
         marks.done = l0.done;
@@ -304,6 +306,9 @@ DualSim::lockstepLoop(LaneRun &l0, LaneRun &l1, const SimOptions &options,
         l0.runtime = ckpt_runtime;
         l0.lane.mem.rollbackUndo();
         l0.lane.mem.setSecretProt(marks.secret_prot);
+        l0.lane.mem.setVictimSupervisor(marks.victim_supervisor);
+        if (!marks.secret_swapped)
+            l0.lane.mem.clearSecretSwap();
         l0.lane.mem.beginUndo();
         l0.packet_cycles = marks.packet_cycles;
         l0.done = marks.done;

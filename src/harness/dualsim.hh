@@ -286,6 +286,11 @@ class DualSim
          *  it (SwapRuntime::loadCurrent) and the byte-level undo log
          *  does not cover it. */
         swapmem::SecretProt secret_prot = swapmem::SecretProt::Open;
+        /** Victim placement / double-fetch swap flags: flipped by
+         *  packet advances like secret_prot and likewise outside the
+         *  byte-level undo log. */
+        bool victim_supervisor = false;
+        bool secret_swapped = false;
         bool completed = false;
         bool budget_exceeded = false;
         bool done = false;

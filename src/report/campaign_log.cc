@@ -210,6 +210,8 @@ parseCampaignLog(std::istream &is, const std::string &name,
             fields.u64("worker", row.worker);
             fields.u64("epoch", row.epoch);
             fields.u64("iteration", row.iteration);
+            fields.str("config", row.config, /*required=*/false);
+            fields.str("variant", row.variant, /*required=*/false);
             fields.u64("hits", row.hits);
             if (!fields.ok())
                 return fail(field_error);
@@ -243,6 +245,8 @@ parseCampaignLog(std::istream &is, const std::string &name,
             fields.u64("workers", row.workers);
             fields.str("policy", row.policy);
             fields.u64("master_seed", row.master_seed);
+            fields.str("templates", row.templates,
+                       /*required=*/false);
             fields.u64("iterations", row.iterations);
             fields.u64("simulations", row.simulations);
             fields.u64("windows", row.windows);

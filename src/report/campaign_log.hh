@@ -70,6 +70,8 @@ struct BugRow
     uint64_t worker = 0;
     uint64_t epoch = 0;
     uint64_t iteration = 0;
+    std::string config;  ///< optional; empty for older logs
+    std::string variant; ///< optional; empty for older logs
     uint64_t hits = 0;
 };
 
@@ -113,6 +115,7 @@ struct SummaryRow
     uint64_t workers = 0;
     std::string policy;
     uint64_t master_seed = 0;
+    std::string templates; ///< optional; empty for older logs
     uint64_t iterations = 0;
     uint64_t simulations = 0;
     uint64_t windows = 0;

@@ -44,6 +44,15 @@ constexpr uint64_t kSecretBytes = 64;
 constexpr uint64_t kOperandAddr = kDedicatedBase + 0x100;
 constexpr uint64_t kOperandBytes = 0x100;
 
+/**
+ * Always-PMP-denied guard block inside the dedicated region: U-mode
+ * accesses raise access faults regardless of the secret protection
+ * state, so access-fault windows can be opened without touching the
+ * secret (non-Meltdown LoadAccessFault stimuli).
+ */
+constexpr uint64_t kPmpGuardAddr = kDedicatedBase + 0x200;
+constexpr uint64_t kPmpGuardBytes = 0x40;
+
 /** Trap vector: the swap runtime's handler entry in the shared region. */
 constexpr uint64_t kTrapVector = kSharedBase;
 

@@ -28,6 +28,8 @@ Memory::reset()
     }
     dirty_pages_ = 0;
     secret_prot_ = SecretProt::Open;
+    victim_supervisor_ = false;
+    secret_swapped_ = false;
     undo_active_ = false;
     undo_.clear();
 }
@@ -53,6 +55,8 @@ Memory::copyFrom(const Memory &other)
     }
     dirty_pages_ = other.dirty_pages_;
     secret_prot_ = other.secret_prot_;
+    victim_supervisor_ = other.victim_supervisor_;
+    secret_swapped_ = other.secret_swapped_;
     undo_active_ = false;
     undo_.clear();
 }
@@ -159,6 +163,13 @@ Memory::check(uint64_t addr, unsigned bytes, AccessKind kind,
     bool hits_secret =
         addr < kSecretAddr + kSecretBytes && end > kSecretAddr;
     if (hits_secret && priv != isa::Priv::M) {
+        // Supervisor victim placement dominates the PMP-style secret
+        // protection: the page walk fails before any PMP check.
+        if (victim_supervisor_) {
+            return kind == AccessKind::Store
+                       ? ExcCause::StorePageFault
+                       : ExcCause::LoadPageFault;
+        }
         if (secret_prot_ == SecretProt::Pmp) {
             return kind == AccessKind::Store
                        ? ExcCause::StoreAccessFault
@@ -168,6 +179,21 @@ Memory::check(uint64_t addr, unsigned bytes, AccessKind kind,
             return kind == AccessKind::Store
                        ? ExcCause::StorePageFault
                        : ExcCause::LoadPageFault;
+        }
+    }
+
+    // PMP guard block: denied below M mode regardless of the secret
+    // protection state.
+    bool hits_guard =
+        addr < kPmpGuardAddr + kPmpGuardBytes && end > kPmpGuardAddr;
+    if (hits_guard && priv != isa::Priv::M) {
+        switch (kind) {
+          case AccessKind::Load:
+            return ExcCause::LoadAccessFault;
+          case AccessKind::Store:
+            return ExcCause::StoreAccessFault;
+          case AccessKind::Fetch:
+            return ExcCause::InstrAccessFault;
         }
     }
 
@@ -205,6 +231,18 @@ Memory::check(uint64_t addr, unsigned bytes, AccessKind kind,
     }
 
     return ExcCause::None;
+}
+
+void
+Memory::applySecretSwap()
+{
+    if (secret_swapped_)
+        return;
+    for (uint64_t i = 0; i < kSecretBytes; ++i) {
+        uint64_t addr = kSecretAddr + i;
+        setByte(addr, static_cast<uint8_t>(data_[addr] ^ 0x5a), true);
+    }
+    secret_swapped_ = true;
 }
 
 void

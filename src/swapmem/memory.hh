@@ -84,6 +84,24 @@ class Memory
     void setSecretProt(SecretProt prot) { secret_prot_ = prot; }
     SecretProt secretProt() const { return secret_prot_; }
 
+    /**
+     * Victim placement: when set, the secret block lives in a
+     * supervisor page - any U-mode access page-faults independent of
+     * the PMP-style secret protection (MeltdownSupervisor template).
+     */
+    void setVictimSupervisor(bool on) { victim_supervisor_ = on; }
+    bool victimSupervisor() const { return victim_supervisor_; }
+
+    /**
+     * Double-fetch swap: XOR-mutate the secret bytes in place (via the
+     * undo-covered byte store, so speculative rollback restores them).
+     * Idempotent per swap generation - the flag makes replayed packet
+     * loads after a Phase-3 fused reload apply the swap exactly once.
+     */
+    void applySecretSwap();
+    void clearSecretSwap() { secret_swapped_ = false; }
+    bool secretSwapped() const { return secret_swapped_; }
+
     /** Install the secret block (tainted bytes). */
     void installSecret(const uint8_t *data, size_t bytes);
     /** Write a mutable operand slot (untainted). */
@@ -108,6 +126,8 @@ class Memory
     std::vector<uint8_t> data_;
     std::vector<uint8_t> taint_;
     SecretProt secret_prot_ = SecretProt::Open;
+    bool victim_supervisor_ = false;
+    bool secret_swapped_ = false;
     bool undo_active_ = false;
     std::vector<UndoRec> undo_;
     /** One bit per page with any write since the last reset. */

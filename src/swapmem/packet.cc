@@ -61,6 +61,8 @@ SwapSchedule::without(size_t packet_index) const
     dv_assert(packets[packet_index].kind != PacketKind::Transient);
     SwapSchedule reduced;
     reduced.transient_prot = transient_prot;
+    reduced.victim_supervisor = victim_supervisor;
+    reduced.double_fetch = double_fetch;
     for (size_t i = 0; i < packets.size(); ++i) {
         if (i != packet_index)
             reduced.packets.push_back(packets[i]);
@@ -112,10 +114,18 @@ SwapRuntime::loadCurrent(Memory &mem)
 
     // Update the secret's protection when entering the transient
     // packet (the paper updates permissions after all training).
-    if (packet.kind == PacketKind::Transient)
+    if (packet.kind == PacketKind::Transient) {
         mem.setSecretProt(schedule_->transient_prot);
-    else
+        mem.setVictimSupervisor(schedule_->victim_supervisor);
+        // Double-fetch: mutate the secret under the transient packet
+        // while the training packets' cached copy stays stale (the
+        // d-cache is deliberately not flushed across swaps).
+        if (schedule_->double_fetch)
+            mem.applySecretSwap();
+    } else {
         mem.setSecretProt(SecretProt::Open);
+        mem.setVictimSupervisor(false);
+    }
 }
 
 } // namespace dejavuzz::swapmem

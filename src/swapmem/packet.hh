@@ -64,6 +64,11 @@ struct SwapSchedule
     std::vector<SwapPacket> packets;
     /** Protection applied to the secret before the transient packet. */
     SecretProt transient_prot = SecretProt::Open;
+    /** Secret placed in a supervisor page for the transient packet. */
+    bool victim_supervisor = false;
+    /** Swap (mutate) the secret bytes when loading the transient
+     *  packet - stale cached copies become the double-fetch hazard. */
+    bool double_fetch = false;
 
     /** Index of the transient packet (asserts there is exactly one). */
     size_t transientIndex() const;

@@ -85,6 +85,7 @@ squashCauseName(SquashCause cause)
       case SquashCause::ReturnMispredict: return "return-mispredict";
       case SquashCause::MemDisambiguation: return "mem-disambiguation";
       case SquashCause::Exception: return "exception";
+      case SquashCause::PrivReturn: return "priv-return";
     }
     return "?";
 }
@@ -389,7 +390,6 @@ Core::commitPredictorUpdate(RobEntry &entry)
 TickEvents
 Core::phaseCommit(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
 {
-    (void)ctx;
     TickEvents ev;
     for (unsigned n = 0; n < cfg.commit_width; ++n) {
         if (rob_count == 0 || trap_pending_)
@@ -415,6 +415,17 @@ Core::phaseCommit(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
         if (head.instr.op == Op::SWAPNEXT) {
             ev.swap_next = true;
         }
+
+        // A privileged return commits: everything younger in the RoB
+        // was fetched and (partially) executed under the stale M
+        // privilege, so it must be flushed - that flush is the
+        // privilege-transition transient window.
+        bool priv_return =
+            (head.instr.op == Op::MRET || head.instr.op == Op::SRET) &&
+            priv == isa::Priv::M;
+        uint64_t ret_pc = head.pc;
+        uint64_t ret_seq = head.seq;
+        uint32_t ret_open = head.dispatch_cycle;
 
         commitPredictorUpdate(head);
 
@@ -442,6 +453,15 @@ Core::phaseCommit(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
         head.valid = false;
         rob_head = (rob_head + 1) % cfg.rob_entries;
         --rob_count;
+
+        if (priv_return) {
+            priv = isa::Priv::U;
+            squashYounger(ret_seq, false, ift::clean(ret_pc + 4),
+                          TV{1, 0}, SquashCause::PrivReturn,
+                          isa::ExcCause::None, ret_pc, ret_pc + 4,
+                          ret_open, ctx, trace);
+            break;
+        }
 
         if (ev.swap_next)
             break;
@@ -1303,6 +1323,10 @@ Core::tick(Memory &mem, ift::TaintCtx &ctx, TraceLog *trace)
     }
     if (trap_fires) {
         trap_pending_ = false;
+        // Taking a trap enters machine mode: the handler (and, when
+        // the swap runtime advances on the trap, the next packet)
+        // executes privileged until an mret/sret commits.
+        priv = isa::Priv::M;
         // The faulting instruction itself architecturally "commits
         // with exception": drop it before flushing so it is not
         // counted among the transient (flushed) instructions.

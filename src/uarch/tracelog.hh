@@ -26,6 +26,7 @@ enum class SquashCause : uint8_t {
     ReturnMispredict,  ///< RAS misprediction
     MemDisambiguation, ///< store-load ordering violation
     Exception,         ///< architectural trap flush
+    PrivReturn,        ///< mret/sret commit flush (M->U transition)
 };
 
 const char *squashCauseName(SquashCause cause);

@@ -193,8 +193,14 @@ syntheticEntry(uint64_t gain, unsigned worker, uint64_t seq)
     tc.seed.window.mask_high_bits = true;
     tc.seed.window.encode_ops = 5;
     tc.seed.window.encode_entropy = 0x1234'5678'9abc'def0ULL;
+    tc.seed.model.tmpl = core::AttackTemplate::PrivTransition;
+    tc.seed.model.attacker = isa::Priv::U;
+    tc.seed.model.victim = isa::Priv::M;
+    tc.seed.model.supervisor_victim = (seq % 2) == 0;
 
     tc.schedule.transient_prot = swapmem::SecretProt::Pmp;
+    tc.schedule.victim_supervisor = tc.seed.model.supervisor_victim;
+    tc.schedule.double_fetch = (gain % 2) == 1;
     swapmem::SwapPacket train;
     train.label = "train";
     train.kind = swapmem::PacketKind::TriggerTrain;
@@ -263,8 +269,19 @@ TEST(CorpusIo, SaveLoadRoundTripsEveryField)
               expected.tc.seed.window.encode_ops);
     EXPECT_EQ(got.tc.seed.window.encode_entropy,
               expected.tc.seed.window.encode_entropy);
+    EXPECT_EQ(got.tc.seed.model.tmpl, expected.tc.seed.model.tmpl);
+    EXPECT_EQ(got.tc.seed.model.attacker,
+              expected.tc.seed.model.attacker);
+    EXPECT_EQ(got.tc.seed.model.victim,
+              expected.tc.seed.model.victim);
+    EXPECT_EQ(got.tc.seed.model.supervisor_victim,
+              expected.tc.seed.model.supervisor_victim);
     EXPECT_EQ(got.tc.schedule.transient_prot,
               expected.tc.schedule.transient_prot);
+    EXPECT_EQ(got.tc.schedule.victim_supervisor,
+              expected.tc.schedule.victim_supervisor);
+    EXPECT_EQ(got.tc.schedule.double_fetch,
+              expected.tc.schedule.double_fetch);
     ASSERT_EQ(got.tc.schedule.packets.size(),
               expected.tc.schedule.packets.size());
     for (size_t p = 0; p < got.tc.schedule.packets.size(); ++p) {
@@ -315,6 +332,89 @@ TEST(CorpusIo, LoadRejectsCorruptInput)
     std::stringstream padded(bytes + "x");
     EXPECT_FALSE(SharedCorpus::loadFrom(padded, out, &error));
     EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+/** Rewrite a single-entry v2 corpus image as its v1 equivalent: the
+ *  v2 tail is the entry's final six bytes (the attack model), and the
+ *  version field sits right after the 8-byte magic. */
+std::string
+asV1Image(std::string bytes)
+{
+    bytes.resize(bytes.size() - 6);
+    bytes[8] = 1;
+    bytes[9] = bytes[10] = bytes[11] = 0;
+    return bytes;
+}
+
+TEST(CorpusIo, V1FilesLoadWithImplicitSameDomainModel)
+{
+    SharedCorpus corpus(1, 4);
+    corpus.offer(syntheticEntry(3, 0, 0)); // nontrivial v2 model
+    std::stringstream v2_file;
+    ASSERT_TRUE(corpus.saveTo(v2_file, 5));
+
+    std::stringstream v1_file(asV1Image(v2_file.str()),
+                              std::ios::in | std::ios::binary);
+    campaign::CorpusFile loaded;
+    std::string error;
+    ASSERT_TRUE(SharedCorpus::loadFrom(v1_file, loaded, &error))
+        << error;
+    EXPECT_EQ(loaded.version, 1u);
+    ASSERT_EQ(loaded.entries.size(), 1u);
+
+    // Every v1 field survives; the model is the implicit default.
+    const core::TestCase &tc = loaded.entries[0].tc;
+    EXPECT_EQ(tc.seed.trigger, core::TriggerKind::ReturnMispredict);
+    EXPECT_EQ(tc.seed.model.tmpl, core::AttackTemplate::SameDomain);
+    EXPECT_FALSE(tc.seed.model.supervisor_victim);
+    EXPECT_FALSE(tc.schedule.victim_supervisor);
+    EXPECT_FALSE(tc.schedule.double_fetch);
+}
+
+TEST(CorpusIo, V1RejectsPostLegacyTriggerKinds)
+{
+    // A v1 image can only have been written by a build with eight
+    // trigger kinds: a higher ordinal is corruption, not history.
+    SharedCorpus corpus(1, 4);
+    CorpusEntry entry = syntheticEntry(3, 0, 0);
+    entry.tc.seed.trigger = core::TriggerKind::PrivEcall;
+    corpus.offer(entry);
+    std::stringstream v2_file;
+    ASSERT_TRUE(corpus.saveTo(v2_file, 5));
+
+    // The same bytes load fine as v2...
+    std::stringstream v2_copy(v2_file.str(),
+                              std::ios::in | std::ios::binary);
+    campaign::CorpusFile loaded;
+    std::string error;
+    ASSERT_TRUE(SharedCorpus::loadFrom(v2_copy, loaded, &error))
+        << error;
+
+    // ...and fail as v1 at the trigger bound.
+    std::stringstream v1_file(asV1Image(v2_file.str()),
+                              std::ios::in | std::ios::binary);
+    EXPECT_FALSE(SharedCorpus::loadFrom(v1_file, loaded, &error));
+    EXPECT_NE(error.find("seed.trigger"), std::string::npos)
+        << error;
+}
+
+TEST(CorpusIo, RejectsReservedPrivilegeInModel)
+{
+    SharedCorpus corpus(1, 4);
+    corpus.offer(syntheticEntry(3, 0, 0));
+    std::stringstream file;
+    ASSERT_TRUE(corpus.saveTo(file, 5));
+    std::string bytes = file.str();
+    // The victim privilege is the entry's fourth-from-last byte;
+    // 2 is the reserved (hypervisor) encoding.
+    bytes[bytes.size() - 4] = 2;
+
+    std::stringstream stream(bytes,
+                             std::ios::in | std::ios::binary);
+    campaign::CorpusFile loaded;
+    std::string error;
+    EXPECT_FALSE(SharedCorpus::loadFrom(stream, loaded, &error));
+    EXPECT_NE(error.find("privilege"), std::string::npos) << error;
 }
 
 // --- Bug ledger ---------------------------------------------------------
@@ -465,6 +565,69 @@ TEST(Campaign, SweepPolicyAlternatesCores)
     CampaignStats stats = orchestrator.run();
     ASSERT_EQ(stats.workers.size(), 2u);
     EXPECT_NE(stats.workers[0].config, stats.workers[1].config);
+}
+
+// --- Multi-head subspace campaigns --------------------------------------
+
+TEST(Campaign, HeadMatrixPartitionsTheTriggerSpace)
+{
+    const auto &heads = campaign::headMatrix();
+    ASSERT_EQ(heads.size(), 4u);
+    uint32_t seen = 0;
+    for (const auto &head : heads) {
+        EXPECT_NE(head.trigger_mask, 0u) << head.name;
+        EXPECT_EQ(seen & head.trigger_mask, 0u)
+            << head.name << " overlaps an earlier head";
+        seen |= head.trigger_mask;
+        EXPECT_NE(head.model_mask & core::kLegacyModelMask, 0u)
+            << head.name << " must keep the same-domain template";
+    }
+    EXPECT_EQ(seen, core::kAllTriggerMask)
+        << "the heads must cover every trigger kind";
+}
+
+TEST(Campaign, HeadsPolicyAssignsSubspaceVariants)
+{
+    CampaignOptions options = smallCampaign(4, 500);
+    options.policy = ShardPolicy::Heads;
+    CampaignOrchestrator orchestrator(options);
+    CampaignStats stats = orchestrator.run();
+    ASSERT_EQ(stats.workers.size(), 4u);
+    EXPECT_EQ(stats.workers[0].variant, "head-predictors");
+    EXPECT_EQ(stats.workers[1].variant, "head-caches");
+    EXPECT_EQ(stats.workers[2].variant, "head-tlb");
+    EXPECT_EQ(stats.workers[3].variant, "head-exceptions");
+    // Head-local coverage: every head observes some points of its
+    // own subspace.
+    for (const auto &w : stats.workers)
+        EXPECT_GT(w.coverage_points, 0u) << w.variant;
+}
+
+TEST(Campaign, HeadsDiscoverAttackClassesBaselineNeverReports)
+{
+    // The acceptance split: a heads campaign classifies findings as
+    // privilege-transition and double-fetch; the replicas baseline
+    // (implicit same-domain model) structurally cannot.
+    CampaignOptions heads = smallCampaign(4, 1200);
+    heads.policy = ShardPolicy::Heads;
+    CampaignOrchestrator hc(heads);
+    hc.run();
+
+    CampaignOrchestrator baseline(smallCampaign(4, 1200));
+    baseline.run();
+
+    auto attacks = [](const BugLedger &ledger) {
+        std::set<core::AttackType> set;
+        for (const auto &record : ledger.entries())
+            set.insert(record.report.attack);
+        return set;
+    };
+    auto found = attacks(hc.ledger());
+    EXPECT_TRUE(found.count(core::AttackType::PrivTransition));
+    EXPECT_TRUE(found.count(core::AttackType::DoubleFetch));
+    auto base = attacks(baseline.ledger());
+    EXPECT_FALSE(base.count(core::AttackType::PrivTransition));
+    EXPECT_FALSE(base.count(core::AttackType::DoubleFetch));
 }
 
 TEST(Campaign, RecordsEpochCoverageCurve)
@@ -625,6 +788,38 @@ TEST(Scheduler, StealingMatchesNoStealBitIdentical)
     EXPECT_EQ(sb.batches_stolen, 0u);
     EXPECT_EQ(sa.batches, sb.batches);
     EXPECT_LE(sa.batches_stolen, sa.batches);
+}
+
+TEST(Campaign, HeadsRepeatRunsAreBitIdentical)
+{
+    CampaignOptions options = smallCampaign(4, 1000);
+    options.policy = ShardPolicy::Heads;
+    CampaignOrchestrator a(options);
+    a.run();
+    CampaignOrchestrator b(options);
+    b.run();
+    EXPECT_GT(a.ledger().distinct(), 0u);
+    expectSameOutcome(a, b);
+}
+
+TEST(Scheduler, HeadsStealingMatchesNoStealBitIdentical)
+{
+    // Work stealing moves batches between threads, never across
+    // heads: the kind classes keyed on the head variant keep each
+    // stolen batch inside its own subspace, so stealing cannot
+    // change what a heads campaign computes.
+    CampaignOptions steal = smallCampaign(4, 1000);
+    steal.policy = ShardPolicy::Heads;
+    steal.batch_iterations = 16;
+    steal.steal_batches = true;
+    CampaignOptions barrier = steal;
+    barrier.steal_batches = false;
+
+    CampaignOrchestrator a(steal);
+    a.run();
+    CampaignOrchestrator b(barrier);
+    b.run();
+    expectSameOutcome(a, b);
 }
 
 TEST(Scheduler, TelemetryDoesNotPerturbDeterminism)
@@ -826,6 +1021,40 @@ TEST(Campaign, CheckpointResumeMatchesUninterruptedRun)
     EXPECT_GT(stats.coverage_preloaded, 0u);
     EXPECT_EQ(stats.coverage_preloaded,
               first.stats().coverage_points);
+}
+
+TEST(Campaign, HeadsCheckpointResumeMatchesUninterruptedRun)
+{
+    // The head-local coverage groups ("<config>+head=<name>") and
+    // per-head corpus tags must survive the snapshot/corpus round
+    // trip, or a resumed heads campaign diverges.
+    CampaignOptions full = smallCampaign(4, 1000);
+    full.policy = ShardPolicy::Heads;
+    CampaignOrchestrator uninterrupted(full);
+    uninterrupted.run();
+    ASSERT_GT(uninterrupted.ledger().distinct(), 0u);
+
+    CampaignOptions half = full;
+    half.total_iterations = 500;
+    CampaignOrchestrator first(half);
+    first.run();
+
+    std::stringstream snap(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    ASSERT_TRUE(
+        campaign::saveCheckpoint(snap, first.makeCheckpoint()));
+    campaign::CampaignCheckpoint checkpoint;
+    std::string error;
+    ASSERT_TRUE(campaign::loadCheckpoint(snap, checkpoint, &error))
+        << error;
+
+    CampaignOrchestrator resumed(full);
+    ASSERT_TRUE(resumed.restoreCheckpoint(checkpoint, &error))
+        << error;
+    resumed.restoreCorpus(first.corpus().snapshotSorted());
+    resumed.run();
+
+    expectSameCampaignState(uninterrupted, resumed);
 }
 
 TEST(Campaign, CheckpointResumePreservesPreloadedEligibility)
@@ -1037,6 +1266,49 @@ TEST(CampaignDir, MetaRoundTripsAndDetectsMismatches)
     std::stringstream bad("{\"meta_version\":1}");
     EXPECT_FALSE(campaign::readMeta(bad, loaded, &error));
     EXPECT_FALSE(error.empty());
+}
+
+TEST(CampaignDir, MetaCarriesTheTemplateMask)
+{
+    CampaignOptions options = smallCampaign(2, 750);
+    options.fuzzer.model_mask =
+        core::modelBit(core::AttackTemplate::PrivTransition) |
+        core::modelBit(core::AttackTemplate::DoubleFetch);
+
+    std::stringstream file;
+    campaign::writeMeta(file, campaign::metaFromOptions(options));
+    campaign::CampaignMeta loaded;
+    std::string error;
+    ASSERT_TRUE(campaign::readMeta(file, loaded, &error)) << error;
+    EXPECT_EQ(loaded.model_mask, options.fuzzer.model_mask);
+
+    // A resume drawing a different template set is a mismatch named
+    // in template names, not raw mask bits.
+    const auto mismatches = campaign::metaMismatches(
+        loaded,
+        campaign::metaFromOptions(smallCampaign(2, 750)));
+    ASSERT_EQ(mismatches.size(), 1u);
+    EXPECT_NE(mismatches[0].find("templates"), std::string::npos);
+    EXPECT_NE(mismatches[0].find("priv-transition,double-fetch"),
+              std::string::npos);
+    EXPECT_NE(mismatches[0].find("same-domain"), std::string::npos);
+
+    // Pre-attack-model meta.json files carry no templates field and
+    // imply the legacy single model.
+    std::string line;
+    {
+        std::stringstream again;
+        campaign::writeMeta(again,
+                            campaign::metaFromOptions(options));
+        line = again.str();
+    }
+    const std::string field = ",\"templates\":12";
+    const size_t at = line.find(field);
+    ASSERT_NE(at, std::string::npos);
+    line.erase(at, field.size());
+    std::stringstream legacy(line);
+    ASSERT_TRUE(campaign::readMeta(legacy, loaded, &error)) << error;
+    EXPECT_EQ(loaded.model_mask, core::kLegacyModelMask);
 }
 
 TEST(CampaignDir, SaveLoadRoundTrip)

@@ -134,6 +134,7 @@ TEST(CampaignLogRoundTrip, EveryEmittedLineParsesBack)
     EXPECT_EQ(log.summary.workers, 2u);
     EXPECT_EQ(log.summary.policy, "replicas");
     EXPECT_EQ(log.summary.master_seed, 7u);
+    EXPECT_EQ(log.summary.templates, "same-domain");
 
     // Summary totals equal per-worker sums (the remaining schema
     // invariants are covered by validateCampaignLog below).

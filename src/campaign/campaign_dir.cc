@@ -1,13 +1,17 @@
 #include "campaign/campaign_dir.hh"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "campaign/io_util.hh"
 #include "campaign/orchestrator.hh"
+#include "campaign/quarantine.hh"
 #include "campaign/stats.hh"
+#include "obs/telemetry.hh"
 #include "report/json.hh"
 
 namespace dejavuzz::campaign {
@@ -114,7 +118,34 @@ campaignDirPaths(const std::string &dir)
     paths.log = (fs::path(dir) / "campaign.jsonl").string();
     paths.corpus = (fs::path(dir) / "corpus.bin").string();
     paths.snapshot = (fs::path(dir) / "campaign.snap").string();
+    paths.quarantine = (fs::path(dir) / "quarantine.jsonl").string();
     return paths;
+}
+
+std::string
+prevPath(const std::string &path)
+{
+    return path + ".prev";
+}
+
+size_t
+sweepCampaignDir(const std::string &dir)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return 0;
+    size_t removed = 0;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            if (fs::remove(entry.path(), ec))
+                ++removed;
+        }
+    }
+    return removed;
 }
 
 CampaignMeta
@@ -155,7 +186,8 @@ writeMeta(std::ostream &os, const CampaignMeta &meta)
        << ",\"steals\":" << meta.steals_per_epoch
        << ",\"templates\":" << meta.model_mask
        << ",\"corpus_shards\":" << meta.corpus_shards
-       << ",\"corpus_cap\":" << meta.corpus_shard_cap << "}\n";
+       << ",\"corpus_cap\":" << meta.corpus_shard_cap
+       << ",\"generation\":" << meta.generation << "}\n";
 }
 
 bool
@@ -206,6 +238,12 @@ readMeta(std::istream &is, CampaignMeta &out, std::string *error)
         out.model_mask = core::kLegacyModelMask;
     metaU64(obj, "corpus_shards", out.corpus_shards, field_error);
     metaU64(obj, "corpus_cap", out.corpus_shard_cap, field_error);
+    // Optional: pre-robustness meta.json files carry no save
+    // generation and vouch for raw (trailer-less) artifacts.
+    if (obj.count("generation"))
+        metaU64(obj, "generation", out.generation, field_error);
+    else
+        out.generation = 0;
     if (!field_error.empty())
         return fail(field_error);
 
@@ -266,63 +304,288 @@ bool
 campaignDirExists(const std::string &dir)
 {
     std::error_code ec;
-    return fs::is_regular_file(campaignDirPaths(dir).meta, ec);
+    const CampaignDirPaths paths = campaignDirPaths(dir);
+    return fs::is_regular_file(paths.meta, ec) ||
+           fs::is_regular_file(prevPath(paths.meta), ec);
 }
+
+namespace {
+
+bool
+readMetaFile(const std::string &path, CampaignMeta &out,
+             std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    return readMeta(is, out, error);
+}
+
+/**
+ * Locate + validate one binary artifact of generation @p gen: the
+ * payload is accepted from @p path or @p path.prev — whichever
+ * carries a valid integrity trailer with a matching generation.
+ * (During a save, every artifact of the newest complete generation
+ * is at exactly one of the two names; renames are atomic.)
+ */
+bool
+readGenArtifact(const std::string &path, uint64_t gen,
+                std::string &payload, bool &from_prev,
+                std::string *why)
+{
+    std::string primary_why;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const std::string candidate =
+            attempt == 0 ? path : prevPath(path);
+        std::string file, err;
+        if (readWholeFile(candidate, file, &err)) {
+            uint64_t got = 0;
+            std::string body;
+            if (splitTrailer(file, body, got, &err)) {
+                if (got == gen) {
+                    payload = std::move(body);
+                    from_prev = attempt == 1;
+                    return true;
+                }
+                err = "trailer generation " + std::to_string(got) +
+                      ", wanted " + std::to_string(gen);
+            }
+        }
+        if (attempt == 0)
+            primary_why = path + ": " + err;
+    }
+    if (why)
+        *why = primary_why;
+    return false;
+}
+
+/** Legacy generation-0 artifact: raw bytes, no trailer. Tried at
+ *  @p path, then @p path.prev (where a later interrupted save may
+ *  have rotated it). */
+bool
+readRawArtifact(const std::string &path, std::string &payload,
+                bool &from_prev, std::string *why)
+{
+    std::string err;
+    if (readWholeFile(path, payload, &err)) {
+        from_prev = false;
+        return true;
+    }
+    if (readWholeFile(prevPath(path), payload, nullptr)) {
+        from_prev = true;
+        return true;
+    }
+    if (why)
+        *why = path + ": " + err;
+    return false;
+}
+
+struct MetaCandidate
+{
+    CampaignMeta meta;
+    bool from_prev = false;
+};
+
+/** Parseable meta records, newest generation first: meta.json (the
+ *  newer generation whenever both exist), then meta.json.prev. */
+std::vector<MetaCandidate>
+metaCandidates(const CampaignDirPaths &paths, std::string &why)
+{
+    std::vector<MetaCandidate> out;
+    std::string err;
+    MetaCandidate cand;
+    if (readMetaFile(paths.meta, cand.meta, &err)) {
+        out.push_back(cand);
+    } else {
+        why = err;
+    }
+    MetaCandidate prev;
+    prev.from_prev = true;
+    if (readMetaFile(prevPath(paths.meta), prev.meta, &err)) {
+        out.push_back(prev);
+    } else if (out.empty()) {
+        why += why.empty() ? err : ("; " + err);
+    }
+    return out;
+}
+
+/**
+ * Try to materialize one complete generation: the candidate meta's
+ * snapshot (and corpus, when @p corpus is non-null) with validating
+ * trailers. A *torn* artifact fails the candidate (the caller falls
+ * back to the next one); an artifact whose CRC validates but whose
+ * payload does not parse is corruption beyond the tearing model and
+ * fails hard via @p hard_error.
+ */
+bool
+loadGeneration(const CampaignDirPaths &paths,
+               const MetaCandidate &cand, CorpusFile *corpus,
+               CampaignCheckpoint &checkpoint, bool &used_prev,
+               std::string *why, std::string *hard_error)
+{
+    const uint64_t gen = cand.meta.generation;
+    used_prev = cand.from_prev;
+
+    bool prev = false;
+    std::string snap_payload;
+    const bool snap_ok =
+        gen == 0 ? readRawArtifact(paths.snapshot, snap_payload,
+                                   prev, why)
+                 : readGenArtifact(paths.snapshot, gen, snap_payload,
+                                   prev, why);
+    if (!snap_ok)
+        return false;
+    used_prev |= prev;
+    std::istringstream snap_in(snap_payload);
+    std::string sub;
+    if (!loadCheckpoint(snap_in, checkpoint, &sub)) {
+        if (gen != 0) {
+            // CRC-valid but unparseable: real corruption, not a torn
+            // save — do not mask it behind a stale fallback.
+            if (hard_error)
+                *hard_error = paths.snapshot + ": " + sub;
+        } else if (why) {
+            *why = paths.snapshot + ": " + sub;
+        }
+        return false;
+    }
+
+    if (corpus != nullptr) {
+        std::string corpus_payload;
+        const bool corpus_ok =
+            gen == 0 ? readRawArtifact(paths.corpus, corpus_payload,
+                                       prev, why)
+                     : readGenArtifact(paths.corpus, gen,
+                                       corpus_payload, prev, why);
+        if (!corpus_ok)
+            return false;
+        used_prev |= prev;
+        std::istringstream corpus_in(corpus_payload);
+        if (!SharedCorpus::loadFrom(corpus_in, *corpus, &sub)) {
+            if (gen != 0) {
+                if (hard_error)
+                    *hard_error = paths.corpus + ": " + sub;
+            } else if (why) {
+                *why = paths.corpus + ": " + sub;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadDirImpl(const std::string &dir, CampaignMeta &meta,
+            CorpusFile *corpus, CampaignCheckpoint &checkpoint,
+            std::string *error, std::string *note)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    const CampaignDirPaths paths = campaignDirPaths(dir);
+
+    std::string meta_why;
+    const std::vector<MetaCandidate> candidates =
+        metaCandidates(paths, meta_why);
+    if (candidates.empty())
+        return fail("no loadable campaign meta in " + dir + " (" +
+                    meta_why + ")");
+
+    std::string whys;
+    for (const MetaCandidate &cand : candidates) {
+        bool used_prev = false;
+        std::string why, hard_error;
+        CampaignCheckpoint cp;
+        CorpusFile cf;
+        if (loadGeneration(paths, cand, corpus ? &cf : nullptr, cp,
+                           used_prev, &why, &hard_error)) {
+            meta = cand.meta;
+            checkpoint = std::move(cp);
+            if (corpus)
+                *corpus = std::move(cf);
+            if (note && used_prev) {
+                *note = "recovered save generation " +
+                        std::to_string(cand.meta.generation) +
+                        " from retained .prev artifacts (the latest "
+                        "save was torn or interrupted)";
+            }
+            return true;
+        }
+        if (!hard_error.empty())
+            return fail(hard_error);
+        if (!why.empty()) {
+            whys += whys.empty() ? "" : "; ";
+            whys += "generation " +
+                    std::to_string(cand.meta.generation) + ": " +
+                    why;
+        }
+    }
+    return fail("no complete save generation in " + dir + " (" +
+                whys + ")");
+}
+
+/** Generation recorded by a binary artifact's trailer. */
+bool
+binaryArtifactGeneration(const std::string &path, uint64_t &gen)
+{
+    std::string file, payload;
+    if (!readWholeFile(path, file, nullptr))
+        return false;
+    return splitTrailer(file, payload, gen, nullptr);
+}
+
+/** Generation recorded by a JSONL log's final trailer record. */
+bool
+logTrailerGeneration(const std::string &path, uint64_t &gen)
+{
+    std::string file;
+    if (!readWholeFile(path, file, nullptr))
+        return false;
+    const size_t end = file.find_last_not_of('\n');
+    if (end == std::string::npos)
+        return false;
+    size_t start = file.rfind('\n', end);
+    start = start == std::string::npos ? 0 : start + 1;
+    report::JsonObject obj;
+    if (!report::parseFlatJsonObject(
+            file.substr(start, end - start + 1), obj, nullptr)) {
+        return false;
+    }
+    auto it = obj.find("type");
+    if (it == obj.end() || !it->second.isString() ||
+        it->second.text != "trailer") {
+        return false;
+    }
+    std::string field_error;
+    return metaU64(obj, "generation", gen, field_error);
+}
+
+} // namespace
 
 bool
 loadCampaignSnapshot(const std::string &dir, CampaignMeta &meta,
                      CampaignCheckpoint &checkpoint,
-                     std::string *error)
+                     std::string *error, std::string *note)
 {
-    auto fail = [&](const std::string &what) {
-        if (error)
-            *error = what;
-        return false;
-    };
-    const CampaignDirPaths paths = campaignDirPaths(dir);
-
-    std::ifstream meta_in(paths.meta);
-    if (!meta_in)
-        return fail("cannot open " + paths.meta);
-    std::string sub_error;
-    if (!readMeta(meta_in, meta, &sub_error))
-        return fail(sub_error);
-
-    std::ifstream snap_in(paths.snapshot,
-                          std::ios::in | std::ios::binary);
-    if (!snap_in)
-        return fail("cannot open " + paths.snapshot);
-    if (!loadCheckpoint(snap_in, checkpoint, &sub_error))
-        return fail(paths.snapshot + ": " + sub_error);
-    return true;
+    return loadDirImpl(dir, meta, nullptr, checkpoint, error, note);
 }
 
 bool
 loadCampaignDir(const std::string &dir, LoadedCampaignDir &out,
-                std::string *error)
+                std::string *error, std::string *note)
 {
-    auto fail = [&](const std::string &what) {
-        if (error)
-            *error = what;
-        return false;
-    };
-    if (!loadCampaignSnapshot(dir, out.meta, out.checkpoint, error))
-        return false;
-
-    const CampaignDirPaths paths = campaignDirPaths(dir);
-    std::ifstream corpus_in(paths.corpus,
-                            std::ios::in | std::ios::binary);
-    if (!corpus_in)
-        return fail("cannot open " + paths.corpus);
-    std::string sub_error;
-    if (!SharedCorpus::loadFrom(corpus_in, out.corpus, &sub_error))
-        return fail(paths.corpus + ": " + sub_error);
-    return true;
+    return loadDirImpl(dir, out.meta, &out.corpus, out.checkpoint,
+                       error, note);
 }
 
 bool
 saveCampaignDir(const std::string &dir,
-                const CampaignOrchestrator &orchestrator,
+                CampaignOrchestrator &orchestrator,
                 const CampaignOptions &options, std::string *error)
 {
     auto fail = [&](const std::string &what) {
@@ -335,77 +598,127 @@ saveCampaignDir(const std::string &dir,
     if (ec)
         return fail("cannot create campaign directory " + dir +
                     ": " + ec.message());
+    sweepCampaignDir(dir);
     const CampaignDirPaths paths = campaignDirPaths(dir);
 
-    // Crash-safe sequencing: every artifact is written to a .tmp
-    // sibling first, the meta.json completion marker is removed
-    // before any artifact is replaced, and a fresh meta.json is
-    // written last. A crash at any point leaves either the previous
-    // complete directory (tmp writes unfinished) or a marker-less
-    // one the next run treats as fresh — never a directory whose
-    // meta.json vouches for truncated artifacts.
-    const std::string log_tmp = paths.log + ".tmp";
-    const std::string corpus_tmp = paths.corpus + ".tmp";
-    const std::string snapshot_tmp = paths.snapshot + ".tmp";
-    {
-        std::ofstream log(log_tmp, std::ios::out | std::ios::trunc);
-        if (!log)
-            return fail("cannot open " + log_tmp + " for writing");
-        orchestrator.writeJsonlWithHeartbeats(log);
-        log.flush();
-        if (!log)
-            return fail("write to " + log_tmp + " failed");
-    }
-    {
-        std::ofstream corpus(corpus_tmp,
-                             std::ios::out | std::ios::trunc |
-                                 std::ios::binary);
-        if (!corpus || !orchestrator.corpus().saveTo(
-                           corpus, options.master_seed)) {
-            return fail("write to " + corpus_tmp + " failed");
+    // Establish the previous complete generation and rotate it to
+    // .prev. Only a generation vouched for by a parseable meta is
+    // rotated: debris of a failed save must never clobber the
+    // retained good generation.
+    uint64_t old_gen = 0;
+    CampaignMeta saved_meta;
+    const std::string artifacts[] = {paths.log, paths.corpus,
+                                     paths.snapshot};
+    if (readMetaFile(paths.meta, saved_meta, nullptr)) {
+        old_gen = saved_meta.generation;
+        // meta.json present and valid: the primary set is complete.
+        // Artifacts first, meta last, so a crash mid-rotation still
+        // leaves meta.json vouching for a set the loader finds at
+        // {path | path.prev}.
+        for (const std::string &path : artifacts) {
+            if (!fs::exists(path, ec))
+                continue;
+            fs::rename(path, prevPath(path), ec);
+            if (ec)
+                return fail("cannot rotate " + path + ": " +
+                            ec.message());
+        }
+        fs::rename(paths.meta, prevPath(paths.meta), ec);
+        if (ec)
+            return fail("cannot rotate " + paths.meta + ": " +
+                        ec.message());
+    } else if (CampaignMeta prev_meta; readMetaFile(
+                   prevPath(paths.meta), prev_meta, nullptr)) {
+        // A prior save died mid-flight: meta.json is gone or torn
+        // but .prev still vouches for old_gen. Finish any
+        // interrupted rotation — artifacts of that generation still
+        // at the primary name move aside; newer-generation debris is
+        // left to be overwritten.
+        old_gen = prev_meta.generation;
+        fs::remove(paths.meta, ec); // torn marker, if any
+        for (const std::string &path : artifacts) {
+            if (!fs::exists(path, ec))
+                continue;
+            uint64_t gen = 0;
+            const bool tagged =
+                path == paths.log ? logTrailerGeneration(path, gen)
+                                  : binaryArtifactGeneration(path,
+                                                             gen);
+            // Legacy generation-0 artifacts carry no trailer; a
+            // tagged artifact belongs to old_gen only when the
+            // generations match.
+            const bool belongs =
+                old_gen == 0 ? !tagged : (tagged && gen == old_gen);
+            if (!belongs)
+                continue;
+            fs::rename(path, prevPath(path), ec);
+            if (ec)
+                return fail("cannot rotate " + path + ": " +
+                            ec.message());
         }
     }
+    const uint64_t new_gen = old_gen + 1;
+
+    // Serialize everything to memory first, so a failure here leaves
+    // the directory no worse than the rotation did — .prev still
+    // holds the last complete generation.
+    std::ostringstream corpus_os;
+    if (!orchestrator.corpus().saveTo(corpus_os,
+                                      options.master_seed))
+        return fail("corpus serialization failed");
+    std::ostringstream snap_os;
+    if (!saveCheckpoint(snap_os, orchestrator.makeCheckpoint()))
+        return fail("checkpoint serialization failed");
+    std::ostringstream log_os;
+    orchestrator.writeJsonlWithHeartbeats(log_os);
+    std::string log_payload = log_os.str();
     {
-        std::ofstream snap(snapshot_tmp,
-                           std::ios::out | std::ios::trunc |
-                               std::ios::binary);
-        if (!snap ||
-            !saveCheckpoint(snap, orchestrator.makeCheckpoint())) {
-            return fail("write to " + snapshot_tmp + " failed");
-        }
+        // The log stays line-oriented text; its integrity trailer is
+        // a final JSONL record whose CRC covers every preceding byte.
+        const size_t bytes = log_payload.size();
+        const uint32_t crc = crc32(log_payload.data(), bytes);
+        log_payload += "{\"type\":\"trailer\",\"generation\":" +
+                       std::to_string(new_gen) + ",\"bytes\":" +
+                       std::to_string(bytes) + ",\"crc32\":" +
+                       std::to_string(crc) + "}\n";
     }
 
-    fs::remove(paths.meta, ec); // invalidate before replacing
-    const std::pair<const std::string *, const std::string *>
-        renames[] = {{&log_tmp, &paths.log},
-                     {&corpus_tmp, &paths.corpus},
-                     {&snapshot_tmp, &paths.snapshot}};
-    for (const auto &[from, to] : renames) {
-        fs::rename(*from, *to, ec);
-        if (ec)
-            return fail("cannot move " + *from + " into place: " +
-                        ec.message());
+    std::string sub;
+    if (!atomicWriteFile(paths.corpus,
+                         withTrailer(corpus_os.str(), new_gen),
+                         &sub))
+        return fail(sub);
+    if (!atomicWriteFile(paths.snapshot,
+                         withTrailer(snap_os.str(), new_gen), &sub))
+        return fail(sub);
+    if (!atomicWriteFile(paths.log, log_payload, &sub))
+        return fail(sub);
+
+    // The quarantine ledger is append-only and spans generations;
+    // only records not yet persisted are appended (a failed append
+    // may be retried by the next save — the ledger tolerates the
+    // resulting duplicates, never missing records).
+    const std::vector<QuarantineRecord> &qrecords =
+        orchestrator.quarantineRecords();
+    const size_t qdone = orchestrator.quarantinePersisted();
+    if (qdone < qrecords.size()) {
+        const std::vector<QuarantineRecord> fresh(
+            qrecords.begin() + static_cast<ptrdiff_t>(qdone),
+            qrecords.end());
+        if (!appendQuarantine(paths.quarantine, fresh, &sub))
+            return fail(sub);
+        orchestrator.noteQuarantinePersisted(qrecords.size());
     }
-    {
-        // meta.json last — its presence marks the directory
-        // complete — and via tmp + rename, so a crash mid-write
-        // cannot leave a truncated marker that blocks every later
-        // resume attempt.
-        const std::string meta_tmp = paths.meta + ".tmp";
-        std::ofstream meta(meta_tmp,
-                           std::ios::out | std::ios::trunc);
-        if (!meta)
-            return fail("cannot open " + meta_tmp + " for writing");
-        writeMeta(meta, metaFromOptions(options));
-        meta.flush();
-        if (!meta)
-            return fail("write to " + meta_tmp + " failed");
-        meta.close();
-        fs::rename(meta_tmp, paths.meta, ec);
-        if (ec)
-            return fail("cannot move " + meta_tmp + " into place: " +
-                        ec.message());
-    }
+
+    // meta.json last: its generation field is the completion marker
+    // that vouches for the whole set just written.
+    CampaignMeta meta = metaFromOptions(options);
+    meta.generation = new_gen;
+    std::ostringstream meta_os;
+    writeMeta(meta_os, meta);
+    if (!atomicWriteFile(paths.meta, meta_os.str(), &sub))
+        return fail(sub);
+    obs::counterAdd(obs::Ctr::CheckpointGenerations);
     return true;
 }
 

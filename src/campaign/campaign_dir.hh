@@ -26,6 +26,7 @@
 #ifndef DEJAVUZZ_CAMPAIGN_CAMPAIGN_DIR_HH
 #define DEJAVUZZ_CAMPAIGN_CAMPAIGN_DIR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -49,9 +50,20 @@ struct CampaignDirPaths
     std::string log;
     std::string corpus;
     std::string snapshot;
+    std::string quarantine; ///< poison-seed ledger (quarantine.hh)
 };
 
 CampaignDirPaths campaignDirPaths(const std::string &dir);
+
+/** Retained previous generation of @p path ("<path>.prev"). */
+std::string prevPath(const std::string &path);
+
+/**
+ * Remove stale `*.tmp` debris a crash mid-save can leave behind.
+ * Returns the number of files removed. Called on open and before
+ * every save; never touches completed artifacts.
+ */
+size_t sweepCampaignDir(const std::string &dir);
 
 /** The persisted campaign configuration (meta.json contents). */
 struct CampaignMeta
@@ -72,6 +84,13 @@ struct CampaignMeta
     uint64_t model_mask = core::kLegacyModelMask;
     uint64_t corpus_shards = 0;
     uint64_t corpus_shard_cap = 0;
+    /** Save-generation counter: incremented on every save (autosave
+     *  or final), binding meta.json to the artifact trailers written
+     *  with it. Not part of the campaign configuration — never
+     *  compared by metaMismatches(). Absent in pre-robustness
+     *  meta.json files, which imply generation 0 and raw
+     *  (trailer-less) artifacts. */
+    uint64_t generation = 0;
 };
 
 /** Derive the meta record of @p options (current schema versions). */
@@ -107,33 +126,53 @@ struct LoadedCampaignDir
     CampaignCheckpoint checkpoint;
 };
 
-/** Whether @p dir holds a completed campaign (meta.json exists). */
+/**
+ * Whether @p dir holds a saved campaign: a meta.json, or — after a
+ * crash mid-save — a retained meta.json.prev the loader can fall
+ * back to. A directory that satisfies this must never be treated as
+ * fresh and overwritten.
+ */
 bool campaignDirExists(const std::string &dir);
 
 /**
- * Load meta.json, corpus.bin and campaign.snap from @p dir. Fails
- * cleanly (diagnostic in @p error) on a missing file, a schema
- * version this build does not speak, or any corrupt artifact.
+ * Load meta.json, corpus.bin and campaign.snap from @p dir. Every
+ * artifact's integrity trailer (CRC + generation) must validate and
+ * all three must carry meta.json's generation; when the latest
+ * generation is torn (a crash mid-save), the loader falls back to
+ * the retained previous generation and reports it via @p note. Fails
+ * cleanly (diagnostic in @p error) only when no complete valid
+ * generation exists, a schema version this build does not speak, or
+ * an artifact is corrupt beyond the tearing model.
  */
 bool loadCampaignDir(const std::string &dir, LoadedCampaignDir &out,
-                     std::string *error = nullptr);
+                     std::string *error = nullptr,
+                     std::string *note = nullptr);
 
 /**
  * Load only meta.json and campaign.snap — what `dejavuzz-replay`
  * needs (reproducers live in the snapshot), so replaying a ledger
- * neither parses nor depends on the corpus artifact.
+ * neither parses nor depends on the corpus artifact. Same
+ * torn-generation fallback as loadCampaignDir.
  */
 bool loadCampaignSnapshot(const std::string &dir, CampaignMeta &meta,
                           CampaignCheckpoint &checkpoint,
-                          std::string *error = nullptr);
+                          std::string *error = nullptr,
+                          std::string *note = nullptr);
 
 /**
- * Persist @p orchestrator (after run()) into @p dir: the JSONL log,
- * the corpus, the checkpoint, and — last, as the completion marker —
- * meta.json. Creates the directory if needed.
+ * Persist @p orchestrator into @p dir as the next save generation:
+ * the JSONL log (with a CRC trailer record), the corpus and the
+ * checkpoint (each with an integrity trailer), and — last, as the
+ * completion marker — meta.json. When the directory already holds a
+ * valid generation it is rotated to `.prev` first, so a SIGKILL at
+ * any instant leaves at least one complete loadable generation.
+ * Creates the directory if needed. Safe to call mid-campaign
+ * (`--autosave-sec`) as well as at the end. Non-const: freshly
+ * quarantined seeds are appended to quarantine.jsonl and marked
+ * persisted on the orchestrator.
  */
 bool saveCampaignDir(const std::string &dir,
-                     const CampaignOrchestrator &orchestrator,
+                     CampaignOrchestrator &orchestrator,
                      const CampaignOptions &options,
                      std::string *error = nullptr);
 

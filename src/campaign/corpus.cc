@@ -178,4 +178,43 @@ SharedCorpus::fetch(unsigned worker, uint64_t seq,
     return false;
 }
 
+bool
+SharedCorpus::remove(unsigned worker, uint64_t seq)
+{
+    Shard &shard =
+        shards_[shardIndexFor(worker, seq, shards_.size())];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();
+         ++it) {
+        if (it->worker == worker && it->seq == seq) {
+            shard.entries.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+size_t
+SharedCorpus::removeMatching(const core::TestCase &tc)
+{
+    // Quarantined seeds arrive without their (worker, seq) identity
+    // (the inject pipeline carries bare test cases), so removal is
+    // by content. Cold path: quarantine is rare, the scan is not.
+    const uint64_t hash = hashTestCase(tc);
+    size_t removed = 0;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (auto it = shard.entries.begin();
+             it != shard.entries.end();) {
+            if (hashTestCase(it->tc) == hash) {
+                it = shard.entries.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return removed;
+}
+
 } // namespace dejavuzz::campaign

@@ -106,6 +106,23 @@ class SharedCorpus
      */
     bool fetch(unsigned worker, uint64_t seq, CorpusEntry &out) const;
 
+    /**
+     * Drop the entry identified by (worker, seq) — how quarantine
+     * pulls a poison seed out of circulation. Thread-safe (single
+     * shard lock). Returns false when no such entry is retained.
+     */
+    bool remove(unsigned worker, uint64_t seq);
+
+    /**
+     * Drop every retained entry whose canonical test-case hash
+     * (hashTestCase, io_util.hh) matches @p tc — content-based quarantine
+     * removal for seeds whose (worker, seq) identity was shed on the
+     * inject path. Returns the number of entries removed. Takes each
+     * shard lock in turn; call from barriers or other quiescent
+     * points.
+     */
+    size_t removeMatching(const core::TestCase &tc);
+
     /** Corpus file format version written by saveTo(). v2 appended
      *  the attack-model fields to each test case; loadFrom() still
      *  reads v1 files (their entries get the implicit same-domain

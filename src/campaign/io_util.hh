@@ -15,6 +15,7 @@
 #ifndef DEJAVUZZ_CAMPAIGN_IO_UTIL_HH
 #define DEJAVUZZ_CAMPAIGN_IO_UTIL_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -110,6 +111,51 @@ namespace dejavuzz::campaign {
  * corpus minimization (SharedCorpus::minimize).
  */
 uint64_t hashTestCase(const core::TestCase &tc);
+
+// --- crash-safe file IO (campaign directories) -----------------------------
+
+/** CRC-32 (IEEE 802.3, reflected) over @p data. */
+uint32_t crc32(const void *data, size_t size, uint32_t seed = 0);
+
+/**
+ * Integrity trailer appended to every campaign-dir artifact
+ * (docs/campaign-format.md "Crash safety"): a fixed magic, the
+ * directory generation the artifact belongs to, the payload length,
+ * and a CRC-32 over the payload. 32 bytes, little-endian. The
+ * trailer lives at the *file* layer — the payload parsers
+ * (corpus_io, snapshot_io) never see it, and standalone artifacts
+ * (`--corpus-out`) stay raw.
+ */
+constexpr char kTrailerMagic[9] = "DVZTRLR1";
+constexpr size_t kTrailerBytes = 8 + 8 + 8 + 4 + 4; // magic,gen,len,crc,pad
+
+/** Append a trailer binding @p payload to @p generation. */
+std::string withTrailer(const std::string &payload, uint64_t generation);
+
+/**
+ * Validate and strip the trailer of @p file. On success @p payload
+ * gets the raw artifact bytes and @p generation the bound
+ * generation. A missing/short trailer, wrong magic, length mismatch
+ * or CRC mismatch fails with a diagnostic in @p error (when
+ * non-null) — the caller treats the file as torn.
+ */
+bool splitTrailer(const std::string &file, std::string &payload,
+                  uint64_t &generation, std::string *error = nullptr);
+
+/**
+ * Crash-safe whole-file write: @p data goes to `path + ".tmp"`,
+ * which is fsync'd, atomically renamed over @p path, and the parent
+ * directory fsync'd — after a SIGKILL or power cut @p path holds
+ * either its previous contents or all of @p data, never a mix. The
+ * short-write / torn-rename / enospc failpoints hook here. Returns
+ * false with a diagnostic on any OS error (the tmp file is removed).
+ */
+bool atomicWriteFile(const std::string &path, const std::string &data,
+                     std::string *error = nullptr);
+
+/** Read the whole of @p path into @p out (binary). */
+bool readWholeFile(const std::string &path, std::string &out,
+                   std::string *error = nullptr);
 
 } // namespace dejavuzz::campaign
 

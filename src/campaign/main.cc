@@ -33,6 +33,7 @@
 #include <string>
 
 #include "campaign/campaign_dir.hh"
+#include "campaign/faults.hh"
 #include "campaign/orchestrator.hh"
 #include "core/seed.hh"
 #include "obs/telemetry.hh"
@@ -77,6 +78,25 @@ usage(const char *argv0)
         "(default 32)\n"
         "  --no-steal         disable batch work-stealing "
         "(barrier fleet; same results, slower on skewed shards)\n"
+        "  --batch-retries N  re-execute a crashed/timed-out batch "
+        "up to N times with the identical spec (default 2);\n"
+        "                     a batch that exhausts its retries is "
+        "skipped and its corpus seeds are quarantined\n"
+        "  --batch-deadline S per-batch wall deadline in seconds "
+        "(default 0 = no watchdog); a deadline-killed attempt's\n"
+        "                     partial result is discarded and the "
+        "batch retried\n"
+        "  --kind-disable N   disable a (config,variant) kind "
+        "fleet-wide after N consecutive failed batches\n"
+        "                     (default 8; 0 = never)\n"
+        "  --autosave-sec S   with --campaign-dir: save a crash-safe "
+        "checkpoint generation every S seconds (default 0 = only\n"
+        "                     at campaign end); a SIGKILL loses at "
+        "most one interval\n"
+        "  --inject-faults SPEC  arm deterministic failpoints, e.g. "
+        "seed=7,batch-throw=0.05,enospc=1:2\n"
+        "                     (kinds: batch-throw batch-hang "
+        "short-write torn-rename enospc; docs/robustness.md)\n"
         "  --master-seed X    campaign master seed (default 1)\n"
         "  --steals N         stolen seeds per worker per epoch "
         "(default 1)\n"
@@ -145,6 +165,7 @@ main(int argc, char **argv)
     std::string corpus_out_path;
     std::string campaign_dir;
     std::string trace_out_path;
+    std::string fault_spec;
     bool minimize = false;
     bool templates_flag = false;
     bool quiet = false;
@@ -244,6 +265,27 @@ main(int argc, char **argv)
             }
         } else if (arg == "--no-steal") {
             options.steal_batches = false;
+        } else if (arg == "--batch-retries") {
+            if (!parseUint(value(), n))
+                bad();
+            options.batch_retries = static_cast<unsigned>(n);
+        } else if (arg == "--batch-deadline") {
+            if (!parseDouble(value(), options.batch_deadline_sec) ||
+                options.batch_deadline_sec < 0.0) {
+                bad();
+            }
+        } else if (arg == "--kind-disable") {
+            if (!parseUint(value(), n))
+                bad();
+            options.kind_disable_failures =
+                static_cast<unsigned>(n);
+        } else if (arg == "--autosave-sec") {
+            if (!parseDouble(value(), options.autosave_sec) ||
+                options.autosave_sec < 0.0) {
+                bad();
+            }
+        } else if (arg == "--inject-faults") {
+            fault_spec = value();
         } else if (arg == "--master-seed") {
             if (!parseUint(value(), options.master_seed))
                 bad();
@@ -334,22 +376,57 @@ main(int argc, char **argv)
                      "write triage.jsonl and pocs/ into\n");
         return 2;
     }
+    if (options.autosave_sec > 0.0 && campaign_dir.empty()) {
+        std::fprintf(stderr,
+                     "--autosave-sec checkpoints into a campaign "
+                     "directory; it needs --campaign-dir\n");
+        return 2;
+    }
+    if (!fault_spec.empty()) {
+        std::string error;
+        if (!dejavuzz::campaign::armFaults(fault_spec, &error)) {
+            std::fprintf(stderr, "bad --inject-faults spec: %s\n",
+                         error.c_str());
+            return 2;
+        }
+    }
 
     // Resolve the campaign directory up front: a directory holding a
     // completed campaign is resumed — but only by an invocation whose
     // configuration matches its meta.json; anything else errors out
     // rather than silently overwriting the saved campaign.
     bool resuming = false;
+    bool created_campaign_dir = false;
     dejavuzz::campaign::LoadedCampaignDir saved;
     if (!campaign_dir.empty()) {
         if (dejavuzz::campaign::campaignDirExists(campaign_dir)) {
+            // Crash debris first: a SIGKILL mid-save can leave *.tmp
+            // files behind; they are never part of a valid
+            // generation and must not accumulate across resumes.
+            size_t swept =
+                dejavuzz::campaign::sweepCampaignDir(campaign_dir);
+            if (swept > 0 && !quiet) {
+                std::fprintf(stderr,
+                    "campaign-dir: swept %zu stale .tmp file%s from "
+                    "%s\n",
+                    swept, swept == 1 ? "" : "s",
+                    campaign_dir.c_str());
+            }
             std::string error;
+            std::string note;
             if (!dejavuzz::campaign::loadCampaignDir(
-                    campaign_dir, saved, &error)) {
+                    campaign_dir, saved, &error, &note)) {
                 std::fprintf(stderr,
                              "cannot resume --campaign-dir %s: %s\n",
                              campaign_dir.c_str(), error.c_str());
                 return 1;
+            }
+            if (!note.empty()) {
+                // Torn-generation fallback: always worth a line,
+                // even under --quiet — the user should know the
+                // latest save did not survive.
+                std::fprintf(stderr, "campaign-dir: %s\n",
+                             note.c_str());
             }
             std::vector<std::string> mismatches =
                 dejavuzz::campaign::metaMismatches(
@@ -369,7 +446,9 @@ main(int argc, char **argv)
         } else {
             // Fail on an unwritable destination before fuzzing.
             std::error_code ec;
-            std::filesystem::create_directories(campaign_dir, ec);
+            created_campaign_dir =
+                std::filesystem::create_directories(campaign_dir,
+                                                    ec);
             if (ec) {
                 std::fprintf(stderr,
                              "cannot create --campaign-dir %s: %s\n",
@@ -379,6 +458,16 @@ main(int argc, char **argv)
             }
         }
     }
+    // Error paths between here and the first save must not leave a
+    // freshly created, empty campaign directory behind: a later
+    // invocation would see it as an (unresumable) destination. The
+    // non-recursive remove is a no-op once anything was written.
+    auto discardEmptyCampaignDir = [&]() {
+        if (created_campaign_dir) {
+            std::error_code ec;
+            std::filesystem::remove(campaign_dir, ec);
+        }
+    };
 
     // Validate --corpus-in before touching any output path: opening
     // the outputs truncates them, and a bad resume file must not
@@ -434,6 +523,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "cannot open --trace-out %s for writing\n",
                          trace_out_path.c_str());
+            discardEmptyCampaignDir();
             return 1;
         }
         dejavuzz::obs::enableTrace(true);
@@ -521,16 +611,41 @@ main(int argc, char **argv)
         }
     }
 
+    std::string live_log_path;
     if (options.heartbeat_sec > 0.0 && !campaign_dir.empty()) {
         const dejavuzz::campaign::CampaignDirPaths paths =
             dejavuzz::campaign::campaignDirPaths(campaign_dir);
-        live_log.open(paths.log, std::ios::out | std::ios::trunc);
+        // Autosaves rotate campaign.jsonl out from under an open
+        // stream (the fd would follow the rename and corrupt the
+        // retained .prev generation), so with --autosave-sec the
+        // live heartbeats go to a side file instead; it is removed
+        // after the final save. Every heartbeat is retained in the
+        // saved log either way.
+        live_log_path = options.autosave_sec > 0.0
+                            ? campaign_dir + "/heartbeat.live.jsonl"
+                            : paths.log;
+        live_log.open(live_log_path,
+                      std::ios::out | std::ios::trunc);
         if (!live_log) {
             std::fprintf(stderr,
                          "cannot open %s for heartbeat streaming\n",
-                         paths.log.c_str());
+                         live_log_path.c_str());
+            discardEmptyCampaignDir();
             return 1;
         }
+    }
+
+    // Crash-safe periodic checkpoints: the orchestrator calls back
+    // into saveCampaignDir at epoch barriers, writing a fresh
+    // generation each time, so a SIGKILL at any instant loses at most
+    // one autosave interval.
+    if (!campaign_dir.empty() && options.autosave_sec > 0.0) {
+        orchestrator.setAutosaveHook(
+            [&campaign_dir, &orchestrator,
+             &options](std::string *err) {
+                return dejavuzz::campaign::saveCampaignDir(
+                    campaign_dir, orchestrator, options, err);
+            });
     }
 
     CampaignStats stats = orchestrator.run();
@@ -571,6 +686,15 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot save --campaign-dir %s: %s\n",
                          campaign_dir.c_str(), error.c_str());
             return 1;
+        }
+        if (!live_log_path.empty() &&
+            live_log_path != dejavuzz::campaign::campaignDirPaths(
+                                 campaign_dir)
+                                 .log) {
+            // The heartbeat side file served its tail -f purpose;
+            // every record it held is in the saved log.
+            std::error_code ec;
+            std::filesystem::remove(live_log_path, ec);
         }
         if (triage) {
             namespace tr = dejavuzz::triage;
@@ -656,6 +780,23 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(stats.batches_stolen),
             static_cast<unsigned long long>(stats.batches),
             static_cast<double>(stats.steal_idle_ns) / 1e9);
+        if (stats.batch_retries != 0 || stats.batches_failed != 0 ||
+            stats.quarantined_seeds != 0 ||
+            stats.kinds_disabled != 0) {
+            std::fprintf(stderr,
+                "  robustness: %llu batch retries, %llu deadline "
+                "kills, %llu batches failed, %llu seeds "
+                "quarantined, %llu kinds disabled\n",
+                static_cast<unsigned long long>(stats.batch_retries),
+                static_cast<unsigned long long>(
+                    stats.batch_deadline_kills),
+                static_cast<unsigned long long>(
+                    stats.batches_failed),
+                static_cast<unsigned long long>(
+                    stats.quarantined_seeds),
+                static_cast<unsigned long long>(
+                    stats.kinds_disabled));
+        }
         for (const auto &record : orchestrator.ledger().entries()) {
             std::fprintf(stderr, "  bug [w%u e%llu x%llu]%s%s %s\n",
                          record.worker,

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <iostream>
+#include <stdexcept>
 #include <thread>
 
+#include "campaign/faults.hh"
 #include "obs/heartbeat.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
@@ -241,6 +245,8 @@ CampaignOrchestrator::provision()
     sched_ = std::make_unique<WorkStealingScheduler>(kind_ids);
     busy_seconds_.assign(shards_.size(), 0.0);
     base_quotas_ = baseQuotas();
+    kind_fail_streak_.assign(kinds.size(), 0);
+    kind_disabled_.assign(kinds.size(), false);
 }
 
 uint64_t
@@ -509,11 +515,20 @@ CampaignOrchestrator::baseQuotas() const
 std::vector<uint64_t>
 CampaignOrchestrator::planQuotas(uint64_t done) const
 {
-    // Desired per-shard quota for a full epoch.
+    // Desired per-shard quota for a full epoch. Shards of a disabled
+    // kind plan nothing — graceful degradation zeroes them before the
+    // budget scaling, so the surviving kinds inherit the remaining
+    // budget proportionally.
     std::vector<uint64_t> quotas = base_quotas_;
+    for (size_t w = 0; w < shards_.size(); ++w) {
+        if (kind_disabled_[shards_[w].kind])
+            quotas[w] = 0;
+    }
     uint64_t desired_total = 0;
     for (uint64_t quota : quotas)
         desired_total += quota;
+    if (desired_total == 0)
+        return quotas; // every kind disabled: run() terminates
 
     if (options_.total_iterations == 0)
         return quotas;
@@ -562,39 +577,102 @@ CampaignOrchestrator::executorLoop(unsigned t)
 
         // Provenance: offers are tagged with the *shard-logical*
         // (worker, seq) identity regardless of the executing
-        // thread; batch k owns seq range [k*B, (k+1)*B).
+        // thread; batch k owns seq range [k*B, (k+1)*B). Offers are
+        // buffered per attempt and committed only when the batch
+        // succeeds: a failed or deadline-killed attempt must leave
+        // no trace in the shared corpus, or retries would not be
+        // bit-identical to a clean first run.
         const uint64_t seq_base =
             task.index * options_.batch_iterations;
+        std::vector<CorpusEntry> offers;
         uint64_t offer_local = 0;
         fz.setInterestingHook(
-            [this, &shard, &offer_local, seq_base,
+            [&offers, &shard, &offer_local, seq_base,
              s = task.shard](const core::TestCase &tc,
                              uint64_t gain) {
-                corpus_.offer(CorpusEntry{tc, gain, s,
-                                          seq_base + offer_local++,
-                                          shard.group_name});
+                offers.push_back(CorpusEntry{tc, gain, s,
+                                             seq_base + offer_local++,
+                                             shard.group_name});
             });
 
-        core::Fuzzer::BatchSpec spec;
-        spec.rng_seed =
-            batchSeed(options_.master_seed, task.shard, task.index);
-        spec.iter_base = seq_base;
-        spec.iterations = task.iterations;
-        spec.baseline = &group_snapshots_.at(shard.group_name);
-        spec.inject = std::move(task.inject);
+        // The inject set outlives the attempt loop so every retry
+        // re-executes the identical spec.
+        std::vector<core::TestCase> inject = std::move(task.inject);
 
         const double begin = nowSeconds();
         SlotResult slot;
-        {
-            obs::ScopedSpan batch_span(obs::Hist::BatchNs, task.shard,
-                                       task.index);
-            slot.res = fz.runBatch(spec);
-            // Publish the batch's discoveries with lock-free atomic
-            // ORs (commutative, so barrier state is timing-free);
-            // keep the full map for the barrier-ordered per-shard
-            // fold.
+        slot.batch_index = task.index;
+        slot.iterations_planned = task.iterations;
+
+        const unsigned max_attempts = 1 + options_.batch_retries;
+        bool ok = false;
+        std::string reason;
+        unsigned attempt = 0;
+        for (; attempt < max_attempts && !ok; ++attempt) {
+            if (attempt > 0)
+                obs::counterAdd(obs::Ctr::BatchRetries);
+            offers.clear();
+            offer_local = 0;
+
+            core::Fuzzer::BatchSpec spec;
+            spec.rng_seed = batchSeed(options_.master_seed,
+                                      task.shard, task.index);
+            spec.iter_base = seq_base;
+            spec.iterations = task.iterations;
+            spec.baseline = &group_snapshots_.at(shard.group_name);
+            spec.inject = inject;
+            spec.deadline_seconds = options_.batch_deadline_sec;
+
+            // batch-hang failpoint: the batch never terminates, so
+            // the watchdog kills it at the deadline. Simulated
+            // before execution — an actual spin would make the test
+            // suite's wall time the deadline sum.
+            if (shouldFail(Fault::BatchHang)) {
+                obs::counterAdd(obs::Ctr::BatchDeadlineKills);
+                ++slot.deadline_kills;
+                reason = "batch-deadline";
+                continue;
+            }
+            try {
+                if (shouldFail(Fault::BatchThrow))
+                    throw std::runtime_error("batch-throw failpoint");
+                obs::ScopedSpan batch_span(obs::Hist::BatchNs,
+                                           task.shard, task.index);
+                slot.res = fz.runBatch(spec);
+            } catch (const std::exception &e) {
+                reason = std::string("batch-throw: ") + e.what();
+                continue;
+            }
+            if (slot.res.deadline_hit) {
+                // The partial result is machine-speed-dependent;
+                // discard it wholesale (determinism) and retry.
+                obs::counterAdd(obs::Ctr::BatchDeadlineKills);
+                ++slot.deadline_kills;
+                reason = "batch-deadline";
+                slot.res = core::Fuzzer::BatchResult{};
+                continue;
+            }
+            ok = true;
+        }
+        slot.attempts = attempt;
+
+        if (ok) {
+            // Commit the successful attempt: corpus offers first
+            // (retention is arrival-order independent), then publish
+            // the batch's discoveries with lock-free atomic ORs
+            // (commutative, so barrier state is timing-free); keep
+            // the full map for the barrier-ordered per-shard fold.
+            for (CorpusEntry &entry : offers)
+                corpus_.offer(std::move(entry));
             shard.group->mergeFrom(fz.coverage());
             slot.cov = fz.coverage();
+        } else {
+            slot.failed = true;
+            slot.fail_reason = std::move(reason);
+            slot.res = core::Fuzzer::BatchResult{};
+            // The seeds that rode this batch are quarantined at the
+            // barrier (they are the prime crash/hang suspects).
+            slot.failed_inject = std::move(inject);
         }
         obs::counterAdd(obs::Ctr::Batches);
         obs::drainThreadSpans();
@@ -691,6 +769,51 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
     for (unsigned w = 0; w < shards_.size(); ++w) {
         Shard &shard = shards_[w];
         for (SlotResult &slot : epoch_results_[w]) {
+            stats_.batch_retries += slot.attempts - 1;
+            stats_.batch_deadline_kills += slot.deadline_kills;
+            if (slot.failed) {
+                // The batch exhausted its retries: nothing of it
+                // folds in. Its planned iterations were skipped
+                // (tracked so the epoch curve stays consistent with
+                // the worker rollups), and the corpus seeds that
+                // rode it are quarantined — recorded in barrier
+                // order for a deterministic ledger, and pulled from
+                // the corpus so they stop circulating.
+                stats_.batches_failed += 1;
+                skipped_iterations_ += slot.iterations_planned;
+                shard.agg.active_seconds += slot.seconds;
+                for (core::TestCase &tc : slot.failed_inject) {
+                    corpus_.removeMatching(tc);
+                    QuarantineRecord rec;
+                    rec.worker = w;
+                    rec.batch = slot.batch_index;
+                    rec.attempts = slot.attempts;
+                    rec.reason = slot.fail_reason;
+                    rec.tc = std::move(tc);
+                    quarantine_.push_back(std::move(rec));
+                    obs::counterAdd(obs::Ctr::QuarantinedSeeds);
+                    stats_.quarantined_seeds += 1;
+                }
+                // Fleet-wide degradation: a kind whose batches keep
+                // faulting (consecutively, across its shards in
+                // barrier order) is disabled rather than allowed to
+                // burn the whole budget on retries.
+                unsigned &streak = kind_fail_streak_[shard.kind];
+                ++streak;
+                if (options_.kind_disable_failures != 0 &&
+                    streak >= options_.kind_disable_failures &&
+                    !kind_disabled_[shard.kind]) {
+                    kind_disabled_[shard.kind] = true;
+                    stats_.kinds_disabled += 1;
+                    std::cerr << "dejavuzz-campaign: disabling kind "
+                              << shard.config_name << "/"
+                              << shard.variant << " after " << streak
+                              << " consecutive failed batches (last: "
+                              << slot.fail_reason << ")\n";
+                }
+                continue;
+            }
+            kind_fail_streak_[shard.kind] = 0;
             const core::Fuzzer::BatchResult &res = slot.res;
             shard.agg.iterations += res.iterations;
             shard.agg.simulations += res.simulations;
@@ -792,7 +915,15 @@ CampaignOrchestrator::syncEpoch(uint64_t epoch)
 void
 CampaignOrchestrator::finalizeStats(double wall_seconds)
 {
+    // Idempotent recompute: autosave calls this mid-campaign and the
+    // final save calls it again, so every addWorker() accumulator
+    // must be zeroed before the rollups are re-folded.
     stats_.workers.clear();
+    stats_.iterations = 0;
+    stats_.simulations = 0;
+    stats_.windows_triggered = 0;
+    stats_.seeds_imported = 0;
+    stats_.triggers = {};
     for (const Shard &shard : shards_)
         stats_.addWorker(shard.agg, shard.trigger_agg);
 
@@ -840,6 +971,7 @@ CampaignOrchestrator::run()
     // a larger budget" extends the original run.
     uint64_t done = done_base_;
     uint64_t epoch = epoch_base_;
+    double last_autosave = begin;
 
     for (;;) {
         if (options_.total_iterations != 0 &&
@@ -852,9 +984,18 @@ CampaignOrchestrator::run()
         }
 
         std::vector<uint64_t> quotas = planQuotas(done);
-        runEpoch(quotas);
+        uint64_t planned = 0;
         for (uint64_t quota : quotas)
-            done += quota;
+            planned += quota;
+        if (planned == 0) {
+            // Every remaining kind is disabled: terminate instead of
+            // spinning on empty epochs.
+            std::cerr << "dejavuzz-campaign: all shard kinds "
+                         "disabled; ending campaign early\n";
+            break;
+        }
+        runEpoch(quotas);
+        done += planned;
         syncEpoch(epoch);
 
         // Fig-7-style epoch-resolution growth sample. The counter
@@ -865,7 +1006,11 @@ CampaignOrchestrator::run()
         // coverage and distinct bugs includes what was restored).
         EpochSample sample;
         sample.epoch = epoch - epoch_base_;
-        sample.iterations = done - done_base_;
+        // Planned-but-skipped iterations of retry-exhausted batches
+        // are excluded, so this axis equals the sum of iterations
+        // the workers actually executed (the validator's invariant
+        // against the summary record).
+        sample.iterations = done - done_base_ - skipped_iterations_;
         for (const auto &[name, group] : groups_)
             sample.coverage_points += group->points();
         sample.distinct_bugs = ledger_.distinct();
@@ -882,6 +1027,27 @@ CampaignOrchestrator::run()
         obs::gaugeSet(obs::Gauge::Epochs, sample.epoch + 1);
 
         ++epoch;
+
+        // Periodic crash-safe checkpoint. Cursors and stats are
+        // brought barrier-consistent first (finalizeStats is an
+        // idempotent recompute), so the hook sees exactly the state
+        // an uninterrupted save after run() would see; a SIGKILL
+        // then loses at most one interval plus the epoch in flight.
+        if (autosave_hook_ && options_.autosave_sec > 0.0 &&
+            nowSeconds() - last_autosave >= options_.autosave_sec) {
+            done_ = done;
+            epoch_ = epoch;
+            stats_.epochs = epoch - epoch_base_;
+            finalizeStats(nowSeconds() - begin);
+            std::string save_error;
+            if (!autosave_hook_(&save_error)) {
+                // Persistence trouble must not kill the campaign it
+                // protects: log, keep fuzzing, retry next interval.
+                std::cerr << "dejavuzz-campaign: autosave failed: "
+                          << save_error << "\n";
+            }
+            last_autosave = nowSeconds();
+        }
     }
 
     done_ = done;

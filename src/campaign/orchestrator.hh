@@ -33,6 +33,7 @@
 #define DEJAVUZZ_CAMPAIGN_ORCHESTRATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -44,6 +45,7 @@
 #include "campaign/corpus.hh"
 #include "campaign/coverage_map.hh"
 #include "campaign/ledger.hh"
+#include "campaign/quarantine.hh"
 #include "campaign/scheduler.hh"
 #include "campaign/snapshot.hh"
 #include "campaign/stats.hh"
@@ -130,6 +132,41 @@ struct CampaignOptions
     /** Base fuzzer options; per-worker seed/ablation fields are
      *  overridden by the shard policy. */
     core::FuzzerOptions fuzzer;
+
+    /**
+     * Batch watchdog/retry policy. A batch that throws or blows
+     * batch_deadline_sec is re-executed up to batch_retries times
+     * with the identical BatchSpec (same Rng seed, baseline and
+     * inject set), so a retry that succeeds is bit-identical to a
+     * first-try success and determinism survives transient faults.
+     * A batch that exhausts its retries is skipped: its planned
+     * iterations still count against the budget, and any corpus
+     * seeds riding it are quarantined (quarantine.jsonl) and pulled
+     * from the corpus.
+     */
+    unsigned batch_retries = 2;
+    /** Per-batch wall deadline in seconds (0 = no watchdog). A
+     *  deadline-killed attempt's partial result is discarded —
+     *  machine-speed-dependent state never folds into the campaign. */
+    double batch_deadline_sec = 0.0;
+    /**
+     * Fleet-wide graceful degradation: when one (config, variant)
+     * kind accumulates this many *consecutive* failed batches across
+     * its shards, the kind is disabled for the rest of the campaign
+     * (its shards plan zero-iteration epochs) with a logged reason.
+     * 0 = never disable. A campaign whose every kind is disabled
+     * terminates instead of spinning.
+     */
+    unsigned kind_disable_failures = 8;
+    /**
+     * Autosave interval in seconds (0 = off). When positive and an
+     * autosave hook is installed (setAutosaveHook), run() invokes the
+     * hook at the first epoch barrier after each interval elapses —
+     * so a SIGKILL loses at most one interval plus the epoch in
+     * flight. Autosaves are observational: they never perturb
+     * campaign outcomes.
+     */
+    double autosave_sec = 0.0;
 
     /**
      * Heartbeat interval in seconds (0 = no heartbeats). When
@@ -220,6 +257,39 @@ class CampaignOrchestrator
      *  during run() — the full campaign.jsonl a live log carries. */
     void writeJsonlWithHeartbeats(std::ostream &os) const;
 
+    /**
+     * Crash-safe persistence callback (typically saveCampaignDir).
+     * run() invokes it at epoch barriers per CampaignOptions::
+     * autosave_sec; the orchestrator's cursors and stats are
+     * barrier-consistent whenever it fires. A failing hook (false
+     * return, diagnostic in its out-param) is logged and retried at
+     * the next interval — persistence trouble must not kill the
+     * campaign it is trying to protect.
+     */
+    using AutosaveHook = std::function<bool(std::string *)>;
+    void setAutosaveHook(AutosaveHook hook)
+    {
+        autosave_hook_ = std::move(hook);
+    }
+
+    /** Seeds quarantined so far, in barrier (shard, batch) order —
+     *  deterministic campaigns yield byte-identical ledgers. */
+    const std::vector<QuarantineRecord> &quarantineRecords() const
+    {
+        return quarantine_;
+    }
+    /** How many quarantineRecords() entries have been appended to
+     *  the on-disk ledger already (autosave bookkeeping, maintained
+     *  by saveCampaignDir via noteQuarantinePersisted). */
+    size_t quarantinePersisted() const
+    {
+        return quarantine_persisted_;
+    }
+    void noteQuarantinePersisted(size_t count)
+    {
+        quarantine_persisted_ = count;
+    }
+
   private:
     /** Shard-logical state: the unit of provenance and policy. The
      *  executing thread varies batch to batch; everything here is
@@ -268,6 +338,21 @@ class CampaignOrchestrator
          *  cheap. */
         ift::TaintCoverage cov;
         double seconds = 0.0;
+        /** Shard-global batch index (quarantine provenance). */
+        uint64_t batch_index = 0;
+        /** The spec's iteration count — what a failed batch skipped. */
+        uint64_t iterations_planned = 0;
+        /** Executions attempted (1 = clean first try). */
+        unsigned attempts = 1;
+        /** Watchdog cut-offs among those attempts (real + injected). */
+        unsigned deadline_kills = 0;
+        /** The batch exhausted every retry: res/cov are empty and
+         *  must not be folded; fail_reason carries the signature. */
+        bool failed = false;
+        std::string fail_reason;
+        /** Corpus seeds that rode the failed batch — quarantined at
+         *  the barrier. */
+        std::vector<core::TestCase> failed_inject;
     };
 
     void provision();
@@ -324,6 +409,20 @@ class CampaignOrchestrator
     std::set<std::pair<unsigned, uint64_t>> preloaded_ids_;
     /** Heartbeat lines captured during run(), in emission order. */
     std::vector<std::string> heartbeat_lines_;
+    /** Quarantined seeds in barrier order; the persisted-prefix
+     *  cursor lets autosaves append only fresh records. */
+    std::vector<QuarantineRecord> quarantine_;
+    size_t quarantine_persisted_ = 0;
+    AutosaveHook autosave_hook_;
+    /** Per-kind consecutive failed-batch streaks (barrier order) and
+     *  the fleet-wide disable switch they trip. Indexed by
+     *  Shard::kind. */
+    std::vector<unsigned> kind_fail_streak_;
+    std::vector<bool> kind_disabled_;
+    /** Iterations planned into batches that exhausted their retries
+     *  and were skipped — subtracted from the epoch curve so its
+     *  iteration axis keeps matching the worker rollups. */
+    uint64_t skipped_iterations_ = 0;
     bool ran_ = false;
 };
 

@@ -1,0 +1,244 @@
+#include "campaign/quarantine.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/io_util.hh"
+#include "campaign/stats.hh"
+#include "report/json.hh"
+
+namespace dejavuzz::campaign {
+
+namespace {
+
+bool
+fieldU64(const report::JsonObject &obj, const char *key,
+         uint64_t &out, std::string &error)
+{
+    if (!error.empty())
+        return false;
+    auto it = obj.find(key);
+    if (it == obj.end()) {
+        error = std::string("missing field \"") + key + "\"";
+        return false;
+    }
+    const report::JsonValue &value = it->second;
+    bool integral = value.isNumber() && !value.raw.empty();
+    for (char c : value.raw) {
+        if (c < '0' || c > '9')
+            integral = false;
+    }
+    if (!integral) {
+        error = std::string("field \"") + key +
+                "\" must be a non-negative integer";
+        return false;
+    }
+    errno = 0;
+    out = std::strtoull(value.raw.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+        error = std::string("field \"") + key +
+                "\" exceeds the 64-bit range";
+        return false;
+    }
+    return true;
+}
+
+bool
+fieldStr(const report::JsonObject &obj, const char *key,
+         std::string &out, std::string &error)
+{
+    if (!error.empty())
+        return false;
+    auto it = obj.find(key);
+    if (it == obj.end() || !it->second.isString()) {
+        error = std::string("missing string field \"") + key + "\"";
+        return false;
+    }
+    out = it->second.text;
+    return true;
+}
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (unsigned char c : bytes) {
+        out.push_back(digits[c >> 4]);
+        out.push_back(digits[c & 0xf]);
+    }
+    return out;
+}
+
+bool
+hexDecode(const std::string &hex, std::string &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return true;
+}
+
+/** Parse one ledger line; @p error gets the reason on failure. */
+bool
+parseRecord(const std::string &line, QuarantineRecord &rec,
+            std::string &error)
+{
+    report::JsonObject obj;
+    if (!report::parseFlatJsonObject(line, obj, &error))
+        return false;
+
+    std::string type;
+    fieldStr(obj, "type", type, error);
+    if (!error.empty())
+        return false;
+    if (type != "quarantine") {
+        error = "unknown record type \"" + type + "\"";
+        return false;
+    }
+
+    uint64_t worker = 0;
+    std::string case_hex;
+    fieldU64(obj, "worker", worker, error);
+    fieldU64(obj, "batch", rec.batch, error);
+    fieldU64(obj, "attempts", rec.attempts, error);
+    fieldStr(obj, "reason", rec.reason, error);
+    fieldStr(obj, "case", case_hex, error);
+    if (!error.empty())
+        return false;
+    rec.worker = static_cast<unsigned>(worker);
+
+    std::string blob;
+    if (!hexDecode(case_hex, blob)) {
+        error = "field \"case\" is not a hex blob";
+        return false;
+    }
+    std::istringstream blob_in(blob);
+    bio::Reader reader{blob_in, {}};
+    if (!bio::readTestCase(reader, rec.tc)) {
+        error = "case blob: " + reader.error;
+        return false;
+    }
+    if (blob_in.peek() != std::char_traits<char>::eof()) {
+        error = "case blob: trailing bytes after the test case";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeQuarantineRecord(std::ostream &os, const QuarantineRecord &rec)
+{
+    std::ostringstream blob;
+    bio::writeTestCase(blob, rec.tc);
+    os << "{\"type\":\"quarantine\",\"worker\":" << rec.worker
+       << ",\"batch\":" << rec.batch
+       << ",\"attempts\":" << rec.attempts << ",\"reason\":\""
+       << jsonEscape(rec.reason) << "\",\"case\":\""
+       << hexEncode(blob.str()) << "\"}\n";
+}
+
+bool
+appendQuarantine(const std::string &path,
+                 const std::vector<QuarantineRecord> &records,
+                 std::string *error)
+{
+    if (records.empty())
+        return true;
+    std::ofstream os(path, std::ios::out | std::ios::app);
+    if (!os) {
+        if (error)
+            *error = "cannot open " + path + " for appending";
+        return false;
+    }
+    for (const QuarantineRecord &rec : records)
+        writeQuarantineRecord(os, rec);
+    os.flush();
+    if (!os) {
+        if (error)
+            *error = "append to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+loadQuarantine(std::istream &is, std::vector<QuarantineRecord> &out,
+               std::string *error, std::string *torn_note)
+{
+    out.clear();
+    std::string line;
+    size_t lineno = 0;
+    std::string pending_error;
+    size_t pending_lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        // A record that fails to parse is fatal only if any line
+        // follows it: the torn final line a crash mid-append leaves
+        // behind is dropped, everything earlier must be intact.
+        if (!pending_error.empty()) {
+            if (error)
+                *error = "quarantine.jsonl line " +
+                         std::to_string(pending_lineno) + ": " +
+                         pending_error;
+            return false;
+        }
+        QuarantineRecord rec;
+        std::string rec_error;
+        if (parseRecord(line, rec, rec_error)) {
+            out.push_back(std::move(rec));
+        } else {
+            pending_error = rec_error;
+            pending_lineno = lineno;
+        }
+    }
+    if (!pending_error.empty() && torn_note) {
+        *torn_note = "quarantine.jsonl: dropped torn final line " +
+                     std::to_string(pending_lineno) + " (" +
+                     pending_error + ")";
+    }
+    return true;
+}
+
+bool
+loadQuarantineFile(const std::string &path,
+                   std::vector<QuarantineRecord> &out,
+                   std::string *error, std::string *torn_note)
+{
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        out.clear();
+        return true;
+    }
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    return loadQuarantine(is, out, error, torn_note);
+}
+
+} // namespace dejavuzz::campaign

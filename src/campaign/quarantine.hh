@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Poison-seed quarantine ledger (`quarantine.jsonl`).
+ *
+ * A seed whose batch keeps crashing or blowing its deadline is not
+ * worth the fleet's time — but it is exactly the input a triager
+ * wants to see. The orchestrator moves such seeds out of the corpus
+ * and into an append-only JSONL ledger in the campaign directory:
+ * one flat record per seed with the serialized test case, the
+ * failure signature, and how many attempts it survived. Records are
+ * appended at epoch barriers in (shard, batch) order, so
+ * deterministic campaigns produce byte-identical ledgers.
+ *
+ * Appends are the one campaign-dir write that is not
+ * tmp+rename-atomic (an append-only ledger must not rewrite history
+ * on every record); the loader therefore tolerates a torn *final*
+ * line — the only damage a crash mid-append can do — and stays
+ * strict about everything before it. Schema:
+ * docs/campaign-format.md.
+ */
+
+#ifndef DEJAVUZZ_CAMPAIGN_QUARANTINE_HH
+#define DEJAVUZZ_CAMPAIGN_QUARANTINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/seed.hh"
+
+namespace dejavuzz::campaign {
+
+/** One quarantined seed. */
+struct QuarantineRecord
+{
+    unsigned worker = 0;   ///< shard whose batch carried the seed
+    uint64_t batch = 0;    ///< shard-global batch index that failed
+    uint64_t attempts = 0; ///< executions attempted (1 + retries)
+    /** Failure signature: "batch-deadline", or "batch-throw: <what>"
+     *  with the exception text. */
+    std::string reason;
+    core::TestCase tc;     ///< the poison seed itself
+};
+
+/** Emit @p rec as one flat JSON line (test case hex-encoded). */
+void writeQuarantineRecord(std::ostream &os,
+                           const QuarantineRecord &rec);
+
+/**
+ * Append @p records to the ledger at @p path (created if missing).
+ * Returns false with a diagnostic on an IO failure.
+ */
+bool appendQuarantine(const std::string &path,
+                      const std::vector<QuarantineRecord> &records,
+                      std::string *error = nullptr);
+
+/**
+ * Parse a quarantine ledger. Strict per record (unknown type, a
+ * missing field, or a corrupt case blob fail the load) except for a
+ * torn final line, which is dropped with a note in @p torn_note —
+ * the expected debris of a crash mid-append.
+ */
+bool loadQuarantine(std::istream &is,
+                    std::vector<QuarantineRecord> &out,
+                    std::string *error = nullptr,
+                    std::string *torn_note = nullptr);
+
+/** loadQuarantine over a file; a missing file is an empty ledger. */
+bool loadQuarantineFile(const std::string &path,
+                        std::vector<QuarantineRecord> &out,
+                        std::string *error = nullptr,
+                        std::string *torn_note = nullptr);
+
+} // namespace dejavuzz::campaign
+
+#endif // DEJAVUZZ_CAMPAIGN_QUARANTINE_HH

@@ -142,6 +142,11 @@ writeCampaignJsonl(std::ostream &os, const CampaignStats &stats,
        << (stats.stealing ? "steal" : "barrier")
        << "\",\"batch\":" << stats.batch_iterations
        << ",\"batches\":" << stats.batches
+       << ",\"batch_retries\":" << stats.batch_retries
+       << ",\"batch_deadline_kills\":" << stats.batch_deadline_kills
+       << ",\"batches_failed\":" << stats.batches_failed
+       << ",\"quarantined_seeds\":" << stats.quarantined_seeds
+       << ",\"kinds_disabled\":" << stats.kinds_disabled
        << ",\"batches_stolen\":" << stats.batches_stolen
        << ",\"steal_idle_ns\":" << stats.steal_idle_ns
        << ",\"wall_seconds\":" << jsonDouble(stats.wall_seconds)

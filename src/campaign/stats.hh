@@ -87,6 +87,15 @@ struct CampaignStats
     uint64_t reports_restored = 0;   ///< bug hits restored with them
     uint64_t batch_iterations = 0; ///< scheduler grain (--batch)
     uint64_t batches = 0;          ///< batches planned and executed
+    /** Robustness accounting (watchdogs/retries/quarantine). All of
+     *  it is barrier state folded in (shard, slot) order, so the
+     *  counts are deterministic whenever the fault sequence is
+     *  (single-threaded fault injection, or none). */
+    uint64_t batch_retries = 0;       ///< re-executions after a failure
+    uint64_t batch_deadline_kills = 0;///< watchdog cut-offs (real+injected)
+    uint64_t batches_failed = 0;      ///< batches that exhausted retries
+    uint64_t quarantined_seeds = 0;   ///< seeds moved to quarantine.jsonl
+    uint64_t kinds_disabled = 0;      ///< (config,variant) kinds disabled
     uint64_t batches_stolen = 0;   ///< executed by a non-owner thread
     uint64_t steal_idle_ns = 0;    ///< Σ per-thread barrier idle
     bool stealing = true;          ///< false under --no-steal

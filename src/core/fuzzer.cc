@@ -5,6 +5,7 @@
 
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
+#include "util/wallguard.hh"
 
 namespace dejavuzz::core {
 
@@ -279,10 +280,25 @@ Fuzzer::runBatch(const BatchSpec &spec)
 
     bug_cases_.clear();
     capture_bug_cases_ = true;
-    run(spec.iterations);
+    bool deadline_hit = false;
+    if (spec.deadline_seconds > 0.0) {
+        // The watchdog fires inside the simulator's cycle loop, so
+        // even a single pathological iteration is cut off. The
+        // partial deltas below are machine-speed-dependent; the
+        // caller must discard a deadline_hit result.
+        util::WallGuard guard(spec.deadline_seconds);
+        try {
+            run(spec.iterations);
+        } catch (const util::WallDeadlineExceeded &) {
+            deadline_hit = true;
+        }
+    } else {
+        run(spec.iterations);
+    }
     capture_bug_cases_ = false;
 
     BatchResult result;
+    result.deadline_hit = deadline_hit;
     result.iterations = stats_.iterations - before.iterations;
     result.simulations = stats_.simulations - before.simulations;
     result.windows_triggered =
@@ -338,16 +354,25 @@ Fuzzer::replayCase(const TestCase &tc, bool collect_coverage_tuples)
     Phase3 phase3(sim_, options_.sim, gen_);
 
     ReplayOutcome outcome;
-    const Phase2Result &explored = phase2.run(tc);
-    stats_.simulations += explored.dual.sim_passes;
-    outcome.window_ok = explored.window_ok;
-    outcome.taint_propagated = explored.taint_propagated;
-    if (explored.window_ok && explored.taint_propagated) {
-        Phase3Result verdict =
-            phase3.run(tc, explored, options_.use_liveness);
-        stats_.simulations += verdict.simulations;
-        if (verdict.leak && verdict.report.has_value())
-            outcome.report = *verdict.report;
+    util::WallGuard guard(options_.replay_deadline_sec);
+    try {
+        const Phase2Result &explored = phase2.run(tc);
+        stats_.simulations += explored.dual.sim_passes;
+        outcome.window_ok = explored.window_ok;
+        outcome.taint_propagated = explored.taint_propagated;
+        if (explored.window_ok && explored.taint_propagated) {
+            Phase3Result verdict =
+                phase3.run(tc, explored, options_.use_liveness);
+            stats_.simulations += verdict.simulations;
+            if (verdict.leak && verdict.report.has_value())
+                outcome.report = *verdict.report;
+        }
+    } catch (const util::WallDeadlineExceeded &) {
+        // A pathological reproducer must not hang a replay or triage
+        // sweep: report the timeout, keep the pipeline moving.
+        outcome = ReplayOutcome{};
+        outcome.timed_out = true;
+        return outcome;
     }
     outcome.coverage_points = coverage_.points();
     if (collect_coverage_tuples)

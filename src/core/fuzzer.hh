@@ -53,6 +53,16 @@ struct FuzzerOptions
     /** Record the per-iteration coverage curve (FuzzerStats); long
      *  orchestrated campaigns turn this off to bound memory. */
     bool record_coverage_curve = true;
+    /**
+     * Wall-clock guard around replayCase() in seconds (0 = off). A
+     * pathological reproducer that would otherwise stall a replay or
+     * triage sweep is cut off cooperatively (util::WallGuard inside
+     * the simulator's cycle loop) and reported via
+     * ReplayOutcome::timed_out instead of hanging the pipeline. The
+     * default is far above any legitimate case's runtime, so replay
+     * determinism is unaffected in practice.
+     */
+    double replay_deadline_sec = 120.0;
     harness::SimOptions sim;
 };
 
@@ -100,6 +110,16 @@ class Fuzzer
         const ift::TaintCoverage *baseline = nullptr;
         /** Corpus seeds to adopt before generating from scratch. */
         std::vector<TestCase> inject;
+        /**
+         * Wall-clock watchdog for the whole batch in seconds (0 =
+         * off). Expiry is cooperative (checked inside the simulator's
+         * cycle loop): the batch stops where it is and the result
+         * comes back with deadline_hit set. A deadline-killed result
+         * is machine-speed-dependent — callers that care about
+         * determinism must discard it and retry or skip the batch,
+         * never fold it in.
+         */
+        double deadline_seconds = 0.0;
     };
 
     /** Everything a batch produced, as deltas over the spec. */
@@ -126,6 +146,9 @@ class Fuzzer
         /** Injected seeds the batch did not get around to adopting
          *  (re-queued by the orchestrator for the next batch). */
         std::vector<TestCase> leftover_inject;
+        /** The batch was cut off by spec.deadline_seconds: the
+         *  deltas above are partial and machine-speed-dependent. */
+        bool deadline_hit = false;
     };
 
     /**
@@ -143,6 +166,9 @@ class Fuzzer
     {
         bool window_ok = false;
         bool taint_propagated = false;
+        /** The replay blew FuzzerOptions::replay_deadline_sec and
+         *  was cut off; every other field is meaningless. */
+        bool timed_out = false;
         /** The leak verdict, when Phase 3 confirmed one. */
         std::optional<BugReport> report;
         /** Number of coverage points this case alone produced

@@ -4,6 +4,7 @@
 
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
+#include "util/wallguard.hh"
 
 namespace dejavuzz::harness {
 
@@ -118,6 +119,11 @@ DualSim::laneTick(LaneRun &lr, const SimOptions &options,
                   ift::IftMode mode, ift::ControlTrace *mine,
                   const ift::ControlTrace *other)
 {
+    // Cooperative batch/replay watchdog probe (one counter decrement
+    // when no deadline is armed). Placing it on the per-cycle path
+    // bounds even a single pathological simulation.
+    util::WallGuard::check();
+
     ift::TaintCtx ctx;
     ctx.begin(mode, mine, other);
     TickEvents ev = lr.lane.core.tick(lr.lane.mem, ctx,

@@ -28,6 +28,12 @@ ctrName(Ctr c)
       case Ctr::TaintTransitions: return "taint_transitions";
       case Ctr::TaintRescanChecks: return "taint_rescan_checks";
       case Ctr::FusedLaneCycles: return "fused_lane_cycles";
+      case Ctr::BatchRetries: return "batch_retries";
+      case Ctr::BatchDeadlineKills: return "batch_deadline_kills";
+      case Ctr::QuarantinedSeeds: return "quarantined_seeds";
+      case Ctr::FaultsInjected: return "faults_injected";
+      case Ctr::CheckpointGenerations:
+          return "checkpoint_generations";
       case Ctr::kCount: break;
     }
     return "?";

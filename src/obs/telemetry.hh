@@ -48,6 +48,11 @@ enum class Ctr : uint8_t {
     TaintTransitions,  ///< taint-account contribution changes applied
     TaintRescanChecks, ///< incremental-vs-rescan cross-checks run
     FusedLaneCycles,   ///< Phase-3 cycles saved by lane fusion
+    BatchRetries,      ///< failed/timed-out batches re-executed
+    BatchDeadlineKills,    ///< batches cut off by the wall deadline
+    QuarantinedSeeds,      ///< seeds moved to quarantine.jsonl
+    FaultsInjected,        ///< failpoints fired (--inject-faults)
+    CheckpointGenerations, ///< campaign-dir generations written
     kCount,
 };
 

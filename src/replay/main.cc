@@ -92,9 +92,12 @@ replayPoc(const std::string &path,
     }
     const auto outcome = fuzzer->replayCase(poc.tc);
     const std::string observed =
-        outcome.report.has_value()
-            ? outcome.report->key()
-            : (outcome.window_ok ? "no-leak" : "window-not-triggered");
+        outcome.timed_out
+            ? "replay-timeout"
+            : outcome.report.has_value()
+                  ? outcome.report->key()
+                  : (outcome.window_ok ? "no-leak"
+                                       : "window-not-triggered");
     const bool ok = observed == poc.key;
     if (!quiet || !ok) {
         std::fprintf(stderr, "  [%s] %s (%s, %s)%s%s\n",
@@ -212,10 +215,14 @@ main(int argc, char **argv)
 
     dejavuzz::replay::ReplaySummary summary;
     std::string error;
-    if (!dejavuzz::replay::replayCampaignDir(dir, summary, &error)) {
+    std::string note;
+    if (!dejavuzz::replay::replayCampaignDir(dir, summary, &error,
+                                             &note)) {
         std::fprintf(stderr, "dejavuzz-replay: %s\n", error.c_str());
         return 1;
     }
+    if (!note.empty())
+        std::fprintf(stderr, "dejavuzz-replay: %s\n", note.c_str());
 
     if (!trace_out_path.empty()) {
         dejavuzz::obs::writeChromeTrace(
@@ -246,12 +253,16 @@ main(int argc, char **argv)
         namespace campaign = dejavuzz::campaign;
         campaign::CampaignMeta meta;
         campaign::CampaignCheckpoint checkpoint;
+        std::string triage_note;
         if (!campaign::loadCampaignSnapshot(dir, meta, checkpoint,
-                                            &error)) {
+                                            &error, &triage_note)) {
             std::fprintf(stderr, "dejavuzz-replay: %s\n",
                          error.c_str());
             return 1;
         }
+        if (!triage_note.empty())
+            std::fprintf(stderr, "dejavuzz-replay: %s\n",
+                         triage_note.c_str());
         tr::TriageOptions options;
         options.cluster.threshold = threshold;
         options.matrix = matrix;

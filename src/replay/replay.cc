@@ -70,7 +70,11 @@ replayLedger(const std::vector<campaign::BugRecord> &ledger)
             outcome = it->second->replayCase(record.repro);
         }
         result.seconds = (obs::nowNs() - begin) / 1e9;
-        if (!outcome.report.has_value()) {
+        if (outcome.timed_out) {
+            // The guard cut the replay off: not reproduced, but the
+            // pipeline keeps going instead of hanging on one case.
+            result.observed = "replay-timeout";
+        } else if (!outcome.report.has_value()) {
             result.observed = outcome.window_ok
                                   ? "no-leak"
                                   : "window-not-triggered";
@@ -111,14 +115,14 @@ replayVerdict(const ReplaySummary &summary, bool require_bugs,
 
 bool
 replayCampaignDir(const std::string &dir, ReplaySummary &out,
-                  std::string *error)
+                  std::string *error, std::string *note)
 {
     // Reproducers live in the snapshot; the corpus artifact is
     // neither read nor required to replay a ledger.
     campaign::CampaignMeta meta;
     campaign::CampaignCheckpoint checkpoint;
     if (!campaign::loadCampaignSnapshot(dir, meta, checkpoint,
-                                        error)) {
+                                        error, note)) {
         return false;
     }
     out = replayLedger(checkpoint.ledger);

@@ -69,10 +69,14 @@ int replayVerdict(const ReplaySummary &summary, bool require_bugs,
 /**
  * Load the checkpoint of @p dir (a `--campaign-dir`) and replay its
  * ledger. Returns false on a missing/corrupt directory (diagnostic
- * in @p error when non-null).
+ * in @p error when non-null). When the loader had to fall back to
+ * the previous save generation (torn latest), @p note describes the
+ * recovery — callers should surface it so a silently-older ledger
+ * never masquerades as the latest one.
  */
 bool replayCampaignDir(const std::string &dir, ReplaySummary &out,
-                       std::string *error = nullptr);
+                       std::string *error = nullptr,
+                       std::string *note = nullptr);
 
 } // namespace dejavuzz::replay
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <istream>
 
+#include "campaign/io_util.hh"
 #include "report/json.hh"
 
 namespace dejavuzz::report {
@@ -146,10 +147,27 @@ parseCampaignLog(std::istream &is, const std::string &name,
         return false;
     };
 
+    // Running integrity state: a checkpointed log ends with a
+    // trailer record whose CRC-32 covers every byte before it, so
+    // the checksum is chained line by line as the log is consumed
+    // (getline strips the '\n' each line was written with).
+    uint64_t bytes_before = 0;
+    uint32_t running_crc = 0;
+    auto consume = [&](const std::string &text) {
+        running_crc =
+            campaign::crc32(text.data(), text.size(), running_crc);
+        running_crc = campaign::crc32("\n", 1, running_crc);
+        bytes_before += text.size() + 1;
+    };
+
     while (std::getline(is, line)) {
         ++line_no;
-        if (line.empty())
+        if (line.empty()) {
+            consume(line);
             continue;
+        }
+        if (out.has_trailer)
+            return fail("record after the integrity trailer");
 
         JsonObject obj;
         std::string json_error;
@@ -271,6 +289,17 @@ parseCampaignLog(std::istream &is, const std::string &name,
             fields.u64("batches", row.batches, /*required=*/false);
             fields.u64("batches_stolen", row.batches_stolen,
                        /*required=*/false);
+            fields.u64("batch_retries", row.batch_retries,
+                       /*required=*/false);
+            fields.u64("batch_deadline_kills",
+                       row.batch_deadline_kills,
+                       /*required=*/false);
+            fields.u64("batches_failed", row.batches_failed,
+                       /*required=*/false);
+            fields.u64("quarantined_seeds", row.quarantined_seeds,
+                       /*required=*/false);
+            fields.u64("kinds_disabled", row.kinds_disabled,
+                       /*required=*/false);
             fields.u64("steal_idle_ns", row.steal_idle_ns,
                        /*required=*/false);
             fields.f64("wall_seconds", row.wall_seconds);
@@ -279,9 +308,31 @@ parseCampaignLog(std::istream &is, const std::string &name,
                 return fail(field_error);
             out.summary = std::move(row);
             ++summaries;
+        } else if (type == "trailer") {
+            TrailerRow row;
+            uint64_t crc_field = 0;
+            fields.u64("generation", row.generation);
+            fields.u64("bytes", row.bytes);
+            fields.u64("crc32", crc_field);
+            if (!fields.ok())
+                return fail(field_error);
+            if (crc_field > 0xffffffffull)
+                return fail(
+                    "field \"crc32\" exceeds the 32-bit range");
+            row.crc32 = static_cast<uint32_t>(crc_field);
+            if (row.bytes != bytes_before)
+                return fail(
+                    "trailer covers " + std::to_string(row.bytes) +
+                    " bytes but " + std::to_string(bytes_before) +
+                    " precede it (torn log)");
+            if (row.crc32 != running_crc)
+                return fail("trailer CRC mismatch (corrupt log)");
+            out.trailer = row;
+            out.has_trailer = true;
         } else {
             return fail("unknown record type \"" + type + "\"");
         }
+        consume(line);
     }
 
     if (summaries != 1)
@@ -354,6 +405,20 @@ validateCampaignLog(const CampaignLog &log)
     }
     check(s.batches_stolen <= s.batches,
           "summary.batches_stolen exceeds summary.batches");
+    // Robustness accounting: every failed batch was still counted in
+    // summary.batches, each watchdog kill consumed one attempt
+    // (batches + batch_retries bounds the attempt total), and a seed
+    // only reaches quarantine when the batch replaying it failed.
+    check(s.batches_failed <= s.batches,
+          "summary.batches_failed exceeds summary.batches");
+    check(s.batch_deadline_kills <= s.batches + s.batch_retries,
+          "summary.batch_deadline_kills exceeds total batch "
+          "attempts");
+    check(s.quarantined_seeds == 0 || s.batches_failed > 0,
+          "summary.quarantined_seeds is non-zero with no failed "
+          "batches");
+    check(s.kinds_disabled <= s.workers,
+          "summary.kinds_disabled exceeds summary.workers");
     if (!log.epochs.empty()) {
         uint64_t stolen = 0;
         for (const auto &row : log.epochs)

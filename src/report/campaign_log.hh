@@ -138,8 +138,28 @@ struct SummaryRow
     uint64_t batches = 0;          ///< batches executed
     uint64_t batches_stolen = 0;   ///< executed by a non-owner
     uint64_t steal_idle_ns = 0;    ///< Σ per-thread barrier idle
+    /** Robustness fields; optional, 0 for pre-watchdog logs. */
+    uint64_t batch_retries = 0;       ///< extra attempts after failure
+    uint64_t batch_deadline_kills = 0;///< attempts killed by watchdog
+    uint64_t batches_failed = 0;      ///< batches that exhausted retries
+    uint64_t quarantined_seeds = 0;   ///< poison seeds pulled from corpus
+    uint64_t kinds_disabled = 0;      ///< (config,variant) shut down
     double wall_seconds = 0.0;
     double iters_per_sec = 0.0;
+};
+
+/**
+ * `type:"trailer"` — the crash-safety record a checkpointed log ends
+ * with. Its CRC-32 covers every byte of the log that precedes it;
+ * the parser re-computes the checksum as it reads and rejects the log
+ * on mismatch, so a torn or bit-flipped checkpoint can never feed
+ * the reporting pipeline. Live (non-checkpoint) logs carry none.
+ */
+struct TrailerRow
+{
+    uint64_t generation = 0; ///< save generation that wrote the log
+    uint64_t bytes = 0;      ///< payload length the CRC covers
+    uint32_t crc32 = 0;      ///< CRC-32 of those bytes
 };
 
 /** One parsed campaign log. */
@@ -152,6 +172,8 @@ struct CampaignLog
     std::vector<BugRow> bugs;
     std::vector<HeartbeatRow> heartbeats;
     SummaryRow summary;
+    bool has_trailer = false; ///< log ended with a verified trailer
+    TrailerRow trailer;       ///< valid only when has_trailer
 
     /** Wall seconds of the first epoch whose distinct_bugs > 0, or
      *  a negative value when the campaign found no bug. */

@@ -123,6 +123,47 @@ schedulerTable(const std::vector<CampaignLog> &logs)
 }
 
 ReportTable
+robustnessTable(const std::vector<CampaignLog> &logs)
+{
+    // Fault-tolerance ledger: how often batches were retried, killed
+    // by the watchdog, or written off; how many seeds were
+    // quarantined and kinds disabled; plus the injected-fault and
+    // checkpoint counters from the final heartbeat. Logs that never
+    // exercised the machinery contribute no rows (an all-empty table
+    // is skipped by the renderers).
+    ReportTable table;
+    table.title = "Robustness (watchdog / quarantine / checkpoints)";
+    table.header = {"campaign", "batch_retries", "deadline_kills",
+                    "batches_failed", "quarantined_seeds",
+                    "kinds_disabled", "faults_injected",
+                    "checkpoint_generations"};
+    for (const auto &log : logs) {
+        const SummaryRow &s = log.summary;
+        uint64_t faults = 0;
+        uint64_t checkpoints = 0;
+        if (!log.heartbeats.empty()) {
+            const HeartbeatRow &hb = log.heartbeats.back();
+            faults = hb.counter(obs::Ctr::FaultsInjected);
+            checkpoints =
+                hb.counter(obs::Ctr::CheckpointGenerations);
+        }
+        if (s.batch_retries == 0 && s.batch_deadline_kills == 0 &&
+            s.batches_failed == 0 && s.quarantined_seeds == 0 &&
+            s.kinds_disabled == 0 && faults == 0 &&
+            checkpoints == 0) {
+            continue;
+        }
+        table.rows.push_back({log.name, fmtU64(s.batch_retries),
+                              fmtU64(s.batch_deadline_kills),
+                              fmtU64(s.batches_failed),
+                              fmtU64(s.quarantined_seeds),
+                              fmtU64(s.kinds_disabled),
+                              fmtU64(faults), fmtU64(checkpoints)});
+    }
+    return table;
+}
+
+ReportTable
 heartbeatTimingTable(const std::vector<CampaignLog> &logs)
 {
     // Timing breakdown from the final heartbeat of each log: where
@@ -428,6 +469,7 @@ buildComparisonTables(const std::vector<CampaignLog> &logs)
     std::vector<ReportTable> tables;
     tables.push_back(overviewTable(logs));
     tables.push_back(schedulerTable(logs));
+    tables.push_back(robustnessTable(logs));
     tables.push_back(heartbeatTimingTable(logs));
     tables.push_back(configTable(logs));
     tables.push_back(triggerTable(logs));

@@ -76,7 +76,12 @@ portabilityMatrix(const std::vector<campaign::BugRecord> &ledger,
             }
             core::Fuzzer::ReplayOutcome outcome =
                 fuzzer->replayCase(record.repro);
-            if (!outcome.report.has_value()) {
+            if (outcome.timed_out) {
+                // A foreign core can legitimately run a reproducer
+                // into pathological territory; the guard turns that
+                // into a diagnostic cell, not a stuck matrix.
+                cell.observed = "replay-timeout";
+            } else if (!outcome.report.has_value()) {
                 cell.observed = outcome.window_ok
                                     ? "no-leak"
                                     : "window-not-triggered";

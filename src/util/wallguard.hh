@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cooperative thread-local wall-clock watchdog.
+ *
+ * Simulations are cycle-budgeted, so every loop in the system
+ * terminates — unless a defect (or an injected fault) makes one
+ * iteration pathologically slow. The batch watchdog and the replay
+ * guard bound that case: the owner installs a WallGuard with a
+ * budget, and the simulator's cycle loop calls WallGuard::check()
+ * from its hot path. check() is one thread-local counter decrement
+ * per call (the clock is read every kCheckStride calls), so the
+ * guard costs nothing measurable; when the deadline expires it
+ * throws WallDeadlineExceeded, which the owner catches at the
+ * batch/replay boundary and converts into a deadline-kill result.
+ *
+ * Guards nest conservatively: an inner guard can only tighten the
+ * active deadline, never extend an outer one.
+ */
+
+#ifndef DEJAVUZZ_UTIL_WALLGUARD_HH
+#define DEJAVUZZ_UTIL_WALLGUARD_HH
+
+#include <chrono>
+#include <stdexcept>
+
+namespace dejavuzz::util {
+
+/** Thrown by WallGuard::check() when the active deadline expired. */
+class WallDeadlineExceeded : public std::runtime_error
+{
+  public:
+    explicit WallDeadlineExceeded(double budget_sec)
+        : std::runtime_error("wall deadline exceeded"),
+          budget_sec_(budget_sec)
+    {
+    }
+
+    double budgetSeconds() const { return budget_sec_; }
+
+  private:
+    double budget_sec_;
+};
+
+namespace detail {
+
+struct WallGuardState
+{
+    double deadline = 0.0;   ///< absolute steady-clock seconds; 0 = off
+    double budget_sec = 0.0; ///< budget of the guard that set it
+    unsigned countdown = 0;  ///< calls until the next clock read
+};
+
+inline WallGuardState &
+wallGuardState()
+{
+    thread_local WallGuardState state;
+    return state;
+}
+
+inline double
+wallNowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace detail
+
+class WallGuard
+{
+  public:
+    /** Calls between clock reads in check(); a tick is microseconds,
+     *  so the detection latency stays far below any useful budget. */
+    static constexpr unsigned kCheckStride = 2048;
+
+    /** Arm a deadline @p budget_sec from now (<= 0: inactive). An
+     *  outer guard's earlier deadline always wins. */
+    explicit WallGuard(double budget_sec)
+        : saved_(detail::wallGuardState())
+    {
+        if (budget_sec <= 0.0)
+            return;
+        detail::WallGuardState &state = detail::wallGuardState();
+        const double deadline =
+            detail::wallNowSeconds() + budget_sec;
+        if (state.deadline == 0.0 || deadline < state.deadline) {
+            state.deadline = deadline;
+            state.budget_sec = budget_sec;
+            state.countdown = 0;
+        }
+    }
+
+    ~WallGuard() { detail::wallGuardState() = saved_; }
+
+    WallGuard(const WallGuard &) = delete;
+    WallGuard &operator=(const WallGuard &) = delete;
+
+    /** Hot-path probe: throws WallDeadlineExceeded when the active
+     *  deadline has passed; no-op (one decrement) otherwise. */
+    static void
+    check()
+    {
+        detail::WallGuardState &state = detail::wallGuardState();
+        if (state.deadline == 0.0)
+            return;
+        if (state.countdown > 0) {
+            --state.countdown;
+            return;
+        }
+        state.countdown = kCheckStride;
+        if (detail::wallNowSeconds() >= state.deadline)
+            throw WallDeadlineExceeded(state.budget_sec);
+    }
+
+    /** Whether a deadline is armed on this thread (tests). */
+    static bool
+    active()
+    {
+        return detail::wallGuardState().deadline != 0.0;
+    }
+
+  private:
+    detail::WallGuardState saved_;
+};
+
+} // namespace dejavuzz::util
+
+#endif // DEJAVUZZ_UTIL_WALLGUARD_HH

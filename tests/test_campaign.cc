@@ -1344,6 +1344,85 @@ TEST(CampaignDir, SaveLoadRoundTrip)
     std::filesystem::remove_all(dir);
 }
 
+TEST(CampaignDir, AutosaveDoesNotPerturbTheCampaign)
+{
+    // Autosaving is observational: a campaign that checkpoints at
+    // every epoch barrier must land on exactly the outcome of one
+    // that never saves at all, and the directory it leaves behind
+    // must hold a complete, loadable latest generation.
+    CampaignOrchestrator baseline(smallCampaign(2, 1000));
+    baseline.run();
+    ASSERT_GT(baseline.ledger().distinct(), 0u);
+
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) /
+         "dvz_autosave_dir")
+            .string();
+    std::filesystem::remove_all(dir);
+    CampaignOptions options = smallCampaign(2, 1000);
+    options.autosave_sec = 1e-9; // every epoch qualifies
+    CampaignOrchestrator saved(options);
+    saved.setAutosaveHook([&](std::string *err) {
+        return campaign::saveCampaignDir(dir, saved, options, err);
+    });
+    saved.run();
+
+    expectSameCampaignState(baseline, saved);
+
+    std::string error, note;
+    campaign::LoadedCampaignDir loaded;
+    ASSERT_TRUE(
+        campaign::loadCampaignDir(dir, loaded, &error, &note))
+        << error;
+    EXPECT_TRUE(note.empty()) << note;
+    // Several autosave generations rotated through; only the count
+    // monotonicity matters, not the exact cadence.
+    EXPECT_GE(loaded.meta.generation, 2u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignDir, ResumeFromAutosavedDirMatchesUninterrupted)
+{
+    // The crash-recovery path end to end through the directory
+    // formats: half a campaign autosaved per epoch (plus its final
+    // save), reloaded from disk, resumed to the full budget — and
+    // required to be bit-identical to the uninterrupted run.
+    CampaignOrchestrator uninterrupted(smallCampaign(2, 1500));
+    uninterrupted.run();
+    ASSERT_GT(uninterrupted.ledger().distinct(), 0u);
+
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) /
+         "dvz_autosave_resume_dir")
+            .string();
+    std::filesystem::remove_all(dir);
+    CampaignOptions half = smallCampaign(2, 750);
+    half.autosave_sec = 1e-9;
+    CampaignOrchestrator first(half);
+    first.setAutosaveHook([&](std::string *err) {
+        return campaign::saveCampaignDir(dir, first, half, err);
+    });
+    first.run();
+    std::string error;
+    ASSERT_TRUE(
+        campaign::saveCampaignDir(dir, first, half, &error))
+        << error;
+
+    campaign::LoadedCampaignDir loaded;
+    ASSERT_TRUE(campaign::loadCampaignDir(dir, loaded, &error))
+        << error;
+    EXPECT_EQ(loaded.checkpoint.iterations_done, 750u);
+
+    CampaignOrchestrator resumed(smallCampaign(2, 1500));
+    ASSERT_TRUE(resumed.restoreCheckpoint(loaded.checkpoint, &error))
+        << error;
+    resumed.restoreCorpus(loaded.corpus.entries);
+    resumed.run();
+
+    expectSameCampaignState(uninterrupted, resumed);
+    std::filesystem::remove_all(dir);
+}
+
 // --- Corruption robustness ----------------------------------------------
 
 /**
@@ -1398,6 +1477,44 @@ TEST(CorpusIo, RandomCorruptionNeverCrashesTheLoader)
                        return SharedCorpus::loadFrom(is, out,
                                                      &error);
                    });
+}
+
+TEST(CorpusIo, TrailerMakesCorruptionDetectionCertain)
+{
+    // The raw loaders above may accept a flip in a don't-care byte;
+    // a trailered artifact may not: CRC-32 catches every 1-bit
+    // payload error and every truncation, so each such mutation
+    // must be rejected — this is what lets the campaign-dir loader
+    // trust "trailer validates" as "artifact payload is whole".
+    // (The generation and pad fields of the trailer itself are
+    // outside the CRC; the loader cross-checks the generation
+    // against meta.json instead.)
+    CampaignOrchestrator orchestrator(smallCampaign(2, 750));
+    orchestrator.run();
+    std::stringstream file(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    ASSERT_TRUE(orchestrator.corpus().saveTo(file, 7));
+    const std::string valid = campaign::withTrailer(file.str(), 3);
+    const size_t payload_size = valid.size() - campaign::kTrailerBytes;
+
+    Rng rng(0x7ea11e5);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string bytes = valid;
+        if (rng.below(2) == 0) {
+            bytes.resize(rng.below(bytes.size()));
+        } else {
+            const size_t pos = rng.below(payload_size);
+            bytes[pos] = static_cast<char>(
+                static_cast<uint8_t>(bytes[pos]) ^
+                (uint8_t{1} << rng.below(8)));
+        }
+        std::string payload, error;
+        uint64_t gen = 0;
+        EXPECT_FALSE(
+            campaign::splitTrailer(bytes, payload, gen, &error))
+            << "trial " << trial;
+        EXPECT_FALSE(error.empty());
+    }
 }
 
 TEST(Snapshot, RandomCorruptionNeverCrashesTheLoader)

@@ -10,6 +10,7 @@
 
 #include <sstream>
 
+#include "campaign/io_util.hh"
 #include "campaign/orchestrator.hh"
 #include "campaign/stats.hh"
 #include "obs/heartbeat.hh"
@@ -158,6 +159,115 @@ TEST(CampaignLogRoundTrip, ValidatorCatchesInconsistentLogs)
     ASSERT_TRUE(validateCampaignLog(log).empty());
     log.summary.iterations += 1;
     EXPECT_FALSE(validateCampaignLog(log).empty());
+}
+
+TEST(CampaignLogRoundTrip, ValidatorCatchesRobustnessMismatches)
+{
+    const CampaignLog clean =
+        runAndParse(tinyCampaign(2, 500, 3), "robust");
+    ASSERT_TRUE(validateCampaignLog(clean).empty());
+
+    CampaignLog log = clean;
+    log.summary.batches_failed = log.summary.batches + 1;
+    EXPECT_FALSE(validateCampaignLog(log).empty());
+
+    log = clean;
+    log.summary.quarantined_seeds = 1; // with zero failed batches
+    EXPECT_FALSE(validateCampaignLog(log).empty());
+
+    log = clean;
+    log.summary.batch_deadline_kills =
+        log.summary.batches + log.summary.batch_retries + 1;
+    EXPECT_FALSE(validateCampaignLog(log).empty());
+
+    log = clean;
+    log.summary.kinds_disabled = log.summary.workers + 1;
+    EXPECT_FALSE(validateCampaignLog(log).empty());
+}
+
+TEST(CampaignLogTrailer, VerifiesAndRejectsTamperedLogs)
+{
+    // A checkpointed log ends with a trailer record whose CRC the
+    // parser re-computes as it reads; byte-exact logs pass, any
+    // tampering before the trailer fails the parse outright.
+    CampaignOrchestrator orchestrator(tinyCampaign(2, 500, 3));
+    orchestrator.run();
+    std::stringstream jsonl;
+    orchestrator.writeJsonl(jsonl);
+    const std::string payload = jsonl.str();
+    const uint32_t crc =
+        campaign::crc32(payload.data(), payload.size());
+    const std::string with_trailer =
+        payload + "{\"type\":\"trailer\",\"generation\":4,\"bytes\":" +
+        std::to_string(payload.size()) +
+        ",\"crc32\":" + std::to_string(crc) + "}\n";
+
+    CampaignLog log;
+    std::string error;
+    {
+        std::istringstream is(with_trailer);
+        ASSERT_TRUE(
+            report::parseCampaignLog(is, "trailer", log, &error))
+            << error;
+    }
+    EXPECT_TRUE(log.has_trailer);
+    EXPECT_EQ(log.trailer.generation, 4u);
+    EXPECT_EQ(log.trailer.bytes, payload.size());
+    EXPECT_TRUE(validateCampaignLog(log).empty());
+
+    // One corrupted payload byte (a digit, so every record still
+    // parses and only the checksum can notice): CRC mismatch.
+    {
+        std::string bent = with_trailer;
+        const size_t pos = bent.find("\"iterations\":") + 13;
+        bent[pos] = bent[pos] == '1' ? '2' : '1';
+        std::istringstream is(bent);
+        EXPECT_FALSE(
+            report::parseCampaignLog(is, "bent", log, &error));
+        EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+    }
+
+    // A record appended after the trailer: the log was modified
+    // after it was sealed.
+    {
+        std::istringstream is(
+            with_trailer +
+            "{\"type\":\"epoch\",\"epoch\":0,\"iterations\":1,"
+            "\"coverage_points\":1,\"distinct_bugs\":0,"
+            "\"corpus_size\":0,\"wall_seconds\":0.1}\n");
+        EXPECT_FALSE(
+            report::parseCampaignLog(is, "appended", log, &error));
+        EXPECT_NE(error.find("after the integrity trailer"),
+                  std::string::npos)
+            << error;
+    }
+
+    // A truncated log whose trailer survives: byte-count mismatch.
+    {
+        const size_t cut = payload.find('\n');
+        ASSERT_NE(cut, std::string::npos);
+        std::istringstream is(
+            payload.substr(cut + 1) +
+            "{\"type\":\"trailer\",\"generation\":4,\"bytes\":" +
+            std::to_string(payload.size()) +
+            ",\"crc32\":" + std::to_string(crc) + "}\n");
+        EXPECT_FALSE(
+            report::parseCampaignLog(is, "cut", log, &error));
+        EXPECT_NE(error.find("torn log"), std::string::npos)
+            << error;
+    }
+
+    // An out-of-range crc32 field is rejected before comparison.
+    {
+        std::istringstream is(
+            payload +
+            "{\"type\":\"trailer\",\"generation\":4,\"bytes\":" +
+            std::to_string(payload.size()) +
+            ",\"crc32\":4294967296}\n");
+        EXPECT_FALSE(
+            report::parseCampaignLog(is, "range", log, &error));
+        EXPECT_NE(error.find("32-bit"), std::string::npos) << error;
+    }
 }
 
 TEST(CampaignLogRoundTrip, ParserRejectsBrokenLogs)
